@@ -1,0 +1,85 @@
+//! The *Basic* baseline (§6.1): existing DL compilers tuned for on-chip
+//! execution. Every operator takes its fastest execute-state plan
+//! (maximum execution space); whatever SRAM remains is used to preload
+//! the *next* operator only, with the largest preload-state plan that
+//! fits — if even the smallest does not fit, the preload simply waits for
+//! the execution to finish.
+
+use elk_hw::SystemConfig;
+use elk_model::ModelGraph;
+
+use elk_core::{Catalog, CompileError, DeviceProgram};
+
+use crate::manual::{lower, ManualChoice};
+
+pub(crate) fn plan(
+    graph: &ModelGraph,
+    catalog: &Catalog,
+    system: &SystemConfig,
+) -> Result<DeviceProgram, CompileError> {
+    if graph.is_empty() {
+        return Err(CompileError::EmptyGraph);
+    }
+    let n = graph.len();
+    let capacity = system.chip.usable_sram_per_core();
+
+    // Fastest plan per operator; preload-state resolved in a second pass
+    // because op i+1's footprint must fit beside op i's execution space.
+    let exec_idx = vec![0usize; n];
+    let mut choices: Vec<ManualChoice> = (0..n)
+        .map(|i| ManualChoice {
+            exec_idx: exec_idx[i],
+            preload_idx: 0,
+            cut: i + 1, // no overlap by default
+        })
+        .collect();
+
+    for i in 0..n {
+        let cur = catalog.op(graph.ops()[i].id());
+        let remaining = capacity.saturating_sub(cur.plan_at(choices[i].exec_idx).exec_space);
+        if i + 1 >= n {
+            break;
+        }
+        let nxt = catalog.op(graph.ops()[i + 1].id());
+        let points = nxt.preload_points(choices[i + 1].exec_idx);
+        // Largest preload plan that fits the remaining space.
+        if let Some(pick) = points.iter().position(|p| p.space <= remaining) {
+            choices[i + 1].preload_idx = pick;
+            choices[i].cut = i + 2; // overlap the next operator's preload
+        } else {
+            // Preload after exec(i) completes; use the smallest footprint.
+            choices[i + 1].preload_idx = points.len() - 1;
+        }
+    }
+
+    Ok(lower(graph, catalog, system, &choices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DesignRunner;
+    use elk_hw::presets;
+    use elk_model::{zoo, Workload};
+
+    #[test]
+    fn basic_overlaps_at_most_one_preload() {
+        let system = presets::ipu_pod4();
+        let mut cfg = zoo::llama2_13b();
+        cfg.layers = 2;
+        let graph = cfg.build(Workload::decode(16, 1024), 4);
+        let runner = DesignRunner::new(system.clone());
+        let catalog = runner.catalog(&graph).unwrap();
+        let prog = plan(&graph, &catalog, &system).unwrap();
+        prog.validate().expect("valid");
+        // Between consecutive executes at most one preload is issued.
+        let mut pending = 0usize;
+        for instr in &prog.instrs {
+            match instr {
+                elk_core::DeviceInstr::PreloadAsync { .. } => pending += 1,
+                elk_core::DeviceInstr::Execute { .. } => pending = 0,
+            }
+            assert!(pending <= 2, "basic issued {pending} preloads in a row");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! The *Ideal* roofline (§6.1): separate interconnects for preload and
+//! execution, unconstrained on-chip memory, minimum preload footprints
+//! (emulating an unbounded preload number), and a free data-distribution
+//! phase. Simulated with [`elk_sim::SimOptions::ideal`].
+
+use elk_hw::SystemConfig;
+use elk_model::ModelGraph;
+use elk_units::Bytes;
+
+use elk_core::{Catalog, CompileError, DeviceProgram};
+
+use crate::manual::{lower, ManualChoice};
+
+pub(crate) fn plan(
+    graph: &ModelGraph,
+    catalog: &Catalog,
+    system: &SystemConfig,
+) -> Result<DeviceProgram, CompileError> {
+    if graph.is_empty() {
+        return Err(CompileError::EmptyGraph);
+    }
+    let n = graph.len();
+    let choices: Vec<ManualChoice> = graph
+        .iter()
+        .map(|op| {
+            let plans = catalog.op(op.id());
+            ManualChoice {
+                exec_idx: 0, // fastest plan — no memory contention
+                preload_idx: plans.plan_at(0).preload_plans.len() - 1,
+                cut: n, // fully eager pipeline
+            }
+        })
+        .collect();
+    let mut prog = lower(graph, catalog, system, &choices);
+    // Free data distribution: zero the distribution phase the minimal
+    // preload plans would otherwise incur, and rebuild the execution
+    // estimate without it.
+    for (i, spec) in prog.specs.iter_mut().enumerate() {
+        let op = &graph.ops()[i];
+        let plan = catalog.op(op.id()).plan_at(0);
+        spec.distribute_traffic = Bytes::ZERO;
+        spec.exec_len = plan.exec_time + system.allreduce_time(op.allreduce());
+    }
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DesignRunner;
+    use elk_hw::presets;
+    use elk_model::{zoo, Workload};
+    use elk_sim::{simulate, SimOptions};
+
+    #[test]
+    fn ideal_is_a_lower_bound_for_elk() {
+        let system = presets::ipu_pod4();
+        let mut cfg = zoo::llama2_13b();
+        cfg.layers = 2;
+        let graph = cfg.build(Workload::decode(16, 2048), 4);
+        let runner = DesignRunner::new(system.clone());
+        let catalog = runner.catalog(&graph).unwrap();
+        let ideal = plan(&graph, &catalog, &system).unwrap();
+        ideal.validate().expect("valid");
+        let r = simulate(&ideal, &system, &SimOptions::ideal());
+        // Roofline lower bounds: at least the HBM time and the exec time.
+        let hbm_bound = system
+            .hbm
+            .total_bandwidth()
+            .transfer_time(graph.total_hbm_load());
+        assert!(
+            r.total >= hbm_bound * 0.95,
+            "ideal {} below HBM roofline {}",
+            r.total,
+            hbm_bound
+        );
+    }
+
+    #[test]
+    fn ideal_issues_all_preloads_first() {
+        let system = presets::ipu_pod4();
+        let mut cfg = zoo::llama2_13b();
+        cfg.layers = 2;
+        let graph = cfg.build(Workload::decode(16, 1024), 4);
+        let runner = DesignRunner::new(system.clone());
+        let catalog = runner.catalog(&graph).unwrap();
+        let prog = plan(&graph, &catalog, &system).unwrap();
+        let first_exec = prog
+            .instrs
+            .iter()
+            .position(|i| matches!(i, elk_core::DeviceInstr::Execute { .. }))
+            .unwrap();
+        assert_eq!(first_exec, graph.len(), "all preloads precede exec");
+    }
+}

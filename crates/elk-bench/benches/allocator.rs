@@ -1,0 +1,34 @@
+//! Criterion bench of the cost-aware greedy memory allocator (§4.3) —
+//! the inner loop of the scheduler, called O(K·N) times per order.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use elk_core::{allocate, FrontierPoint};
+use elk_units::{Bytes, Seconds};
+
+fn frontier(points: usize, base: u64) -> Vec<FrontierPoint> {
+    (0..points)
+        .map(|i| FrontierPoint {
+            plan_idx: i,
+            space: Bytes::new(base * (points - i) as u64),
+            time: Seconds::from_micros(10.0 + 5.0 * i as f64),
+        })
+        .collect()
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let current = frontier(30, 8192);
+    let windows: Vec<Vec<FrontierPoint>> = (0..12).map(|_| frontier(5, 16384)).collect();
+    let window_refs: Vec<&[FrontierPoint]> = windows.iter().map(Vec::as_slice).collect();
+    let mut g = c.benchmark_group("allocator");
+    g.bench_function("greedy_12_windows", |b| {
+        b.iter(|| allocate(&current, &window_refs, Bytes::kib(616)))
+    });
+    g.bench_function("greedy_tight_capacity", |b| {
+        b.iter(|| allocate(&current, &window_refs, Bytes::kib(200)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_allocator);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches of the end-to-end compiler and its scheduling core.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use elk_core::{identity_order, Catalog, Compiler, CompilerOptions, ScheduleOptions, Scheduler};
+use elk_cost::{AnalyticDevice, LearnedCostModel, ProfileConfig};
+use elk_hw::presets;
+use elk_model::{zoo, Workload};
+use elk_partition::Partitioner;
+
+fn bench_compiler(c: &mut Criterion) {
+    let system = presets::ipu_pod4();
+    let mut cfg = zoo::llama2_13b();
+    cfg.layers = 4;
+    let graph = cfg.build(Workload::decode(16, 1024), 4);
+    let compiler = Compiler::with_options(
+        system.clone(),
+        CompilerOptions {
+            threads: 1,
+            ..CompilerOptions::default()
+        },
+    );
+
+    let mut g = c.benchmark_group("compiler");
+    g.sample_size(10);
+    g.bench_function("compile_llama13_4layer", |b| {
+        b.iter(|| compiler.compile(&graph).expect("compile"))
+    });
+
+    let device = AnalyticDevice::of_chip(&system.chip);
+    let cost = LearnedCostModel::fit(&device, &ProfileConfig::default());
+    let partitioner = Partitioner::new(&system.chip, &cost);
+    let catalog = Catalog::build(&graph, &partitioner).expect("catalog");
+    let scheduler = Scheduler::new(&graph, &catalog, &system, ScheduleOptions::default());
+    let order = identity_order(graph.len());
+    g.bench_function("inductive_schedule_one_order", |b| {
+        b.iter_batched(
+            || order.clone(),
+            |o| scheduler.schedule(&o).expect("schedule"),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

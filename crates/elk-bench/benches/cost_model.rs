@@ -1,0 +1,30 @@
+//! Criterion benches of the cost models: fitting the linear tree and the
+//! per-prediction latency the planner pays millions of times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use elk_cost::{AnalyticDevice, CostModel, LearnedCostModel, ProfileConfig, TileShape};
+use elk_hw::presets;
+use elk_units::Bytes;
+
+fn bench_cost(c: &mut Criterion) {
+    let device = AnalyticDevice::of_chip(&presets::ipu_pod4().chip).with_noise(0.05);
+    let quick = ProfileConfig {
+        samples_per_class: 600,
+        ..ProfileConfig::default()
+    };
+    let mut g = c.benchmark_group("cost_model");
+    g.sample_size(10);
+    g.bench_function("fit_600_samples_per_class", |b| {
+        b.iter(|| LearnedCostModel::fit(&device, &quick))
+    });
+    let model = LearnedCostModel::fit(&device, &ProfileConfig::default());
+    let tile = TileShape::matmul(16, 1280, 24);
+    g.bench_function("predict_tile", |b| b.iter(|| model.tile_time(&tile)));
+    g.bench_function("predict_link", |b| b.iter(|| model.link_time(Bytes::kib(96))));
+    g.bench_function("analytic_tile", |b| b.iter(|| device.tile_time(&tile)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_cost);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench of execute/preload-state plan enumeration (§4.3, §5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use elk_cost::AnalyticDevice;
+use elk_hw::presets;
+use elk_model::{zoo, Workload};
+use elk_partition::Partitioner;
+
+fn bench_partition(c: &mut Criterion) {
+    let system = presets::ipu_pod4();
+    let device = AnalyticDevice::of_chip(&system.chip);
+    let partitioner = Partitioner::new(&system.chip, &device);
+    let graph = zoo::llama2_13b().build(Workload::decode(32, 2048), 4);
+    let qkv = graph.iter().find(|o| o.name() == "l0.attn_qkv").unwrap();
+    let scores = graph.iter().find(|o| o.name() == "l0.attn_scores").unwrap();
+
+    let mut g = c.benchmark_group("partition");
+    g.bench_function("enumerate_weight_matmul", |b| b.iter(|| partitioner.plans(qkv)));
+    g.bench_function("enumerate_kv_batchmatmul", |b| {
+        b.iter(|| partitioner.plans(scores))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench of the event-driven simulator's throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use elk_core::Compiler;
+use elk_hw::presets;
+use elk_model::{zoo, Workload};
+use elk_sim::{simulate, SimOptions};
+
+fn bench_simulator(c: &mut Criterion) {
+    let system = presets::ipu_pod4();
+    let mut cfg = zoo::llama2_13b();
+    cfg.layers = 8;
+    let graph = cfg.build(Workload::decode(32, 2048), 4);
+    let plan = Compiler::new(system.clone()).compile(&graph).expect("compile");
+
+    let mut g = c.benchmark_group("simulator");
+    g.bench_function("simulate_8_layers", |b| {
+        b.iter(|| simulate(&plan.program, &system, &SimOptions::default()))
+    });
+    g.bench_function("simulate_with_trace", |b| {
+        b.iter(|| simulate(&plan.program, &system, &SimOptions::default().with_trace(64)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Ablation study beyond the paper's tables. See
+//! `elk_bench::experiments::ablation_allocator`.
+
+fn main() {
+    let mut ctx = elk_bench::Ctx::new("ablation_allocator");
+    elk_bench::experiments::ablation_allocator::run(&mut ctx);
+}

@@ -1,0 +1,7 @@
+//! Ablation study beyond the paper's tables. See
+//! `elk_bench::experiments::ablation_reorder`.
+
+fn main() {
+    let mut ctx = elk_bench::Ctx::new("ablation_reorder");
+    elk_bench::experiments::ablation_reorder::run(&mut ctx);
+}

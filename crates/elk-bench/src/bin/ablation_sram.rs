@@ -1,0 +1,7 @@
+//! Ablation study beyond the paper's tables. See
+//! `elk_bench::experiments::ablation_sram`.
+
+fn main() {
+    let mut ctx = elk_bench::Ctx::new("ablation_sram");
+    elk_bench::experiments::ablation_sram::run(&mut ctx);
+}

@@ -1,0 +1,6 @@
+//! Reproduces the paper's fig22. See `elk_bench::experiments::fig22`.
+
+fn main() {
+    let mut ctx = elk_bench::Ctx::new("fig22");
+    elk_bench::experiments::fig22::run(&mut ctx);
+}

@@ -1,0 +1,6 @@
+//! Reproduces the paper's fig24. See `elk_bench::experiments::fig24`.
+
+fn main() {
+    let mut ctx = elk_bench::Ctx::new("fig24");
+    elk_bench::experiments::fig24::run(&mut ctx);
+}

@@ -1,0 +1,32 @@
+//! Runs every table/figure reproduction in sequence, writing
+//! `results/<id>.{txt,json}`. Set `ELK_FULL=1` for the complete grids.
+
+use std::time::Instant;
+
+fn main() {
+    let experiments: Vec<(&str, fn(&mut elk_bench::Ctx))> = vec![
+        ("table2", elk_bench::experiments::table2::run),
+        ("fig05", elk_bench::experiments::fig05::run),
+        ("fig06", elk_bench::experiments::fig06::run),
+        ("fig07", elk_bench::experiments::fig07::run),
+        ("fig08", elk_bench::experiments::fig08::run),
+        ("fig12", elk_bench::experiments::fig12::run),
+        ("fig16", elk_bench::experiments::fig16::run),
+        ("fig17", elk_bench::experiments::fig17::run),
+        ("fig18", elk_bench::experiments::fig18::run),
+        ("fig19", elk_bench::experiments::fig19::run),
+        ("fig20", elk_bench::experiments::fig20::run),
+        ("fig21", elk_bench::experiments::fig21::run),
+        ("fig22", elk_bench::experiments::fig22::run),
+        ("fig23", elk_bench::experiments::fig23::run),
+        ("fig24", elk_bench::experiments::fig24::run),
+    ];
+    let t0 = Instant::now();
+    for (id, run) in experiments {
+        let mut ctx = elk_bench::Ctx::new(id);
+        let t = Instant::now();
+        run(&mut ctx);
+        println!("[{id} done in {:.1}s]\n", t.elapsed().as_secs_f64());
+    }
+    println!("all experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+}

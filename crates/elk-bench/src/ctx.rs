@@ -1,0 +1,153 @@
+//! Experiment context: output capture, result files, and shared fixtures.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+use elk_hw::{presets, SystemConfig};
+use elk_model::{zoo, ModelGraph, TransformerConfig, Workload};
+
+/// Context threaded through every experiment: collects printed output,
+/// writes `results/<id>.{txt,json}`, and carries the quick/full switch.
+#[derive(Debug)]
+pub struct Ctx {
+    id: String,
+    out: String,
+    results_dir: PathBuf,
+    /// `false` unless `ELK_FULL=1`: quick grids cover every series with
+    /// fewer sweep points.
+    pub full: bool,
+}
+
+impl Ctx {
+    /// Creates a context for experiment `id`. Results go to `results/`
+    /// (override with `ELK_RESULTS_DIR`); `ELK_FULL=1` enables the full
+    /// parameter grids.
+    #[must_use]
+    pub fn new(id: &str) -> Self {
+        let results_dir = std::env::var_os("ELK_RESULTS_DIR")
+            .map_or_else(|| PathBuf::from("results"), PathBuf::from);
+        Ctx {
+            id: id.to_string(),
+            out: String::new(),
+            results_dir,
+            full: std::env::var_os("ELK_FULL").is_some(),
+        }
+    }
+
+    /// Prints a line to stdout and the captured transcript.
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        println!("{}", s.as_ref());
+        let _ = writeln!(self.out, "{}", s.as_ref());
+    }
+
+    /// Prints a header line.
+    pub fn header(&mut self, title: &str) {
+        let bar = "=".repeat(title.len());
+        self.line(&bar);
+        self.line(title);
+        self.line(&bar);
+    }
+
+    /// Prints an aligned table: `widths[i]` columns, headers then rows.
+    pub fn table(&mut self, headers: &[&str], rows: &[Vec<String>]) {
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+        self.line(fmt_row(&head, &widths));
+        self.line("-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in rows {
+            self.line(fmt_row(row, &widths));
+        }
+    }
+
+    /// Writes the captured transcript and a JSON payload to `results/`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the results directory cannot be created or written.
+    pub fn finish<T: Serialize>(&self, payload: &T) {
+        fs::create_dir_all(&self.results_dir).expect("create results dir");
+        fs::write(self.results_dir.join(format!("{}.txt", self.id)), &self.out)
+            .expect("write transcript");
+        let json = serde_json::to_string_pretty(payload).expect("serialize results");
+        fs::write(self.results_dir.join(format!("{}.json", self.id)), json)
+            .expect("write json");
+    }
+}
+
+/// The paper's default platform: IPU-POD4 + 16 TB/s pod HBM (§6.1).
+#[must_use]
+pub fn default_system() -> SystemConfig {
+    presets::ipu_pod4()
+}
+
+/// The four evaluation LLMs of Table 2 (in paper order).
+#[must_use]
+pub fn llms() -> Vec<TransformerConfig> {
+    vec![
+        zoo::llama2_13b(),
+        zoo::gemma2_27b(),
+        zoo::opt_30b(),
+        zoo::llama2_70b(),
+    ]
+}
+
+/// The paper's default serving workload (batch 32, sequence 2048).
+#[must_use]
+pub fn default_workload() -> Workload {
+    Workload::decode(32, 2048)
+}
+
+/// Builds an LLM graph for the 4-chip tensor-parallel pod.
+#[must_use]
+pub fn build_llm(cfg: &TransformerConfig, wl: Workload) -> ModelGraph {
+    cfg.build(wl, 4)
+}
+
+/// Milliseconds with 3 decimals, for table cells.
+#[must_use]
+pub fn ms(t: elk_units::Seconds) -> String {
+    format!("{:.3}", t.as_millis())
+}
+
+/// A fraction as a percentage cell.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_does_not_panic() {
+        let mut ctx = Ctx::new("selftest");
+        ctx.table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(ctx.out.contains("333"));
+    }
+
+    #[test]
+    fn fixtures_cover_paper_models() {
+        assert_eq!(llms().len(), 4);
+        assert_eq!(default_workload().batch, 32);
+    }
+}

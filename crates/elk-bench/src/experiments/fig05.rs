@@ -1,0 +1,64 @@
+//! Fig. 5: execution time vs execution-space size for representative
+//! operators — the intra-operator memory↔time Pareto curves.
+
+use serde::Serialize;
+
+use elk_baselines::DesignRunner;
+use elk_model::{zoo, OpRole};
+
+use crate::ctx::{build_llm, default_system, default_workload, Ctx};
+
+#[derive(Debug, Serialize)]
+pub struct Series {
+    pub model: String,
+    pub op: String,
+    /// `(execution space KiB, execution time us)` Pareto points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &mut Ctx) {
+    ctx.header("Fig. 5: execution time vs per-core execution space (Pareto plans)");
+    let runner = DesignRunner::new(default_system());
+    let mut all = Vec::new();
+
+    for cfg in [zoo::llama2_13b(), zoo::gemma2_27b(), zoo::opt_30b()] {
+        let graph = build_llm(&cfg, default_workload());
+        let catalog = runner.catalog(&graph).expect("catalog");
+        let span = graph.layer_spans()[1].ops.clone();
+        for (role, label) in [
+            (OpRole::AttnQkv, "MatMul: Attention_QKV"),
+            (OpRole::AttnScores, "BatchMatMul: Attention_Head"),
+            (OpRole::AttnNorm, "MatMul: Layer_Norm"),
+            (OpRole::MlpDown, "MatMul: Output_FFN"),
+        ] {
+            let Some(op) = graph.ops()[span.clone()].iter().find(|o| o.role() == role)
+            else {
+                continue;
+            };
+            let plans = catalog.op(op.id());
+            let points: Vec<(f64, f64)> = plans
+                .exec_frontier
+                .iter()
+                .map(|p| (p.space.as_f64() / 1024.0, p.time.as_micros()))
+                .collect();
+            ctx.line(format!("{} / {label}:", graph.name()));
+            for chunk in points.chunks(6) {
+                let cells: Vec<String> = chunk
+                    .iter()
+                    .map(|(kb, us)| format!("{kb:.0}KB:{us:.1}us"))
+                    .collect();
+                ctx.line(format!("    {}", cells.join("  ")));
+            }
+            all.push(Series {
+                model: graph.name().to_string(),
+                op: label.to_string(),
+                points,
+            });
+        }
+    }
+    ctx.line("");
+    ctx.line("Expected shape (paper): each operator's faster plans require more execution");
+    ctx.line("space; spanning roughly 10..500 KB and 10..100+ us.");
+    ctx.finish(&all);
+}

@@ -1,0 +1,52 @@
+//! Fig. 21: interconnect utilization vs pod HBM bandwidth for both
+//! topologies (link-level: mesh pays hop multiplicity).
+
+use serde::Serialize;
+
+use crate::ctx::{pct, Ctx};
+use crate::experiments::fig19::sweep;
+
+#[derive(Debug, Serialize)]
+pub struct Row {
+    pub topology: String,
+    pub model: String,
+    pub hbm_tbps: f64,
+    /// NoC utilization per design in `Design::ALL` order.
+    pub noc_util: Vec<f64>,
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &mut Ctx) {
+    ctx.header("Fig. 21: interconnect utilization vs pod HBM bandwidth");
+    let data = sweep(ctx);
+    let mut rows = Vec::new();
+    let mut cells = Vec::new();
+    for (topo, model, bw, outs) in &data {
+        let util: Vec<f64> = outs.iter().map(|o| o.report.noc_util).collect();
+        cells.push(vec![
+            topo.clone(),
+            model.clone(),
+            format!("{bw:.0}"),
+            pct(util[0]),
+            pct(util[1]),
+            pct(util[2]),
+            pct(util[3]),
+            pct(util[4]),
+        ]);
+        rows.push(Row {
+            topology: topo.clone(),
+            model: model.clone(),
+            hbm_tbps: *bw,
+            noc_util: util,
+        });
+    }
+    ctx.table(
+        &["topology", "model", "HBM TB/s", "Basic", "Static", "ELK-Dyn", "ELK-Full", "Ideal"],
+        &cells,
+    );
+    ctx.line("");
+    ctx.line("Expected shape (paper): mesh chips always show higher link utilization than");
+    ctx.line("all-to-all at the same HBM bandwidth (multi-hop delivery); ELK-Full utilizes");
+    ctx.line("the fabric best.");
+    ctx.finish(&rows);
+}

@@ -1,0 +1,54 @@
+//! One module per paper table/figure (plus ablations). Each exposes
+//! `run(&mut Ctx)`.
+
+pub mod ablation_allocator;
+pub mod ablation_reorder;
+pub mod ablation_sram;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig12;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21;
+pub mod fig22;
+pub mod fig23;
+pub mod fig24;
+pub mod table2;
+
+use elk_baselines::{Design, DesignOutcome, DesignRunner};
+use elk_core::Catalog;
+use elk_model::ModelGraph;
+use elk_sim::SimOptions;
+
+/// Runs a set of designs on one workload, reusing the runner's catalog.
+///
+/// # Panics
+///
+/// Panics if planning fails — all shipped experiment configurations are
+/// feasible by construction.
+pub(crate) fn run_designs(
+    runner: &DesignRunner,
+    graph: &ModelGraph,
+    catalog: &Catalog,
+    designs: &[Design],
+    sim: &SimOptions,
+) -> Vec<DesignOutcome> {
+    designs
+        .iter()
+        .map(|&d| {
+            runner
+                .run(d, graph, catalog, sim)
+                .unwrap_or_else(|e| panic!("{d} failed on {}: {e}", graph.name()))
+        })
+        .collect()
+}
+
+/// Pod-level achieved TFLOPS (the simulator reports per chip).
+pub(crate) fn pod_tflops(outcome: &DesignOutcome, chips: u64) -> f64 {
+    outcome.report.achieved.as_tera() * chips as f64
+}

@@ -1,0 +1,27 @@
+//! Reproduction harness for the paper's evaluation (§6).
+//!
+//! Every table and figure has a module under [`experiments`] exposing a
+//! `run(&Ctx)` function, a thin binary wrapper in `src/bin/`, and an entry
+//! in the `repro_all` driver. Experiments print the same rows/series the
+//! paper reports and write machine-readable JSON under `results/`.
+//!
+//! Run one experiment:
+//!
+//! ```text
+//! cargo run --release -p elk-bench --bin fig17
+//! ```
+//!
+//! Run everything (writes `results/*.{txt,json}`):
+//!
+//! ```text
+//! cargo run --release -p elk-bench --bin repro_all
+//! ```
+//!
+//! Set `ELK_FULL=1` for the complete parameter grids (several times
+//! slower); the default "quick" grids cover every series with fewer
+//! points.
+
+pub mod ctx;
+pub mod experiments;
+
+pub use ctx::Ctx;

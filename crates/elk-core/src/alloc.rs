@@ -1,0 +1,221 @@
+use elk_units::{Bytes, Seconds};
+
+use crate::FrontierPoint;
+
+/// Result of one cost-aware memory allocation (§4.3): the chosen frontier
+/// position for the currently-executing operator and for every overlapped
+/// preloaded operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Index into the current operator's execute frontier.
+    pub current: usize,
+    /// Index into each window operator's preload frontier, parallel to
+    /// the `windows` argument.
+    pub picks: Vec<usize>,
+    /// Total per-core footprint of the chosen combination.
+    pub space: Bytes,
+    /// Execution time of the chosen execute-state plan.
+    pub exec_time: Seconds,
+    /// Sum of the chosen preload plans' data-distribution times.
+    pub distribute_time: Seconds,
+}
+
+/// Jointly allocates per-core SRAM between the current operator's
+/// execution space and the preload spaces of the operators preloaded
+/// during its execution.
+///
+/// Starts from every operator's fastest (largest) plan and repeatedly
+/// steps the most *cost-effective* operator — the one whose next Pareto
+/// point frees the most bytes per added second (`Δ = reduced space /
+/// increased time`, Fig. 11) — until the combination fits `capacity`.
+/// Runs in `O(P·K)` for `K` operators with `P` frontier points each.
+///
+/// Returns `None` when even the smallest combination exceeds `capacity`.
+///
+/// Frontiers must be sorted fastest-first (as produced by
+/// [`crate::pareto_frontier`] and the partitioner).
+#[must_use]
+pub fn allocate(
+    current: &[FrontierPoint],
+    windows: &[&[FrontierPoint]],
+    capacity: Bytes,
+) -> Option<Allocation> {
+    assert!(!current.is_empty(), "current operator has empty frontier");
+    debug_assert!(
+        windows.iter().all(|w| !w.is_empty()),
+        "window operator with empty preload frontier"
+    );
+
+    // Positions along each frontier; index 0 = current op, 1.. = windows.
+    let mut pos = vec![0usize; windows.len() + 1];
+    let frontier = |item: usize| -> &[FrontierPoint] {
+        if item == 0 {
+            current
+        } else {
+            windows[item - 1]
+        }
+    };
+
+    let mut space: Bytes = current[0].space + windows.iter().map(|w| w[0].space).sum::<Bytes>();
+
+    while space > capacity {
+        // Pick the step with the best freed-bytes-per-added-second ratio.
+        let mut best: Option<(usize, f64)> = None;
+        for item in 0..pos.len() {
+            let f = frontier(item);
+            let at = pos[item];
+            if at + 1 >= f.len() {
+                continue;
+            }
+            let freed = f[at].space - f[at + 1].space;
+            let slower = f[at + 1].time - f[at].time;
+            let ratio = if slower.is_zero() {
+                f64::INFINITY
+            } else {
+                freed.as_f64() / slower.as_secs()
+            };
+            if best.is_none_or(|(_, r)| ratio > r) {
+                best = Some((item, ratio));
+            }
+        }
+        let (item, _) = best?; // no step available: infeasible
+        let f = frontier(item);
+        let at = pos[item];
+        space = space - f[at].space + f[at + 1].space;
+        pos[item] = at + 1;
+    }
+
+    let current_idx = pos[0];
+    let picks: Vec<usize> = pos[1..].to_vec();
+    Some(Allocation {
+        current: current_idx,
+        picks: picks.clone(),
+        space,
+        exec_time: current[current_idx].time,
+        distribute_time: windows
+            .iter()
+            .zip(&picks)
+            .map(|(w, &i)| w[i].time)
+            .sum(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(plan_idx: usize, space: u64, time_us: f64) -> FrontierPoint {
+        FrontierPoint {
+            plan_idx,
+            space: Bytes::new(space),
+            time: Seconds::from_micros(time_us),
+        }
+    }
+
+    fn frontier(points: &[(u64, f64)]) -> Vec<FrontierPoint> {
+        points
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, t))| fp(i, s, t))
+            .collect()
+    }
+
+    #[test]
+    fn fastest_plans_kept_when_capacity_allows() {
+        let cur = frontier(&[(100, 10.0), (50, 20.0)]);
+        let w1 = frontier(&[(80, 0.0), (40, 5.0)]);
+        let a = allocate(&cur, &[&w1], Bytes::new(200)).expect("feasible");
+        assert_eq!(a.current, 0);
+        assert_eq!(a.picks, vec![0]);
+        assert_eq!(a.space, Bytes::new(180));
+        assert_eq!(a.distribute_time, Seconds::ZERO);
+    }
+
+    #[test]
+    fn steps_most_cost_effective_first() {
+        // Current: freeing 50 costs 10us (ratio 5/us).
+        // Window: freeing 40 costs 1us (ratio 40/us) — must step first.
+        let cur = frontier(&[(100, 10.0), (50, 20.0)]);
+        let w1 = frontier(&[(80, 0.0), (40, 1.0)]);
+        let a = allocate(&cur, &[&w1], Bytes::new(145)).expect("feasible");
+        assert_eq!(a.current, 0, "current should keep its fast plan");
+        assert_eq!(a.picks, vec![1]);
+        assert_eq!(a.space, Bytes::new(140));
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let cur = frontier(&[(100, 10.0), (90, 20.0)]);
+        let w1 = frontier(&[(80, 0.0)]);
+        assert_eq!(allocate(&cur, &[&w1], Bytes::new(100)), None);
+    }
+
+    #[test]
+    fn empty_window_list_shrinks_current_only() {
+        let cur = frontier(&[(100, 10.0), (60, 12.0), (30, 30.0)]);
+        let a = allocate(&cur, &[], Bytes::new(64)).expect("feasible");
+        assert_eq!(a.current, 1);
+        assert_eq!(a.exec_time, Seconds::from_micros(12.0));
+    }
+
+    #[test]
+    fn capacity_exactly_met_counts_as_fit() {
+        let cur = frontier(&[(100, 10.0)]);
+        let a = allocate(&cur, &[], Bytes::new(100)).expect("feasible");
+        assert_eq!(a.space, Bytes::new(100));
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_small_instances() {
+        // Guardrail: on small instances the greedy total time should be
+        // within 25% of the exhaustive optimum (it is optimal for convex
+        // frontiers; these are mildly non-convex).
+        let cur = frontier(&[(90, 10.0), (60, 14.0), (30, 25.0)]);
+        let w1 = frontier(&[(70, 0.0), (35, 6.0), (10, 18.0)]);
+        let w2 = frontier(&[(50, 0.0), (25, 2.0), (5, 9.0)]);
+        for cap in [210u64, 160, 120, 90, 60] {
+            let cap = Bytes::new(cap);
+            let greedy = allocate(&cur, &[&w1, &w2], cap);
+            // Exhaustive search.
+            let mut best: Option<f64> = None;
+            for (i, c) in cur.iter().enumerate() {
+                for (j, a) in w1.iter().enumerate() {
+                    for (k, b) in w2.iter().enumerate() {
+                        let _ = (i, j, k);
+                        if c.space + a.space + b.space <= cap {
+                            let t =
+                                (c.time + a.time + b.time).as_micros();
+                            if best.is_none_or(|x| t < x) {
+                                best = Some(t);
+                            }
+                        }
+                    }
+                }
+            }
+            match (greedy, best) {
+                (None, None) => {}
+                (Some(g), Some(b)) => {
+                    let got = (g.exec_time + g.distribute_time).as_micros();
+                    assert!(
+                        got <= b * 1.25 + 1e-9,
+                        "cap {cap}: greedy {got} vs optimal {b}"
+                    );
+                }
+                (g, b) => panic!("feasibility mismatch at cap {cap}: {g:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn never_exceeds_capacity_when_feasible() {
+        // Randomized-ish sweep without rand: vary capacities.
+        let cur = frontier(&[(128, 5.0), (96, 7.0), (64, 11.0), (32, 19.0)]);
+        let w1 = frontier(&[(100, 0.0), (50, 4.0), (25, 12.0)]);
+        let w2 = frontier(&[(64, 0.0), (16, 8.0)]);
+        for cap in (70..300).step_by(7) {
+            if let Some(a) = allocate(&cur, &[&w1, &w2], Bytes::new(cap)) {
+                assert!(a.space <= Bytes::new(cap));
+            }
+        }
+    }
+}

@@ -1,0 +1,312 @@
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use elk_cost::{AnalyticDevice, LearnedCostModel, ProfileConfig};
+use elk_hw::SystemConfig;
+use elk_model::ModelGraph;
+use elk_partition::Partitioner;
+use elk_units::Seconds;
+
+use crate::{
+    candidate_orders, evaluate, Catalog, CompileError, DeviceProgram, PlanEstimate,
+    ReorderOptions, Schedule, ScheduleOptions, Scheduler,
+};
+
+/// End-to-end compiler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompilerOptions {
+    /// Scheduling knobs (§4.2–4.3).
+    pub schedule: ScheduleOptions,
+    /// Preload-order search knobs (§4.4). Disable for Elk-Dyn.
+    pub reorder: ReorderOptions,
+    /// Cost-model profiling configuration (§4.3).
+    pub profile: ProfileConfig,
+    /// Worker threads for order evaluation (0 = all available).
+    pub threads: usize,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            schedule: ScheduleOptions::default(),
+            reorder: ReorderOptions::default(),
+            profile: ProfileConfig::default(),
+            threads: 0,
+        }
+    }
+}
+
+/// Summary statistics of one compilation, feeding Table 2 and Fig. 16.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompileStats {
+    /// Wall-clock compile time in seconds.
+    pub compile_seconds: f64,
+    /// Preload orders generated (post pruning).
+    pub orders_considered: usize,
+    /// Orders that scheduled successfully.
+    pub orders_feasible: usize,
+    /// Edit distance of the winning order.
+    pub chosen_edit_distance: usize,
+    /// Distinct operator signatures (plan sets actually enumerated).
+    pub distinct_signatures: usize,
+    /// `P`: maximum feasible plans over all operators.
+    pub max_plans_per_op: usize,
+    /// `K`-like: maximum simultaneously-resident operators observed.
+    pub peak_resident_ops: usize,
+    /// Mean preload number across operators.
+    pub avg_preload_number: f64,
+}
+
+/// A compiled execution plan: the lowered device program, the schedule it
+/// came from, the forward-timeline estimate, and compile statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPlan {
+    /// The §4.5 device program.
+    pub program: DeviceProgram,
+    /// Per-operator scheduling decisions.
+    pub schedule: Schedule,
+    /// Forward-timeline estimate of the plan.
+    pub estimate: PlanEstimate,
+    /// Compilation statistics.
+    pub stats: CompileStats,
+}
+
+/// The Elk compiler (§4): fits a cost model for the target system, builds
+/// the plan catalog, searches preload orders with the inductive scheduler
+/// and cost-aware allocator, and lowers the winner to a device program.
+///
+/// # Examples
+///
+/// ```
+/// use elk_core::Compiler;
+/// use elk_hw::presets;
+/// use elk_model::{zoo, Workload};
+///
+/// # fn main() -> Result<(), elk_core::CompileError> {
+/// let mut cfg = zoo::llama2_13b();
+/// cfg.layers = 2; // keep the doctest quick
+/// let graph = cfg.build(Workload::decode(16, 512), 4);
+/// let plan = Compiler::new(presets::ipu_pod4()).compile(&graph)?;
+/// assert_eq!(plan.program.op_count(), graph.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Compiler {
+    system: SystemConfig,
+    cost: LearnedCostModel,
+    opts: CompilerOptions,
+}
+
+impl Compiler {
+    /// Creates a compiler with default options, fitting the learned cost
+    /// model against the system's analytic device profile.
+    #[must_use]
+    pub fn new(system: SystemConfig) -> Self {
+        Compiler::with_options(system, CompilerOptions::default())
+    }
+
+    /// Creates a compiler with explicit options.
+    #[must_use]
+    pub fn with_options(system: SystemConfig, opts: CompilerOptions) -> Self {
+        let device = AnalyticDevice::of_chip(&system.chip).with_noise(0.05);
+        let cost = LearnedCostModel::fit(&device, &opts.profile);
+        Compiler { system, cost, opts }
+    }
+
+    /// Creates a compiler reusing an already-fitted cost model (avoids
+    /// re-profiling when sweeping system parameters that do not affect
+    /// per-core costs, e.g. HBM bandwidth).
+    #[must_use]
+    pub fn with_cost_model(
+        system: SystemConfig,
+        cost: LearnedCostModel,
+        opts: CompilerOptions,
+    ) -> Self {
+        Compiler { system, cost, opts }
+    }
+
+    /// The target system description.
+    #[must_use]
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    /// The fitted cost model the compiler plans with.
+    #[must_use]
+    pub fn cost_model(&self) -> &LearnedCostModel {
+        &self.cost
+    }
+
+    /// Compiler options in effect.
+    #[must_use]
+    pub fn options(&self) -> &CompilerOptions {
+        &self.opts
+    }
+
+    /// Compiles `graph` into an optimized device program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] when the graph is empty, an operator
+    /// cannot be partitioned into SRAM, or no preload order schedules
+    /// feasibly.
+    pub fn compile(&self, graph: &ModelGraph) -> Result<CompiledPlan, CompileError> {
+        if graph.is_empty() {
+            return Err(CompileError::EmptyGraph);
+        }
+        let partitioner = Partitioner::new(&self.system.chip, &self.cost);
+        let catalog = Catalog::build(graph, &partitioner)?;
+        self.compile_with_catalog(graph, &catalog)
+    }
+
+    /// Compiles `graph` reusing a pre-built plan catalog (the catalog only
+    /// depends on the chip and the cost model, so parameter sweeps over
+    /// HBM bandwidth or schedules share it).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Compiler::compile`].
+    pub fn compile_with_catalog(
+        &self,
+        graph: &ModelGraph,
+        catalog: &Catalog,
+    ) -> Result<CompiledPlan, CompileError> {
+        let t0 = Instant::now();
+        if graph.is_empty() {
+            return Err(CompileError::EmptyGraph);
+        }
+        let capacity = self
+            .opts
+            .schedule
+            .capacity_override
+            .unwrap_or_else(|| self.system.chip.usable_sram_per_core());
+        let candidates = candidate_orders(graph, catalog, capacity, &self.opts.reorder);
+
+        let scheduler = Scheduler::new(graph, catalog, &self.system, self.opts.schedule);
+        let threads = if self.opts.threads == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get()).min(16)
+        } else {
+            self.opts.threads
+        };
+
+        // Evaluate every candidate order; keep (index, total, violations).
+        let mut scores: Vec<Option<(usize, Seconds, usize)>> = vec![None; candidates.len()];
+        let chunk = candidates.len().div_ceil(threads.max(1));
+        std::thread::scope(|scope| {
+            for (t, (cands, out)) in candidates
+                .chunks(chunk.max(1))
+                .zip(scores.chunks_mut(chunk.max(1)))
+                .enumerate()
+            {
+                let scheduler = &scheduler;
+                scope.spawn(move || {
+                    for (k, cand) in cands.iter().enumerate() {
+                        let idx = t * chunk.max(1) + k;
+                        if let Ok(sched) = scheduler.schedule(&cand.order) {
+                            let prog = DeviceProgram::lower(graph, catalog, &sched);
+                            let est = evaluate(&prog, capacity);
+                            out[k] = Some((idx, est.total, est.capacity_violations));
+                        }
+                    }
+                });
+            }
+        });
+
+        let best = scores
+            .iter()
+            .flatten()
+            .min_by(|a, b| (a.2, a.1).cmp(&(b.2, b.1)))
+            .map(|&(idx, _, _)| idx)
+            .ok_or_else(|| CompileError::InvalidPreloadOrder {
+                reason: "no candidate preload order scheduled feasibly".to_string(),
+            })?;
+
+        let schedule = scheduler.schedule(&candidates[best].order)?;
+        let program = DeviceProgram::lower(graph, catalog, &schedule);
+        debug_assert_eq!(program.validate(), Ok(()));
+        let estimate = evaluate(&program, capacity);
+
+        let feasible = scores.iter().flatten().count();
+        let avg_preload_number = schedule
+            .per_op
+            .iter()
+            .map(|s| s.preload_number as f64)
+            .sum::<f64>()
+            / schedule.per_op.len() as f64;
+        let stats = CompileStats {
+            compile_seconds: t0.elapsed().as_secs_f64(),
+            orders_considered: candidates.len(),
+            orders_feasible: feasible,
+            chosen_edit_distance: candidates[best].edit_distance,
+            distinct_signatures: catalog.distinct_signatures(),
+            max_plans_per_op: catalog.max_plans_per_op(),
+            peak_resident_ops: estimate.peak_resident_ops,
+            avg_preload_number,
+        };
+
+        Ok(CompiledPlan {
+            program,
+            schedule,
+            estimate,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elk_hw::presets;
+    use elk_model::{zoo, Workload};
+
+    fn small_graph() -> ModelGraph {
+        let mut cfg = zoo::llama2_13b();
+        cfg.layers = 3;
+        cfg.build(Workload::decode(16, 1024), 4)
+    }
+
+    #[test]
+    fn compiles_small_llama() {
+        let plan = Compiler::new(presets::ipu_pod4())
+            .compile(&small_graph())
+            .expect("compile");
+        assert_eq!(plan.estimate.capacity_violations, 0);
+        assert!(plan.estimate.total > Seconds::ZERO);
+        assert!(plan.stats.max_plans_per_op > 10);
+        assert!(plan.stats.orders_considered >= 1);
+        plan.program.validate().expect("valid program");
+    }
+
+    #[test]
+    fn reordering_never_hurts_the_estimate() {
+        let graph = small_graph();
+        let sys = presets::ipu_pod4();
+        let full = Compiler::new(sys.clone()).compile(&graph).unwrap();
+        let mut opts = CompilerOptions::default();
+        opts.reorder.enable = false;
+        let dyn_ = Compiler::with_options(sys, opts).compile(&graph).unwrap();
+        assert!(
+            full.estimate.total <= dyn_.estimate.total + Seconds::from_micros(1.0),
+            "Elk-Full {} must be <= Elk-Dyn {}",
+            full.estimate.total,
+            dyn_.estimate.total
+        );
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        let g = ModelGraph::new(
+            "empty",
+            Workload::decode(1, 16),
+            1,
+            Vec::new(),
+            Vec::new(),
+        );
+        assert!(matches!(
+            Compiler::new(presets::ipu_pod4()).compile(&g),
+            Err(CompileError::EmptyGraph)
+        ));
+    }
+}

@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+use elk_units::Bytes;
+
+/// Errors produced while compiling a model for an ICCA chip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// The model graph contains no operators.
+    EmptyGraph,
+    /// No feasible partition plan exists for an operator — its minimal
+    /// per-core footprint exceeds the chip's SRAM.
+    NoFeasiblePlan {
+        /// Operator name.
+        op: String,
+        /// Per-core SRAM available.
+        capacity: Bytes,
+    },
+    /// The scheduler could not fit an operator window into on-chip memory
+    /// even at every operator's smallest plan.
+    CapacityExceeded {
+        /// Operator name at which allocation failed.
+        op: String,
+        /// Minimal footprint required.
+        required: Bytes,
+        /// Per-core SRAM available.
+        capacity: Bytes,
+    },
+    /// A preload order referenced operators not present in the graph or
+    /// omitted some.
+    InvalidPreloadOrder {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::EmptyGraph => write!(f, "model graph has no operators"),
+            CompileError::NoFeasiblePlan { op, capacity } => write!(
+                f,
+                "no feasible partition plan for operator `{op}` within {capacity} per core"
+            ),
+            CompileError::CapacityExceeded {
+                op,
+                required,
+                capacity,
+            } => write!(
+                f,
+                "window at operator `{op}` needs at least {required} per core but only {capacity} is available"
+            ),
+            CompileError::InvalidPreloadOrder { reason } => {
+                write!(f, "invalid preload order: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = CompileError::NoFeasiblePlan {
+            op: "l0.attn_qkv".into(),
+            capacity: Bytes::kib(616),
+        };
+        let s = e.to_string();
+        assert!(s.contains("l0.attn_qkv"));
+        assert!(s.starts_with("no feasible"));
+    }
+
+    #[test]
+    fn error_trait_object_usable() {
+        let e: Box<dyn Error + Send + Sync> = Box::new(CompileError::EmptyGraph);
+        assert!(e.to_string().contains("no operators"));
+    }
+}

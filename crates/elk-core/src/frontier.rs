@@ -1,0 +1,278 @@
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use elk_model::{ModelGraph, OpId, Operator};
+use elk_partition::{ExecutePlan, Partitioner, PreloadPlan};
+use elk_units::{Bytes, Seconds};
+
+use crate::CompileError;
+
+/// One point on a memory↔time Pareto frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrontierPoint {
+    /// Index into the underlying plan list.
+    pub plan_idx: usize,
+    /// Per-core SRAM footprint.
+    pub space: Bytes,
+    /// Time cost of the point (execution time for execute-state points,
+    /// data-distribution time for preload-state points).
+    pub time: Seconds,
+}
+
+/// Extracts the Pareto frontier of `(space, time)` points, sorted fastest
+/// (largest space) first. Every kept point is strictly faster than all
+/// smaller points and strictly smaller than all faster points.
+#[must_use]
+pub fn pareto_frontier(points: impl IntoIterator<Item = FrontierPoint>) -> Vec<FrontierPoint> {
+    let mut pts: Vec<FrontierPoint> = points.into_iter().collect();
+    // Sort by time ascending; ties broken by smaller space.
+    pts.sort_by(|a, b| a.time.cmp(&b.time).then(a.space.cmp(&b.space)));
+    let mut front: Vec<FrontierPoint> = Vec::new();
+    for p in pts {
+        match front.last() {
+            None => front.push(p),
+            Some(last) => {
+                if p.space < last.space {
+                    front.push(p);
+                }
+            }
+        }
+    }
+    front
+}
+
+/// All feasible plans of one operator plus its execute-state Pareto
+/// frontier. Preload-state frontiers are per execute-plan and come
+/// pre-sorted from the partitioner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpPlans {
+    /// All feasible execute-state plans.
+    pub plans: Vec<ExecutePlan>,
+    /// Pareto frontier over `(exec_space, exec_time)`, fastest first.
+    pub exec_frontier: Vec<FrontierPoint>,
+}
+
+impl OpPlans {
+    /// Builds the frontier from a feasible plan list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans` is empty.
+    #[must_use]
+    pub fn new(plans: Vec<ExecutePlan>) -> Self {
+        assert!(!plans.is_empty(), "operator with no feasible plans");
+        let exec_frontier = pareto_frontier(plans.iter().enumerate().map(|(i, p)| {
+            FrontierPoint {
+                plan_idx: i,
+                space: p.exec_space,
+                time: p.exec_time,
+            }
+        }));
+        OpPlans {
+            plans,
+            exec_frontier,
+        }
+    }
+
+    /// The execute plan of a frontier position.
+    #[must_use]
+    pub fn plan_at(&self, frontier_idx: usize) -> &ExecutePlan {
+        &self.plans[self.exec_frontier[frontier_idx].plan_idx]
+    }
+
+    /// Preload-state points of the execute plan at `frontier_idx`,
+    /// largest space (max broadcast) first — already a Pareto frontier by
+    /// construction.
+    #[must_use]
+    pub fn preload_points(&self, frontier_idx: usize) -> Vec<FrontierPoint> {
+        self.plan_at(frontier_idx)
+            .preload_plans
+            .iter()
+            .enumerate()
+            .map(|(i, p)| FrontierPoint {
+                plan_idx: i,
+                space: p.preload_space,
+                time: p.distribute_time,
+            })
+            .collect()
+    }
+
+    /// The preload plan `preload_idx` of the execute plan at
+    /// `frontier_idx`.
+    #[must_use]
+    pub fn preload_at(&self, frontier_idx: usize, preload_idx: usize) -> &PreloadPlan {
+        &self.plan_at(frontier_idx).preload_plans[preload_idx]
+    }
+
+    /// Smallest possible preload footprint over the chosen execute plan.
+    #[must_use]
+    pub fn min_preload_space(&self, frontier_idx: usize) -> Bytes {
+        self.plan_at(frontier_idx)
+            .preload_plans
+            .last()
+            .map_or(Bytes::ZERO, |p| p.preload_space)
+    }
+}
+
+/// Per-operator plan catalog for a whole graph, deduplicated by operator
+/// signature (identical transformer layers share plan sets, which is what
+/// keeps Elk's search sub-linear in model size, §5).
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    entries: Vec<Arc<OpPlans>>,
+    distinct: usize,
+}
+
+impl Catalog {
+    /// Enumerates plans for every operator of `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::NoFeasiblePlan`] if any operator cannot be
+    /// partitioned into the chip's SRAM.
+    pub fn build(graph: &ModelGraph, partitioner: &Partitioner<'_>) -> Result<Self, CompileError> {
+        let mut cache: HashMap<String, Arc<OpPlans>> = HashMap::new();
+        let mut entries = Vec::with_capacity(graph.len());
+        for op in graph.iter() {
+            let key = signature(op);
+            let entry = match cache.get(&key) {
+                Some(e) => Arc::clone(e),
+                None => {
+                    let plans = partitioner.plans(op);
+                    if plans.is_empty() {
+                        return Err(CompileError::NoFeasiblePlan {
+                            op: op.name().to_string(),
+                            capacity: Bytes::ZERO,
+                        });
+                    }
+                    let e = Arc::new(OpPlans::new(plans));
+                    cache.insert(key, Arc::clone(&e));
+                    e
+                }
+            };
+            entries.push(entry);
+        }
+        Ok(Catalog {
+            entries,
+            distinct: cache.len(),
+        })
+    }
+
+    /// Plans of operator `id`.
+    #[must_use]
+    pub fn op(&self, id: OpId) -> &OpPlans {
+        &self.entries[id.index()]
+    }
+
+    /// Number of operators covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the catalog is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of distinct operator signatures (shared plan sets).
+    #[must_use]
+    pub fn distinct_signatures(&self) -> usize {
+        self.distinct
+    }
+
+    /// Maximum feasible plan count over all operators — the `P` column of
+    /// Table 2.
+    #[must_use]
+    pub fn max_plans_per_op(&self) -> usize {
+        self.entries.iter().map(|e| e.plans.len()).max().unwrap_or(0)
+    }
+}
+
+fn signature(op: &Operator) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{}|{}|{}",
+        op.kind(),
+        op.dtype(),
+        op.stationary(),
+        op.stationary_bytes().get(),
+        op.hbm_store().get(),
+        op.allreduce().get(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elk_cost::AnalyticDevice;
+    use elk_hw::presets;
+    use elk_model::{zoo, Workload};
+
+    fn point(space: u64, time_us: f64) -> FrontierPoint {
+        FrontierPoint {
+            plan_idx: 0,
+            space: Bytes::new(space),
+            time: Seconds::from_micros(time_us),
+        }
+    }
+
+    #[test]
+    fn frontier_is_minimal_and_sorted() {
+        let front = pareto_frontier(vec![
+            point(100, 10.0),
+            point(50, 20.0),
+            point(80, 15.0),
+            point(120, 9.0),  // fastest, biggest
+            point(90, 30.0),  // dominated by (80, 15)
+            point(120, 12.0), // dominated by (120, 9)
+        ]);
+        assert_eq!(front.len(), 4);
+        for w in front.windows(2) {
+            assert!(w[0].time < w[1].time);
+            assert!(w[0].space > w[1].space);
+        }
+        assert_eq!(front[0].space, Bytes::new(120));
+        assert_eq!(front.last().unwrap().space, Bytes::new(50));
+    }
+
+    #[test]
+    fn frontier_of_single_point() {
+        let front = pareto_frontier(vec![point(10, 1.0)]);
+        assert_eq!(front.len(), 1);
+    }
+
+    #[test]
+    fn catalog_dedupes_identical_layers() {
+        let sys = presets::ipu_pod4();
+        let dev = AnalyticDevice::of_chip(&sys.chip);
+        let p = Partitioner::new(&sys.chip, &dev);
+        let g = zoo::llama2_13b().build(Workload::decode(16, 1024), 4);
+        let cat = Catalog::build(&g, &p).expect("catalog");
+        assert_eq!(cat.len(), g.len());
+        // 40 identical layers: distinct signatures ~ one layer's worth.
+        assert!(
+            cat.distinct_signatures() < g.len() / 10,
+            "{} distinct of {}",
+            cat.distinct_signatures(),
+            g.len()
+        );
+        assert!(cat.max_plans_per_op() > 10);
+    }
+
+    #[test]
+    fn exec_frontier_points_resolve_to_plans() {
+        let sys = presets::ipu_pod4();
+        let dev = AnalyticDevice::of_chip(&sys.chip);
+        let p = Partitioner::new(&sys.chip, &dev);
+        let g = zoo::llama2_13b().build(Workload::decode(16, 1024), 4);
+        let cat = Catalog::build(&g, &p).expect("catalog");
+        let plans = cat.op(OpId(2)); // attn_qkv
+        for (i, fp) in plans.exec_frontier.iter().enumerate() {
+            assert_eq!(plans.plan_at(i).exec_space, fp.space);
+            assert!(!plans.preload_points(i).is_empty());
+        }
+    }
+}

@@ -1,0 +1,329 @@
+use serde::{Deserialize, Serialize};
+
+use elk_model::{ModelGraph, OpId};
+use elk_units::Bytes;
+
+use crate::Catalog;
+
+/// Preload-order search knobs (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReorderOptions {
+    /// Enable reordering (disabled = Elk-Dyn).
+    pub enable: bool,
+    /// Maximum candidate orders to evaluate (identity included).
+    pub max_orders: usize,
+    /// Cap on the edit distance (Kendall-tau adjacent-swap steps) of the
+    /// per-layer heavy-operator permutation; `None` explores all `H!`.
+    pub max_edit_distance: Option<usize>,
+}
+
+impl Default for ReorderOptions {
+    fn default() -> Self {
+        ReorderOptions {
+            enable: true,
+            max_orders: 48,
+            max_edit_distance: Some(4),
+        }
+    }
+}
+
+/// A candidate preload order: the full-model π plus bookkeeping about the
+/// per-layer permutation it was derived from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CandidateOrder {
+    /// Preload issue order over all operators.
+    pub order: Vec<OpId>,
+    /// Edit distance (inversions) of the per-layer heavy permutation.
+    pub edit_distance: usize,
+}
+
+/// Generates candidate preload orders using the paper's pruning (§4.4):
+///
+/// * only HBM-heavy operators are reordered — the rest preload in
+///   execution order;
+/// * the permutation is chosen within one transformer layer and applied
+///   to all identical layers, shrinking the space from `O(K^N)` to
+///   `O(C^H)`;
+/// * permutations whose worst-case co-resident heavy set cannot fit
+///   on-chip are pruned (the suffix-walk feasibility check of Fig. 14);
+/// * candidates are explored in increasing edit distance (the paper's
+///   chosen orders average 2.9 steps from identity).
+///
+/// The identity order is always the first candidate.
+#[must_use]
+pub fn candidate_orders(
+    graph: &ModelGraph,
+    catalog: &Catalog,
+    capacity: Bytes,
+    opts: &ReorderOptions,
+) -> Vec<CandidateOrder> {
+    let n = graph.len();
+    let identity = CandidateOrder {
+        order: (0..n).map(OpId).collect(),
+        edit_distance: 0,
+    };
+    if !opts.enable || opts.max_orders <= 1 {
+        return vec![identity];
+    }
+
+    // Heavy slots of a representative (interior, so identical) layer.
+    let heavy = graph.hbm_heavy_ops();
+    let spans = graph.layer_spans();
+    let Some(span) = spans.get(1).or_else(|| spans.first()) else {
+        return vec![identity];
+    };
+    let slots: Vec<usize> = heavy
+        .iter()
+        .map(|id| id.index())
+        .filter(|i| span.ops.contains(i))
+        .collect();
+    let h = slots.len();
+    if h < 2 || h > 8 {
+        return vec![identity];
+    }
+
+    // Worst-case footprint of each heavy op: its smallest preload space
+    // over the execute frontier (the most forgiving choice — pruning must
+    // not discard orders Elk could still allocate).
+    let min_space: Vec<Bytes> = slots
+        .iter()
+        .map(|&i| {
+            let plans = catalog.op(OpId(i));
+            (0..plans.exec_frontier.len())
+                .map(|f| plans.min_preload_space(f))
+                .min()
+                .unwrap_or(Bytes::ZERO)
+        })
+        .collect();
+
+    let mut perms = permutations(h);
+    perms.retain(|p| {
+        let d = inversions(p);
+        opts.max_edit_distance.is_none_or(|cap| d <= cap)
+            && order_fits(p, &min_space, capacity)
+    });
+    perms.sort_by_key(|p| (inversions(p), p.clone()));
+
+    let mut out = vec![identity];
+    for p in perms {
+        if inversions(&p) == 0 {
+            continue; // identity already present
+        }
+        if out.len() >= opts.max_orders {
+            break;
+        }
+        out.push(CandidateOrder {
+            order: apply_layer_perm(graph, &p),
+            edit_distance: inversions(&p),
+        });
+    }
+    out
+}
+
+/// Builds the full-model π by permuting each layer's heavy preload slots
+/// with `perm` and leaving light operators in execution order.
+fn apply_layer_perm(graph: &ModelGraph, perm: &[usize]) -> Vec<OpId> {
+    let mut order: Vec<OpId> = (0..graph.len()).map(OpId).collect();
+    let heavy = graph.hbm_heavy_ops();
+    for span in graph.layer_spans() {
+        let slots: Vec<usize> = heavy
+            .iter()
+            .map(|id| id.index())
+            .filter(|i| span.ops.contains(i))
+            .collect();
+        if slots.len() != perm.len() {
+            continue; // boundary layer with a different shape: keep identity
+        }
+        let ops_at: Vec<OpId> = slots.iter().map(|&i| OpId(i)).collect();
+        for (slot_pos, &src) in perm.iter().enumerate() {
+            order[slots[slot_pos]] = ops_at[src];
+        }
+    }
+    order
+}
+
+/// Fig. 14-style feasibility: for each heavy op `e_j` (execution order),
+/// every heavy op preloaded at or before `e_j`'s preload but executing at
+/// or after it is co-resident just before `e_j` executes; the set must
+/// fit on-chip even at minimal footprints.
+fn order_fits(perm: &[usize], min_space: &[Bytes], capacity: Bytes) -> bool {
+    let h = perm.len();
+    // pos_in_pi[e] = preload position of exec-index e.
+    let mut pos = vec![0usize; h];
+    for (k, &e) in perm.iter().enumerate() {
+        pos[e] = k;
+    }
+    for e in 0..h {
+        let resident: Bytes = (0..h)
+            .filter(|&x| pos[x] <= pos[e] && x >= e)
+            .map(|x| min_space[x])
+            .sum();
+        if resident > capacity {
+            return false;
+        }
+    }
+    true
+}
+
+/// All permutations of `0..h` (Heap's algorithm).
+fn permutations(h: usize) -> Vec<Vec<usize>> {
+    let mut items: Vec<usize> = (0..h).collect();
+    let mut out = Vec::new();
+    heap_rec(h, &mut items, &mut out);
+    out
+}
+
+fn heap_rec(k: usize, items: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    if k <= 1 {
+        out.push(items.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_rec(k - 1, items, out);
+        if k % 2 == 0 {
+            items.swap(i, k - 1);
+        } else {
+            items.swap(0, k - 1);
+        }
+    }
+}
+
+/// Kendall-tau distance from identity: the number of inversions.
+#[must_use]
+pub fn inversions(perm: &[usize]) -> usize {
+    let mut d = 0;
+    for i in 0..perm.len() {
+        for j in i + 1..perm.len() {
+            if perm[i] > perm[j] {
+                d += 1;
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elk_cost::AnalyticDevice;
+    use elk_hw::presets;
+    use elk_model::{zoo, Workload};
+    use elk_partition::Partitioner;
+
+    #[test]
+    fn permutation_count_is_factorial() {
+        assert_eq!(permutations(1).len(), 1);
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(permutations(6).len(), 720);
+    }
+
+    #[test]
+    fn inversions_basics() {
+        assert_eq!(inversions(&[0, 1, 2]), 0);
+        assert_eq!(inversions(&[1, 0, 2]), 1);
+        assert_eq!(inversions(&[2, 1, 0]), 3);
+    }
+
+    #[test]
+    fn identity_is_first_candidate() {
+        let system = presets::ipu_pod4();
+        let graph = zoo::llama2_13b().build(Workload::decode(16, 1024), 4);
+        let dev = AnalyticDevice::of_chip(&system.chip);
+        let partitioner = Partitioner::new(&system.chip, &dev);
+        let catalog = Catalog::build(&graph, &partitioner).unwrap();
+        let orders = candidate_orders(
+            &graph,
+            &catalog,
+            system.chip.usable_sram_per_core(),
+            &ReorderOptions::default(),
+        );
+        assert!(orders.len() > 1, "should find reorder candidates");
+        assert_eq!(orders[0].edit_distance, 0);
+        assert_eq!(orders[0].order, (0..graph.len()).map(OpId).collect::<Vec<_>>());
+        // Sorted by edit distance.
+        for w in orders.windows(2) {
+            assert!(w[0].edit_distance <= w[1].edit_distance);
+        }
+    }
+
+    #[test]
+    fn candidates_are_valid_permutations() {
+        let system = presets::ipu_pod4();
+        let graph = zoo::llama2_13b().build(Workload::decode(16, 1024), 4);
+        let dev = AnalyticDevice::of_chip(&system.chip);
+        let partitioner = Partitioner::new(&system.chip, &dev);
+        let catalog = Catalog::build(&graph, &partitioner).unwrap();
+        let orders = candidate_orders(
+            &graph,
+            &catalog,
+            system.chip.usable_sram_per_core(),
+            &ReorderOptions::default(),
+        );
+        for cand in &orders {
+            let mut seen = vec![false; graph.len()];
+            for id in &cand.order {
+                assert!(!seen[id.index()], "duplicate {id}");
+                seen[id.index()] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn only_heavy_ops_move() {
+        let system = presets::ipu_pod4();
+        let graph = zoo::llama2_13b().build(Workload::decode(16, 1024), 4);
+        let dev = AnalyticDevice::of_chip(&system.chip);
+        let partitioner = Partitioner::new(&system.chip, &dev);
+        let catalog = Catalog::build(&graph, &partitioner).unwrap();
+        let orders = candidate_orders(
+            &graph,
+            &catalog,
+            system.chip.usable_sram_per_core(),
+            &ReorderOptions::default(),
+        );
+        let heavy: std::collections::HashSet<usize> = graph
+            .hbm_heavy_ops()
+            .iter()
+            .map(|i| i.index())
+            .collect();
+        for cand in orders.iter().skip(1) {
+            for (slot, op) in cand.order.iter().enumerate() {
+                if op.index() != slot {
+                    assert!(heavy.contains(&slot), "light slot {slot} moved");
+                    assert!(heavy.contains(&op.index()), "light op {op} moved");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_reorder_returns_identity_only() {
+        let system = presets::ipu_pod4();
+        let graph = zoo::llama2_13b().build(Workload::decode(16, 1024), 4);
+        let dev = AnalyticDevice::of_chip(&system.chip);
+        let partitioner = Partitioner::new(&system.chip, &dev);
+        let catalog = Catalog::build(&graph, &partitioner).unwrap();
+        let opts = ReorderOptions {
+            enable: false,
+            ..ReorderOptions::default()
+        };
+        let orders = candidate_orders(
+            &graph,
+            &catalog,
+            system.chip.usable_sram_per_core(),
+            &opts,
+        );
+        assert_eq!(orders.len(), 1);
+    }
+
+    #[test]
+    fn order_fits_rejects_oversized_residency() {
+        // Three ops of 100 bytes each; capacity 250. Delaying op 0's
+        // preload to the end means all three co-reside before op 0 runs.
+        let spaces = vec![Bytes::new(100); 3];
+        assert!(order_fits(&[0, 1, 2], &spaces, Bytes::new(250)));
+        assert!(!order_fits(&[1, 2, 0], &spaces, Bytes::new(250)));
+        assert!(order_fits(&[1, 2, 0], &spaces, Bytes::new(300)));
+    }
+}

@@ -1,0 +1,266 @@
+use serde::{Deserialize, Serialize};
+
+use elk_units::{Bytes, Seconds};
+
+use crate::{DeviceInstr, DeviceProgram};
+
+/// Forward timeline evaluation of a device program under the §4.5
+/// hardware rules — the compiler's authoritative end-to-end estimate
+/// (contention is charged per operator inside the spec lengths; the
+/// event simulator in `elk-sim` measures it dynamically).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanEstimate {
+    /// End-to-end makespan.
+    pub total: Seconds,
+    /// Time the preload engine (HBM path) is busy.
+    pub preload_busy: Seconds,
+    /// Time the cores are busy executing.
+    pub exec_busy: Seconds,
+    /// Time both are busy simultaneously (the §6.2 "overlapped" bucket).
+    pub overlap: Seconds,
+    /// Per-operator execution intervals.
+    pub exec_spans: Vec<(Seconds, Seconds)>,
+    /// Per-operator preload intervals.
+    pub preload_spans: Vec<(Seconds, Seconds)>,
+    /// Peak per-core SRAM residency observed.
+    pub peak_resident: Bytes,
+    /// Maximum number of simultaneously-resident operators (`K`-like).
+    pub peak_resident_ops: usize,
+    /// Events where residency exceeded `capacity` (0 for sound plans).
+    pub capacity_violations: usize,
+}
+
+impl PlanEstimate {
+    /// Fraction of the makespan with preload and execution overlapped.
+    #[must_use]
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.total.is_zero() {
+            0.0
+        } else {
+            self.overlap / self.total
+        }
+    }
+}
+
+/// Replays `program` on the abstract machine: sequential preloads,
+/// execute-blocks-future-preloads, done-tag waits — and audits per-core
+/// memory residency against `capacity`.
+#[must_use]
+pub fn evaluate(program: &DeviceProgram, capacity: Bytes) -> PlanEstimate {
+    let n = program.op_count();
+    let mut pre_end = vec![Seconds::ZERO; n];
+    let mut pre_span = vec![(Seconds::ZERO, Seconds::ZERO); n];
+    let mut exec_span = vec![(Seconds::ZERO, Seconds::ZERO); n];
+    let mut pre_free = Seconds::ZERO;
+    let mut exec_free = Seconds::ZERO;
+    let mut barrier = Seconds::ZERO; // end of the last Execute issued so far
+
+    for instr in &program.instrs {
+        match *instr {
+            DeviceInstr::PreloadAsync { op } => {
+                let spec = &program.specs[op.index()];
+                let start = pre_free.max(barrier);
+                let end = start + spec.preload_len;
+                pre_span[op.index()] = (start, end);
+                pre_end[op.index()] = end;
+                pre_free = end;
+            }
+            DeviceInstr::Execute { op } => {
+                let spec = &program.specs[op.index()];
+                let start = exec_free.max(pre_end[op.index()]);
+                let end = start + spec.exec_len;
+                exec_span[op.index()] = (start, end);
+                exec_free = end;
+                barrier = end;
+            }
+        }
+    }
+
+    let total = exec_free;
+    let preload_busy: Seconds = pre_span.iter().map(|&(s, e)| e - s).sum();
+    let exec_busy: Seconds = exec_span.iter().map(|&(s, e)| e - s).sum();
+    let overlap = interval_overlap(&pre_span, &exec_span);
+    let (peak_resident, peak_resident_ops, capacity_violations) =
+        audit_memory(program, &pre_span, &exec_span, capacity);
+
+    PlanEstimate {
+        total,
+        preload_busy,
+        exec_busy,
+        overlap,
+        exec_spans: exec_span,
+        preload_spans: pre_span,
+        peak_resident,
+        peak_resident_ops,
+        capacity_violations,
+    }
+}
+
+/// Total intersection of two families of disjoint intervals.
+fn interval_overlap(a: &[(Seconds, Seconds)], b: &[(Seconds, Seconds)]) -> Seconds {
+    let mut av: Vec<(Seconds, Seconds)> = a.iter().copied().filter(|(s, e)| e > s).collect();
+    let mut bv: Vec<(Seconds, Seconds)> = b.iter().copied().filter(|(s, e)| e > s).collect();
+    av.sort_by_key(|&(s, _)| s);
+    bv.sort_by_key(|&(s, _)| s);
+    let (mut i, mut j) = (0, 0);
+    let mut total = Seconds::ZERO;
+    while i < av.len() && j < bv.len() {
+        let lo = av[i].0.max(bv[j].0);
+        let hi = av[i].1.min(bv[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if av[i].1 <= bv[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+/// Sweeps residency events: `+preload_space` at preload start, swap to
+/// `exec_space` at execution start, free at execution end.
+fn audit_memory(
+    program: &DeviceProgram,
+    pre: &[(Seconds, Seconds)],
+    exec: &[(Seconds, Seconds)],
+    capacity: Bytes,
+) -> (Bytes, usize, usize) {
+    #[derive(Clone, Copy)]
+    enum Ev {
+        PreStart(usize),
+        ExecStart(usize),
+        ExecEnd(usize),
+    }
+    let mut events: Vec<(Seconds, u8, Ev)> = Vec::with_capacity(3 * pre.len());
+    for i in 0..pre.len() {
+        // Order ties: frees before starts so back-to-back swaps don't
+        // double-count.
+        events.push((exec[i].1, 0, Ev::ExecEnd(i)));
+        events.push((exec[i].0, 1, Ev::ExecStart(i)));
+        events.push((pre[i].0, 2, Ev::PreStart(i)));
+    }
+    events.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let mut resident = Bytes::ZERO;
+    let mut ops = 0usize;
+    let mut peak = Bytes::ZERO;
+    let mut peak_ops = 0usize;
+    let mut violations = 0usize;
+    for (_, _, ev) in events {
+        match ev {
+            Ev::PreStart(i) => {
+                resident += program.specs[i].preload_space;
+                ops += 1;
+            }
+            Ev::ExecStart(i) => {
+                let spec = &program.specs[i];
+                resident = resident.saturating_sub(spec.preload_space) + spec.exec_space;
+            }
+            Ev::ExecEnd(i) => {
+                resident = resident.saturating_sub(program.specs[i].exec_space);
+                ops = ops.saturating_sub(1);
+            }
+        }
+        if resident > peak {
+            peak = resident;
+        }
+        peak_ops = peak_ops.max(ops);
+        if resident > capacity {
+            violations += 1;
+        }
+    }
+    (peak, peak_ops, violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{identity_order, Catalog, DeviceProgram, ScheduleOptions, Scheduler};
+    use elk_cost::AnalyticDevice;
+    use elk_hw::presets;
+    use elk_model::{zoo, Workload};
+    use elk_partition::Partitioner;
+
+    fn sec(x: f64) -> Seconds {
+        Seconds::new(x)
+    }
+
+    #[test]
+    fn overlap_of_disjoint_is_zero() {
+        let a = [(sec(0.0), sec(1.0))];
+        let b = [(sec(1.0), sec(2.0))];
+        assert_eq!(interval_overlap(&a, &b), Seconds::ZERO);
+    }
+
+    #[test]
+    fn overlap_partial() {
+        let a = [(sec(0.0), sec(2.0)), (sec(3.0), sec(4.0))];
+        let b = [(sec(1.0), sec(3.5))];
+        let got = interval_overlap(&a, &b).as_secs();
+        assert!((got - 1.5).abs() < 1e-12);
+    }
+
+    fn build(graph_batch: u64) -> (elk_hw::SystemConfig, DeviceProgram) {
+        let system = presets::ipu_pod4();
+        let graph = zoo::llama2_13b().build(Workload::decode(graph_batch, 1024), 4);
+        let dev = AnalyticDevice::of_chip(&system.chip);
+        let partitioner = Partitioner::new(&system.chip, &dev);
+        let catalog = Catalog::build(&graph, &partitioner).unwrap();
+        let sched = Scheduler::new(&graph, &catalog, &system, ScheduleOptions::default())
+            .schedule(&identity_order(graph.len()))
+            .unwrap();
+        (system.clone(), DeviceProgram::lower(&graph, &catalog, &sched))
+    }
+
+    #[test]
+    fn elk_schedule_respects_capacity() {
+        let (system, prog) = build(16);
+        let est = evaluate(&prog, system.chip.usable_sram_per_core());
+        assert_eq!(
+            est.capacity_violations, 0,
+            "peak resident {} exceeds capacity",
+            est.peak_resident
+        );
+        assert!(est.peak_resident > Bytes::ZERO);
+        assert!(est.peak_resident_ops >= 2);
+    }
+
+    #[test]
+    fn preload_and_execution_overlap_substantially() {
+        let (system, prog) = build(16);
+        let est = evaluate(&prog, system.chip.usable_sram_per_core());
+        assert!(
+            est.overlap_fraction() > 0.3,
+            "overlap fraction {:.3} too low for Elk",
+            est.overlap_fraction()
+        );
+        assert!(est.total >= est.exec_busy.max(est.preload_busy) - Seconds::from_micros(1.0));
+    }
+
+    #[test]
+    fn executes_are_sequential_and_ordered() {
+        let (system, prog) = build(16);
+        let est = evaluate(&prog, system.chip.usable_sram_per_core());
+        for w in est.exec_spans.windows(2) {
+            assert!(w[1].0 >= w[0].1, "execution overlap between ops");
+        }
+        // Done-tag rule: execution never starts before its preload ends.
+        for (e, p) in est.exec_spans.iter().zip(&est.preload_spans) {
+            assert!(e.0 >= p.1);
+        }
+    }
+
+    #[test]
+    fn preloads_are_sequential() {
+        let (system, prog) = build(16);
+        let est = evaluate(&prog, system.chip.usable_sram_per_core());
+        let order = prog.preload_order();
+        for w in order.windows(2) {
+            let a = est.preload_spans[w[0].index()];
+            let b = est.preload_spans[w[1].index()];
+            assert!(b.0 >= a.1, "preloads overlap in issue order");
+        }
+    }
+}

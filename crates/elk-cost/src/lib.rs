@@ -1,0 +1,56 @@
+//! Cost models for per-core execution and inter-core transfer (§4.3).
+//!
+//! The paper profiles randomly-shaped tiles on a real IPU and fits a
+//! *linear-tree* regression model per operator type, plus a per-link linear
+//! model for transfers (Fig. 12). This workspace has no IPU, so the crate
+//! supplies both halves of that methodology:
+//!
+//! * [`AnalyticDevice`] — a shape-aware analytic cycle model standing in
+//!   for the hardware. It exposes deterministic measurement noise, so
+//!   "profiling" it produces realistic imperfect samples.
+//! * [`LinearTreeModel`] / [`LearnedCostModel`] — the same model family the
+//!   paper uses ([10]): a regression tree whose leaves are ordinary
+//!   least-squares linear models over tile-shape features.
+//!
+//! The compiler plans with the *learned* model while the simulator charges
+//! the *analytic* model — mirroring how the paper's compiler predictions
+//! differ from its hardware measurements.
+//!
+//! ```
+//! use elk_cost::{AnalyticDevice, CostModel, LearnedCostModel, ProfileConfig, TileShape};
+//! use elk_hw::presets;
+//!
+//! let device = AnalyticDevice::of_chip(&presets::ipu_pod4().chip);
+//! let learned = LearnedCostModel::fit(&device, &ProfileConfig::default());
+//! let tile = TileShape::matmul(32, 5120, 128);
+//! let predicted = learned.tile_time(&tile);
+//! let measured = device.tile_time(&tile);
+//! let ratio = predicted.as_secs() / measured.as_secs();
+//! assert!((0.5..2.0).contains(&ratio));
+//! ```
+
+mod accuracy;
+mod analytic;
+mod linear;
+mod profile;
+mod shape;
+mod tree;
+
+pub use accuracy::AccuracyReport;
+pub use analytic::AnalyticDevice;
+pub use linear::LinearModel;
+pub use profile::{LearnedCostModel, ProfileConfig};
+pub use shape::{OpClass, TileShape};
+pub use tree::{LinearTreeModel, TreeParams};
+
+use elk_units::{Bytes, Seconds};
+
+/// Estimates per-core tile execution time and inter-core link transfer
+/// time. Implemented by the analytic ground truth and the learned model.
+pub trait CostModel: Send + Sync + std::fmt::Debug {
+    /// Execution time of one tile on one core.
+    fn tile_time(&self, shape: &TileShape) -> Seconds;
+
+    /// Time to move `volume` over one inter-core link.
+    fn link_time(&self, volume: Bytes) -> Seconds;
+}

@@ -1,0 +1,264 @@
+use serde::{Deserialize, Serialize};
+
+use crate::LinearModel;
+
+/// Hyper-parameters of the linear-tree fit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth (0 = a single linear leaf).
+    pub max_depth: u32,
+    /// Minimum samples per leaf.
+    pub min_leaf: usize,
+    /// Candidate split quantiles per feature.
+    pub quantiles: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 5,
+            min_leaf: 24,
+            quantiles: 8,
+        }
+    }
+}
+
+/// A regression tree with linear-model leaves — the paper's cost-model
+/// family ("we fit a linear tree model using the tile shapes as inputs and
+/// the profiled execution times as outputs", §4.3).
+///
+/// Splits are chosen CART-style by variance reduction over candidate
+/// feature quantiles; each leaf then fits an ordinary-least-squares
+/// [`LinearModel`] on its samples.
+///
+/// # Examples
+///
+/// ```
+/// use elk_cost::{LinearTreeModel, TreeParams};
+///
+/// // Piecewise-linear target: slope changes at x = 50.
+/// let xs: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64]).collect();
+/// let ys: Vec<f64> = (0..200)
+///     .map(|i| if i < 50 { i as f64 } else { 5.0 * i as f64 - 200.0 })
+///     .collect();
+/// let tree = LinearTreeModel::fit(&xs, &ys, &TreeParams::default());
+/// assert!((tree.predict(&[150.0]) - 550.0).abs() < 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearTreeModel {
+    root: Node,
+    leaves: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        model: LinearModel,
+        /// Observed target range of the leaf's training samples, widened;
+        /// linear leaves clamp to it so extrapolation cannot run away
+        /// (or go negative) on out-of-range inputs.
+        lo: f64,
+        hi: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl LinearTreeModel {
+    /// Fits a tree to `(xs, ys)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` differ in length or are empty.
+    #[must_use]
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], params: &TreeParams) -> Self {
+        assert_eq!(xs.len(), ys.len(), "feature/target length mismatch");
+        assert!(!ys.is_empty(), "cannot fit on an empty sample");
+        let idx: Vec<usize> = (0..ys.len()).collect();
+        let mut leaves = 0;
+        let root = build(xs, ys, &idx, params, 0, &mut leaves);
+        LinearTreeModel { root, leaves }
+    }
+
+    /// Predicts the target for a feature vector.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { model, lo, hi } => return model.predict(x).clamp(*lo, *hi),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves in the fitted tree.
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        self.leaves
+    }
+}
+
+fn build(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    idx: &[usize],
+    params: &TreeParams,
+    depth: u32,
+    leaves: &mut usize,
+) -> Node {
+    if depth >= params.max_depth || idx.len() < 2 * params.min_leaf {
+        return leaf(xs, ys, idx, leaves);
+    }
+    match best_split(xs, ys, idx, params) {
+        None => leaf(xs, ys, idx, leaves),
+        Some((feature, threshold)) => {
+            let (l, r): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| xs[i][feature] <= threshold);
+            if l.len() < params.min_leaf || r.len() < params.min_leaf {
+                return leaf(xs, ys, idx, leaves);
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(build(xs, ys, &l, params, depth + 1, leaves)),
+                right: Box::new(build(xs, ys, &r, params, depth + 1, leaves)),
+            }
+        }
+    }
+}
+
+fn leaf(xs: &[Vec<f64>], ys: &[f64], idx: &[usize], leaves: &mut usize) -> Node {
+    *leaves += 1;
+    let sub_x: Vec<Vec<f64>> = idx.iter().map(|&i| xs[i].clone()).collect();
+    let sub_y: Vec<f64> = idx.iter().map(|&i| ys[i]).collect();
+    let lo = sub_y.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = sub_y.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Node::Leaf {
+        model: LinearModel::fit(&sub_x, &sub_y),
+        lo: lo / 2.0,
+        hi: hi * 2.0,
+    }
+}
+
+/// Variance-reduction split search over per-feature quantile candidates.
+fn best_split(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    idx: &[usize],
+    params: &TreeParams,
+) -> Option<(usize, f64)> {
+    let d = xs[idx[0]].len();
+    let total_sse = sse(ys, idx);
+    let mut best: Option<(usize, f64, f64)> = None;
+
+    for f in 0..d {
+        let mut vals: Vec<f64> = idx.iter().map(|&i| xs[i][f]).collect();
+        vals.sort_by(|a, b| a.total_cmp(b));
+        vals.dedup();
+        if vals.len() < 2 {
+            continue;
+        }
+        for q in 1..=params.quantiles {
+            let pos = q * (vals.len() - 1) / (params.quantiles + 1);
+            let thr = vals[pos.min(vals.len() - 2)];
+            let (l, r): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| xs[i][f] <= thr);
+            if l.is_empty() || r.is_empty() {
+                continue;
+            }
+            let score = sse(ys, &l) + sse(ys, &r);
+            if best.is_none_or(|(_, _, s)| score < s) {
+                best = Some((f, thr, score));
+            }
+        }
+    }
+    best.filter(|&(_, _, s)| s < total_sse * 0.999)
+        .map(|(f, t, _)| (f, t))
+}
+
+fn sse(ys: &[f64], idx: &[usize]) -> f64 {
+    let n = idx.len() as f64;
+    let mean = idx.iter().map(|&i| ys[i]).sum::<f64>() / n;
+    idx.iter().map(|&i| (ys[i] - mean).powi(2)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_linear_target_needs_one_leaf_quality() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, (i * i % 17) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] + 0.5 * x[1] + 1.0).collect();
+        let tree = LinearTreeModel::fit(&xs, &ys, &TreeParams::default());
+        for x in &xs {
+            let err = (tree.predict(x) - (3.0 * x[0] + 0.5 * x[1] + 1.0)).abs();
+            assert!(err < 1e-3, "err {err}");
+        }
+    }
+
+    #[test]
+    fn depth_zero_is_single_linear_leaf() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let tree = LinearTreeModel::fit(
+            &xs,
+            &ys,
+            &TreeParams {
+                max_depth: 0,
+                ..TreeParams::default()
+            },
+        );
+        assert_eq!(tree.leaf_count(), 1);
+    }
+
+    #[test]
+    fn splits_capture_regime_changes() {
+        // Two regimes with different slopes AND different feature use.
+        let xs: Vec<Vec<f64>> = (0..400)
+            .map(|i| vec![(i % 100) as f64, (i / 100) as f64])
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| {
+                if x[1] < 2.0 {
+                    10.0 * x[0]
+                } else {
+                    2.0 * x[0] + 300.0
+                }
+            })
+            .collect();
+        let tree = LinearTreeModel::fit(&xs, &ys, &TreeParams::default());
+        assert!(tree.leaf_count() >= 2);
+        assert!((tree.predict(&[50.0, 0.0]) - 500.0).abs() < 10.0);
+        assert!((tree.predict(&[50.0, 3.0]) - 400.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn min_leaf_respected() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..40).map(|i| (i * i) as f64).collect();
+        let params = TreeParams {
+            min_leaf: 30,
+            ..TreeParams::default()
+        };
+        let tree = LinearTreeModel::fit(&xs, &ys, &params);
+        // 40 samples cannot split into two leaves of ≥30.
+        assert_eq!(tree.leaf_count(), 1);
+    }
+}

@@ -1,0 +1,206 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use elk_units::{ByteRate, Bytes, FlopRate};
+
+use crate::Topology;
+
+/// How a core's local SRAM arbitrates between the compute pipeline and
+/// remote (inter-core) accesses.
+///
+/// On IPU-like chips the local pipeline reads SRAM at full width and *any*
+/// other access pauses execution (paper §2.3 "memory access contention",
+/// footnote 2), so remote service time adds to compute time. Other designs
+/// dual-port the SRAM, letting remote traffic overlap with compute.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SramContention {
+    /// Remote accesses block the compute pipeline (IPU behaviour).
+    #[default]
+    Blocking,
+    /// Remote accesses proceed concurrently with compute.
+    Concurrent,
+}
+
+/// One ICCA chip: parallel cores with private SRAM joined by an on-chip
+/// interconnect.
+///
+/// # Examples
+///
+/// ```
+/// use elk_hw::presets;
+/// use elk_units::Bytes;
+///
+/// let chip = presets::ipu_pod4().chip;
+/// assert_eq!(chip.sram_per_core, Bytes::kib(624));
+/// assert_eq!(chip.total_sram(), Bytes::kib(624 * 1472));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipConfig {
+    /// Chip name for reports.
+    pub name: String,
+    /// Number of cores.
+    pub cores: u64,
+    /// Scratchpad SRAM per core.
+    pub sram_per_core: Bytes,
+    /// SRAM reserved per core for the inter-core transfer buffer (the
+    /// paper's Elk reserves 8 KB, §5).
+    pub io_buffer_per_core: Bytes,
+    /// Peak MatMul throughput per core (systolic/AMP units).
+    pub matmul_rate_per_core: FlopRate,
+    /// Peak vector/elementwise throughput per core.
+    pub vector_rate_per_core: FlopRate,
+    /// Local SRAM port bandwidth per core.
+    pub sram_bw_per_core: ByteRate,
+    /// SRAM arbitration behaviour.
+    pub sram_contention: SramContention,
+    /// On-chip interconnect.
+    pub topology: Topology,
+}
+
+impl ChipConfig {
+    /// Total on-chip SRAM.
+    #[must_use]
+    pub fn total_sram(&self) -> Bytes {
+        self.sram_per_core * self.cores
+    }
+
+    /// Per-core SRAM available to the compiler after the reserved transfer
+    /// buffer.
+    #[must_use]
+    pub fn usable_sram_per_core(&self) -> Bytes {
+        self.sram_per_core.saturating_sub(self.io_buffer_per_core)
+    }
+
+    /// Peak MatMul throughput of the whole chip.
+    #[must_use]
+    pub fn matmul_rate(&self) -> FlopRate {
+        self.matmul_rate_per_core * self.cores
+    }
+
+    /// Peak vector throughput of the whole chip.
+    #[must_use]
+    pub fn vector_rate(&self) -> FlopRate {
+        self.vector_rate_per_core * self.cores
+    }
+
+    /// Aggregate interconnect bandwidth.
+    #[must_use]
+    pub fn noc_bandwidth(&self) -> ByteRate {
+        self.topology.total_bandwidth(self.cores)
+    }
+
+    /// Re-sizes the chip to `cores`, preserving per-core resources and the
+    /// aggregate-per-core interconnect provisioning (Fig. 23's core-count
+    /// sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    #[must_use]
+    pub fn with_cores(&self, cores: u64) -> ChipConfig {
+        assert!(cores > 0, "chip needs at least one core");
+        let per_core_total = self.noc_bandwidth() / self.cores;
+        let topology = match self.topology {
+            Topology::AllToAll { .. } => {
+                Topology::all_to_all_with_total(per_core_total * cores, cores)
+            }
+            Topology::Mesh2d { .. } => Topology::mesh_with_total(per_core_total * cores, cores),
+        };
+        ChipConfig {
+            cores,
+            topology,
+            ..self.clone()
+        }
+    }
+
+    /// Re-provisions the interconnect to `total` aggregate bandwidth,
+    /// keeping the topology family (Fig. 22's NoC sweep).
+    #[must_use]
+    pub fn with_noc_bandwidth(&self, total: ByteRate) -> ChipConfig {
+        let topology = match self.topology {
+            Topology::AllToAll { .. } => Topology::all_to_all_with_total(total, self.cores),
+            Topology::Mesh2d { .. } => Topology::mesh_with_total(total, self.cores),
+        };
+        ChipConfig {
+            topology,
+            ..self.clone()
+        }
+    }
+
+    /// Scales per-core compute rates by `factor` (Fig. 24's FLOPS sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    #[must_use]
+    pub fn with_compute_scale(&self, factor: f64) -> ChipConfig {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "compute scale must be positive, got {factor}"
+        );
+        ChipConfig {
+            matmul_rate_per_core: self.matmul_rate_per_core * factor,
+            vector_rate_per_core: self.vector_rate_per_core * factor,
+            ..self.clone()
+        }
+    }
+}
+
+impl fmt::Display for ChipConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} cores x {} SRAM, {} matmul, {}",
+            self.name,
+            self.cores,
+            self.sram_per_core,
+            self.matmul_rate(),
+            self.topology
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn usable_sram_excludes_io_buffer() {
+        let chip = presets::ipu_pod4().chip;
+        assert_eq!(
+            chip.usable_sram_per_core(),
+            Bytes::kib(624) - Bytes::kib(8)
+        );
+    }
+
+    #[test]
+    fn with_cores_preserves_per_core_noc() {
+        let chip = presets::ipu_pod4().chip;
+        let big = chip.with_cores(2944);
+        let per_core_before = chip.noc_bandwidth().bytes_per_sec() / chip.cores as f64;
+        let per_core_after = big.noc_bandwidth().bytes_per_sec() / big.cores as f64;
+        assert!((per_core_before - per_core_after).abs() / per_core_before < 1e-9);
+    }
+
+    #[test]
+    fn with_noc_bandwidth_hits_target() {
+        let chip = presets::ipu_pod4().chip;
+        let target = elk_units::ByteRate::tib_per_sec(12.0);
+        let re = chip.with_noc_bandwidth(target);
+        let got = re.noc_bandwidth().bytes_per_sec();
+        assert!((got - target.bytes_per_sec()).abs() / got < 0.01);
+    }
+
+    #[test]
+    fn compute_scale() {
+        let chip = presets::ipu_pod4().chip;
+        let fast = chip.with_compute_scale(2.0);
+        assert!(
+            (fast.matmul_rate().get() - 2.0 * chip.matmul_rate().get()).abs()
+                / fast.matmul_rate().get()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,122 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use elk_units::{ByteRate, Bytes, Seconds};
+
+/// Off-chip HBM attached to one chip through controller nodes on the
+/// interconnect (§2.1).
+///
+/// Elk's compiler consumes per-tensor load latencies; tensors are tens to
+/// hundreds of megabytes and are striped across all channels (§5), so the
+/// dominant term is channel-bandwidth serialization plus a fixed access
+/// latency — the behaviour this model reproduces in place of the paper's
+/// DRAMsim3 traces.
+///
+/// # Examples
+///
+/// ```
+/// use elk_hw::HbmConfig;
+/// use elk_units::{ByteRate, Bytes};
+///
+/// let hbm = HbmConfig::new(4, ByteRate::tib_per_sec(1.0));
+/// let t = hbm.load_time(Bytes::mib(168));
+/// assert!(t.as_micros() > 30.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HbmConfig {
+    /// Number of HBM channels (controller nodes) per chip.
+    pub channels: u64,
+    /// Sustained bandwidth per channel.
+    pub channel_bw: ByteRate,
+    /// First-word access latency (row activation + controller queueing).
+    pub access_latency: Seconds,
+}
+
+impl HbmConfig {
+    /// Creates an HBM configuration with the default 120 ns access latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    #[must_use]
+    pub fn new(channels: u64, channel_bw: ByteRate) -> Self {
+        assert!(channels > 0, "HBM needs at least one channel");
+        HbmConfig {
+            channels,
+            channel_bw,
+            access_latency: Seconds::new(120e-9),
+        }
+    }
+
+    /// Total sustained bandwidth of the stack.
+    #[must_use]
+    pub fn total_bandwidth(&self) -> ByteRate {
+        self.channel_bw * self.channels
+    }
+
+    /// Time to stream `volume` striped evenly across all channels.
+    #[must_use]
+    pub fn load_time(&self, volume: Bytes) -> Seconds {
+        if volume.is_zero() {
+            Seconds::ZERO
+        } else {
+            self.access_latency + self.total_bandwidth().transfer_time(volume)
+        }
+    }
+
+    /// Re-provisions the stack to `total` aggregate bandwidth, keeping the
+    /// channel count (the HBM-bandwidth sweeps of Figs. 19–22).
+    #[must_use]
+    pub fn with_total_bandwidth(&self, total: ByteRate) -> HbmConfig {
+        HbmConfig {
+            channel_bw: total / self.channels,
+            ..*self
+        }
+    }
+}
+
+impl fmt::Display for HbmConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} HBM channels x {} ({} total)",
+            self.channels,
+            self.channel_bw,
+            self.total_bandwidth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_bandwidth() {
+        let hbm = HbmConfig::new(4, ByteRate::tib_per_sec(1.0));
+        assert!((hbm.total_bandwidth() / ByteRate::tib_per_sec(4.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_time_includes_latency() {
+        let hbm = HbmConfig::new(4, ByteRate::tib_per_sec(1.0));
+        assert_eq!(hbm.load_time(Bytes::ZERO), Seconds::ZERO);
+        let t = hbm.load_time(Bytes::new(1));
+        assert!(t >= hbm.access_latency);
+    }
+
+    #[test]
+    fn resize_keeps_channels() {
+        let hbm = HbmConfig::new(4, ByteRate::tib_per_sec(1.0));
+        let big = hbm.with_total_bandwidth(ByteRate::tib_per_sec(8.0));
+        assert_eq!(big.channels, 4);
+        assert!((big.total_bandwidth() / ByteRate::tib_per_sec(8.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_rejected() {
+        let _ = HbmConfig::new(0, ByteRate::tib_per_sec(1.0));
+    }
+}

@@ -1,0 +1,35 @@
+//! Hardware descriptions of inter-core connected AI (ICCA) chips.
+//!
+//! An ICCA chip (§2.1 of the paper) couples many independent cores — each
+//! with private scratchpad SRAM — through a high-bandwidth low-latency
+//! interconnect that also carries traffic from off-chip HBM controllers.
+//! This crate describes that hardware to the compiler and the simulator:
+//!
+//! * [`ChipConfig`] — cores, per-core SRAM, compute rates, SRAM port
+//!   behaviour, and the interconnect [`Topology`] (all-to-all or 2D mesh);
+//! * [`HbmConfig`] — off-chip memory channels;
+//! * [`SystemConfig`] — a multi-chip pod with inter-chip links, plus the
+//!   sweep helpers the design-space-exploration figures (Figs. 19–24) use.
+//!
+//! ```
+//! use elk_hw::presets;
+//!
+//! let sys = presets::ipu_pod4();
+//! assert_eq!(sys.chips, 4);
+//! assert_eq!(sys.chip.cores, 1472);
+//! // ~8 TiB/s aggregate inter-core bandwidth per chip:
+//! let noc = sys.chip.topology.total_bandwidth(sys.chip.cores);
+//! assert!(noc.bytes_per_sec() > 7.5e12);
+//! ```
+
+mod chip;
+mod hbm;
+mod system;
+mod topology;
+
+pub mod presets;
+
+pub use chip::{ChipConfig, SramContention};
+pub use hbm::HbmConfig;
+pub use system::SystemConfig;
+pub use topology::Topology;

@@ -1,0 +1,88 @@
+//! Hardware presets matching the paper's evaluation platforms (§6.1).
+
+use elk_units::{ByteRate, Bytes, FlopRate};
+
+use crate::{ChipConfig, HbmConfig, SramContention, SystemConfig, Topology};
+
+/// One IPU MK2-class chip: 1472 cores, 624 KB SRAM per core, all-to-all
+/// exchange at 5.5 GB/s per core (≈8 TB/s aggregate), 250 TFLOPS MatMul
+/// (1000 TFLOPS per 4-chip pod), 7.8 TFLOPS vector.
+#[must_use]
+pub fn ipu_mk2_chip() -> ChipConfig {
+    let cores = 1472;
+    ChipConfig {
+        name: "IPU-MK2".into(),
+        cores,
+        sram_per_core: Bytes::kib(624),
+        io_buffer_per_core: Bytes::kib(8),
+        matmul_rate_per_core: FlopRate::new(250e12 / cores as f64),
+        vector_rate_per_core: FlopRate::new(7.8e12 / cores as f64),
+        // 128 bits/cycle at ~1.33 GHz (§2.3).
+        sram_bw_per_core: ByteRate::new(21.3e9),
+        sram_contention: SramContention::Blocking,
+        topology: Topology::AllToAll {
+            core_link: ByteRate::gib_per_sec(5.5),
+        },
+    }
+}
+
+/// The paper's emulated platform: an IPU-POD4 (4 MK2 chips) with 4 HBM3E
+/// channels per chip — 16 TB/s pod HBM bandwidth — and 640 GB/s inter-chip
+/// bandwidth (§5, §6.1).
+#[must_use]
+pub fn ipu_pod4() -> SystemConfig {
+    SystemConfig {
+        chip: ipu_mk2_chip(),
+        hbm: HbmConfig::new(4, ByteRate::tib_per_sec(1.0)),
+        chips: 4,
+        inter_chip_bw: ByteRate::gib_per_sec(640.0),
+    }
+}
+
+/// The simulator's mesh variant: identical per-chip resources but a 2D
+/// mesh interconnect with the same aggregate bandwidth (§6.1 simulator
+/// setup), so topology comparisons hold bandwidth constant.
+#[must_use]
+pub fn ipu_pod4_mesh() -> SystemConfig {
+    let mut sys = ipu_pod4();
+    let total = sys.chip.noc_bandwidth();
+    sys.chip.topology = Topology::mesh_with_total(total, sys.chip.cores);
+    sys.chip.name = "IPU-MK2-mesh".into();
+    sys
+}
+
+/// A single-chip system (Fig. 23 evaluates DiT-XL on one chip).
+#[must_use]
+pub fn single_chip() -> SystemConfig {
+    let mut sys = ipu_pod4();
+    sys.chips = 1;
+    sys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pod4_matches_paper_numbers() {
+        let sys = ipu_pod4();
+        assert_eq!(sys.chips, 4);
+        assert_eq!(sys.chip.cores, 1472);
+        // 3.5 GB on-chip memory across the pod (paper: "IPU-POD4 (3.5GB
+        // on-chip memory)").
+        let total = sys.total_sram().as_f64() / 1e9;
+        assert!((3.4..3.9).contains(&total), "pod SRAM {total} GB");
+        // 1000 TFLOPS MatMul across the pod.
+        assert!((sys.total_matmul_rate().as_tera() - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn mesh_preset_preserves_aggregate_noc() {
+        let a2a = ipu_pod4();
+        let mesh = ipu_pod4_mesh();
+        let a = a2a.chip.noc_bandwidth().bytes_per_sec();
+        let m = mesh.chip.noc_bandwidth().bytes_per_sec();
+        assert!((a - m).abs() / a < 0.01);
+        assert!(matches!(mesh.chip.topology, Topology::Mesh2d { .. }));
+    }
+}

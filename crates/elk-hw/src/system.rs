@@ -1,0 +1,160 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use elk_units::{ByteRate, Bytes, FlopRate, Seconds};
+
+use crate::{ChipConfig, HbmConfig};
+
+/// A pod of identical ICCA chips with per-chip HBM and inter-chip links,
+/// running tensor-parallel model execution (§5 emulation framework).
+///
+/// # Examples
+///
+/// ```
+/// use elk_hw::presets;
+/// use elk_units::ByteRate;
+///
+/// let sys = presets::ipu_pod4();
+/// // 4 chips x 4 TiB/s HBM each = 16 TiB/s pod bandwidth.
+/// assert!(sys.total_hbm_bandwidth().bytes_per_sec()
+///     > ByteRate::tib_per_sec(15.9).bytes_per_sec());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// The (identical) chip description.
+    pub chip: ChipConfig,
+    /// HBM attached to each chip.
+    pub hbm: HbmConfig,
+    /// Number of chips.
+    pub chips: u64,
+    /// Aggregate inter-chip bandwidth of the pod.
+    pub inter_chip_bw: ByteRate,
+}
+
+impl SystemConfig {
+    /// Pod-wide HBM bandwidth.
+    #[must_use]
+    pub fn total_hbm_bandwidth(&self) -> ByteRate {
+        self.hbm.total_bandwidth() * self.chips
+    }
+
+    /// Pod-wide peak MatMul throughput.
+    #[must_use]
+    pub fn total_matmul_rate(&self) -> FlopRate {
+        self.chip.matmul_rate() * self.chips
+    }
+
+    /// Pod-wide peak vector throughput.
+    #[must_use]
+    pub fn total_vector_rate(&self) -> FlopRate {
+        self.chip.vector_rate() * self.chips
+    }
+
+    /// Pod-wide on-chip SRAM.
+    #[must_use]
+    pub fn total_sram(&self) -> Bytes {
+        self.chip.total_sram() * self.chips
+    }
+
+    /// Time for one ring all-reduce of `volume` (already per-chip sharded)
+    /// across the pod. With model parallelism the reduced activations are
+    /// small, so a bandwidth term with a per-step latency suffices
+    /// (§5: "little inter-chip communication overhead").
+    #[must_use]
+    pub fn allreduce_time(&self, volume: Bytes) -> Seconds {
+        if self.chips <= 1 || volume.is_zero() {
+            return Seconds::ZERO;
+        }
+        // Ring all-reduce moves 2·(chips-1)/chips of the volume per chip
+        // over its share of the inter-chip links.
+        let per_chip_bw = self.inter_chip_bw / self.chips;
+        let factor = 2.0 * (self.chips - 1) as f64 / self.chips as f64;
+        let hop_latency = Seconds::new(1e-6) * (self.chips - 1) as f64;
+        per_chip_bw.transfer_time(volume.scale(factor)) + hop_latency
+    }
+
+    /// Re-provisions pod HBM to `total` aggregate bandwidth split evenly
+    /// across chips (the "HBM BW" axes of Figs. 19–22).
+    #[must_use]
+    pub fn with_total_hbm_bandwidth(&self, total: ByteRate) -> SystemConfig {
+        SystemConfig {
+            hbm: self.hbm.with_total_bandwidth(total / self.chips),
+            ..self.clone()
+        }
+    }
+
+    /// Re-provisions the pod-wide interconnect (sum over chips) to
+    /// `total` (the "NoC BW" axis of Fig. 22).
+    #[must_use]
+    pub fn with_total_noc_bandwidth(&self, total: ByteRate) -> SystemConfig {
+        SystemConfig {
+            chip: self.chip.with_noc_bandwidth(total / self.chips),
+            ..self.clone()
+        }
+    }
+
+    /// Re-sizes every chip to `cores` and scales HBM to keep
+    /// `hbm_per_core` (Fig. 23 uses 2.7 GB/s per core).
+    #[must_use]
+    pub fn with_cores_and_hbm_per_core(&self, cores: u64, hbm_per_core: ByteRate) -> SystemConfig {
+        SystemConfig {
+            chip: self.chip.with_cores(cores),
+            hbm: self.hbm.with_total_bandwidth(hbm_per_core * cores),
+            ..self.clone()
+        }
+    }
+}
+
+impl fmt::Display for SystemConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} x [{} | {}] inter-chip {}",
+            self.chips, self.chip, self.hbm, self.inter_chip_bw
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn allreduce_zero_for_single_chip() {
+        let mut sys = presets::ipu_pod4();
+        sys.chips = 1;
+        assert_eq!(sys.allreduce_time(Bytes::mib(1)), Seconds::ZERO);
+    }
+
+    #[test]
+    fn allreduce_scales_with_volume() {
+        let sys = presets::ipu_pod4();
+        let small = sys.allreduce_time(Bytes::kib(64));
+        let large = sys.allreduce_time(Bytes::mib(64));
+        assert!(large > small);
+        // Decode activations (~320 KB) must reduce in well under 100 us.
+        assert!(sys.allreduce_time(Bytes::kib(320)) < Seconds::from_micros(100.0));
+    }
+
+    #[test]
+    fn hbm_sweep_splits_across_chips() {
+        let sys = presets::ipu_pod4();
+        let swept = sys.with_total_hbm_bandwidth(ByteRate::tib_per_sec(8.0));
+        let got = swept.total_hbm_bandwidth() / ByteRate::tib_per_sec(8.0);
+        assert!((got - 1.0).abs() < 1e-9);
+        assert_eq!(swept.hbm.channels, sys.hbm.channels);
+    }
+
+    #[test]
+    fn core_sweep_keeps_hbm_per_core() {
+        let sys = presets::ipu_pod4();
+        let per_core = ByteRate::new(2.7e9);
+        for cores in [1000u64, 1472, 2944] {
+            let s = sys.with_cores_and_hbm_per_core(cores, per_core);
+            let got = s.hbm.total_bandwidth().bytes_per_sec() / cores as f64;
+            assert!((got - 2.7e9).abs() / 2.7e9 < 1e-9);
+        }
+    }
+}

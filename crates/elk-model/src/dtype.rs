@@ -1,0 +1,77 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use elk_units::Bytes;
+
+/// Element datatype of a tensor.
+///
+/// # Examples
+///
+/// ```
+/// use elk_model::DType;
+///
+/// assert_eq!(DType::F16.size_bytes(), 2);
+/// assert_eq!(DType::F16.bytes_for(1024).get(), 2048);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// IEEE-754 half precision (the paper's serving configuration).
+    #[default]
+    F16,
+    /// bfloat16.
+    BF16,
+    /// IEEE-754 single precision.
+    F32,
+    /// 8-bit integer (quantized serving).
+    I8,
+}
+
+impl DType {
+    /// Size of one element, in bytes.
+    #[must_use]
+    pub const fn size_bytes(self) -> u64 {
+        match self {
+            DType::F16 | DType::BF16 => 2,
+            DType::F32 => 4,
+            DType::I8 => 1,
+        }
+    }
+
+    /// Total size of `elems` elements of this type.
+    #[must_use]
+    pub const fn bytes_for(self, elems: u64) -> Bytes {
+        Bytes::new(elems * self.size_bytes())
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F16 => "f16",
+            DType::BF16 => "bf16",
+            DType::F32 => "f32",
+            DType::I8 => "i8",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::BF16.size_bytes(), 2);
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::I8.size_bytes(), 1);
+    }
+
+    #[test]
+    fn bytes_for_counts_elements() {
+        assert_eq!(DType::F32.bytes_for(10), Bytes::new(40));
+        assert_eq!(DType::I8.bytes_for(10), Bytes::new(10));
+    }
+}

@@ -1,0 +1,40 @@
+//! Deep-learning model graphs for the Elk compiler framework.
+//!
+//! The paper's Elk frontend ingests PyTorch models through ONNX (§5). This
+//! workspace has no ONNX ecosystem, so the crate *synthesizes* operator
+//! graphs directly from published architecture hyper-parameters — which is
+//! exactly the information Elk extracts from an ONNX graph: operator types,
+//! tensor shapes, HBM-resident operand sizes, and the sequential execution
+//! order.
+//!
+//! Graphs are built **per chip shard**: a multi-chip ICCA system runs tensor
+//! parallelism (heads and FFN columns split across chips, §5 emulation
+//! framework), so the compiler plans one chip's shard and records the
+//! all-reduce volume each row-parallel operator requires.
+//!
+//! ```
+//! use elk_model::{zoo, Phase, Workload};
+//!
+//! let wl = Workload::decode(32, 2048);
+//! let graph = zoo::llama2_13b().build(wl, 4); // 4-way tensor parallel
+//! assert_eq!(graph.workload().phase, Phase::Decode);
+//! assert!(graph.total_hbm_load().get() > 0);
+//! ```
+
+mod dtype;
+mod graph;
+mod op;
+mod stats;
+mod transformer;
+mod workload;
+
+pub mod dit;
+pub mod moe;
+pub mod zoo;
+
+pub use dtype::DType;
+pub use graph::{LayerSpan, ModelGraph};
+pub use op::{OpId, OpKind, OpRole, Operator, OperandSource, ReduceKind, UnaryKind};
+pub use stats::GraphStats;
+pub use transformer::{NormKind, TransformerConfig};
+pub use workload::{Phase, Workload};

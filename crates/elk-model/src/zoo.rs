@@ -1,0 +1,178 @@
+//! The evaluation models of the paper (Table 2), instantiated from their
+//! published architecture hyper-parameters.
+
+use crate::dit::DitConfig;
+use crate::moe::MoeConfig;
+use crate::{NormKind, TransformerConfig};
+
+/// Llama-2-13B: 40 layers, hidden 5120, 40 heads (MHA), SwiGLU FFN.
+#[must_use]
+pub fn llama2_13b() -> TransformerConfig {
+    TransformerConfig {
+        name: "Llama-2-13B".into(),
+        layers: 40,
+        hidden: 5120,
+        heads: 40,
+        kv_heads: 40,
+        head_dim: 128,
+        intermediate: 13824,
+        vocab: 32000,
+        glu: true,
+        norm: NormKind::Rms,
+        rope: true,
+        post_norms: false,
+    }
+}
+
+/// Llama-2-70B: 80 layers, hidden 8192, 64 heads with 8 KV heads (GQA).
+#[must_use]
+pub fn llama2_70b() -> TransformerConfig {
+    TransformerConfig {
+        name: "Llama-2-70B".into(),
+        layers: 80,
+        hidden: 8192,
+        heads: 64,
+        kv_heads: 8,
+        head_dim: 128,
+        intermediate: 28672,
+        vocab: 32000,
+        glu: true,
+        norm: NormKind::Rms,
+        rope: true,
+        post_norms: false,
+    }
+}
+
+/// Gemma-2-27B: 46 layers, hidden 4608, 32 heads with 16 KV heads (GQA),
+/// post-attention and post-FFN norms.
+#[must_use]
+pub fn gemma2_27b() -> TransformerConfig {
+    TransformerConfig {
+        name: "Gemma-2-27B".into(),
+        layers: 46,
+        hidden: 4608,
+        heads: 32,
+        kv_heads: 16,
+        head_dim: 128,
+        intermediate: 36864,
+        vocab: 256128,
+        glu: true,
+        norm: NormKind::Rms,
+        rope: true,
+        post_norms: true,
+    }
+}
+
+/// OPT-30B: 48 layers, hidden 7168, 56 heads (MHA), plain GeLU FFN,
+/// LayerNorm.
+#[must_use]
+pub fn opt_30b() -> TransformerConfig {
+    TransformerConfig {
+        name: "OPT-30B".into(),
+        layers: 48,
+        hidden: 7168,
+        heads: 56,
+        kv_heads: 56,
+        head_dim: 128,
+        intermediate: 28672,
+        vocab: 50272,
+        glu: false,
+        norm: NormKind::Layer,
+        rope: false,
+        post_norms: false,
+    }
+}
+
+/// Mixtral-8x7B-style MoE: 32 layers, hidden 4096, 8 experts with top-2
+/// routing, GQA with 8 KV heads (§7's MoE discussion).
+#[must_use]
+pub fn mixtral_8x7b() -> MoeConfig {
+    MoeConfig {
+        name: "Mixtral-8x7B".into(),
+        layers: 32,
+        hidden: 4096,
+        heads: 32,
+        kv_heads: 8,
+        head_dim: 128,
+        expert_intermediate: 14336,
+        experts: 8,
+        experts_per_token: 2,
+        vocab: 32000,
+    }
+}
+
+/// DiT-XL/2: 28 blocks, hidden 1152, 16 heads, adaLN-zero conditioning,
+/// 32×32 latent with patch size 2 (256 tokens).
+#[must_use]
+pub fn dit_xl() -> DitConfig {
+    DitConfig {
+        name: "DiT-XL".into(),
+        layers: 28,
+        hidden: 1152,
+        heads: 16,
+        head_dim: 72,
+        mlp_ratio: 4,
+        tokens: 256,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn all_llms_build() {
+        let wl = Workload::decode(16, 2048);
+        for cfg in [llama2_13b(), llama2_70b(), gemma2_27b(), opt_30b()] {
+            let g = cfg.build(wl, 4);
+            assert_eq!(g.layer_spans().len() as u32, cfg.layers);
+            assert!(!g.is_empty());
+        }
+    }
+
+    #[test]
+    fn dit_builds() {
+        let g = dit_xl().build(Workload::decode(8, 256), 1);
+        assert_eq!(g.layer_spans().len(), 28);
+    }
+
+    #[test]
+    fn heavy_ops_per_layer_matches_paper_h() {
+        // Table 2 reports H = 6 HBM-heavy operators per layer for the MHA
+        // LLMs (qkv, out, up, down + K and V cache reads) and H <= 6 for
+        // GQA models.
+        let wl = Workload::decode(32, 2048);
+        for (cfg, lo, hi) in [
+            (llama2_13b(), 6, 6),
+            (opt_30b(), 6, 6),
+            (llama2_70b(), 4, 6),
+            (gemma2_27b(), 4, 6),
+        ] {
+            let g = cfg.build(wl, 4);
+            let heavy = g.hbm_heavy_ops();
+            let span = &g.layer_spans()[1];
+            let in_layer = heavy
+                .iter()
+                .filter(|id| span.ops.contains(&id.index()))
+                .count();
+            assert!(
+                (lo..=hi).contains(&in_layer),
+                "{}: H={} not in [{lo},{hi}]",
+                cfg.name,
+                in_layer
+            );
+        }
+    }
+
+    #[test]
+    fn decode_hbm_volume_is_weights_plus_kv() {
+        // Llama-2-13B b32 s2048 per shard: ~6.5GB weights + ~13.4GB KV.
+        let g = llama2_13b().build(Workload::decode(32, 2048), 4);
+        let total = g.total_hbm_load().as_f64();
+        assert!(
+            (15e9..25e9).contains(&total),
+            "unexpected per-shard HBM volume {total:.3e}"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Single-operator partition plans for ICCA chips (§2.2, §4.3, §5).
+//!
+//! Elk does not invent its own intra-operator execution model: it consumes
+//! partition plans produced by compute-shift-style compilers (T10 [34]) and
+//! trades them off globally. This crate is that plan generator, built from
+//! scratch:
+//!
+//! * An **execute-state plan** ([`ExecutePlan`]) slices an operator's
+//!   iteration space over the cores (the paper's "list of integers", e.g.
+//!   `<90,9>`), and picks a *replication factor* for every shared operand:
+//!   a core may hold its group's full slice (fast, large footprint) or a
+//!   `1/g` rotation share (small footprint, `g−1` compute-shift rounds of
+//!   inter-core traffic). This produces the memory↔time Pareto behaviour
+//!   of Fig. 5.
+//! * A **preload-state plan** ([`PreloadPlan`]) chooses how many copies of
+//!   the operator's HBM-resident operand the controllers broadcast at
+//!   preload time; the *data-distribution phase* at execution start gathers
+//!   the remainder from peer cores (Fig. 3(b) vs (c), §4.3 Tradeoffs 2–3).
+//!
+//! ```
+//! use elk_cost::{AnalyticDevice, LearnedCostModel, ProfileConfig};
+//! use elk_hw::presets;
+//! use elk_model::{zoo, Workload};
+//! use elk_partition::Partitioner;
+//!
+//! let sys = presets::ipu_pod4();
+//! let device = AnalyticDevice::of_chip(&sys.chip);
+//! let cost = LearnedCostModel::fit(&device, &ProfileConfig::default());
+//! let graph = zoo::llama2_13b().build(Workload::decode(32, 2048), 4);
+//! let partitioner = Partitioner::new(&sys.chip, &cost);
+//! let plans = partitioner.plans(&graph.ops()[1]); // attn_norm
+//! assert!(!plans.is_empty());
+//! ```
+
+mod enumerate;
+mod plan;
+
+pub use enumerate::{Partitioner, split_candidates};
+pub use plan::{ExecutePlan, PlanFactors, PreloadPlan};

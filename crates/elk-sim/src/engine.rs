@@ -1,0 +1,711 @@
+use elk_core::{DeviceInstr, DeviceProgram};
+use elk_cost::{AnalyticDevice, CostModel};
+use elk_hw::{SramContention, SystemConfig};
+use elk_units::{Bytes, FlopRate, Seconds};
+
+use crate::{SimOptions, SimReport, TimeBuckets, Trace};
+
+const EPS: f64 = 1e-15;
+
+/// Simulates `program` on `system`.
+///
+/// Per-core compute times come from an [`AnalyticDevice`] with the
+/// options' measurement noise; interconnect and HBM capacity are shared
+/// between the active preload flow and the active execution phase with
+/// max-min fairness (dedicated fabrics under
+/// [`SimOptions::dedicated_interconnects`]).
+///
+/// # Panics
+///
+/// Panics if `program` is malformed (fails
+/// [`DeviceProgram::validate`]) — compiled plans are always well-formed.
+#[must_use]
+pub fn simulate(program: &DeviceProgram, system: &SystemConfig, opts: &SimOptions) -> SimReport {
+    program
+        .validate()
+        .expect("device program must be well-formed");
+    Engine::new(program, system, opts).run()
+}
+
+/// Static per-operator quantities derived once.
+struct OpCosts {
+    compute_secs: f64,
+    dist_bytes: f64,
+    shift_bytes: f64,
+    exec_noc_cap: f64,
+    allreduce_secs: f64,
+    pre_noc_bytes: f64,
+    pre_cap: f64,
+    dram_per_noc: f64,
+    pre_latency: f64,
+}
+
+struct PreJob {
+    op: usize,
+    /// Execute index that must complete before this preload may start
+    /// (§4.5 rule 1).
+    barrier: Option<usize>,
+}
+
+enum ExecPhase {
+    /// Gather the preload-state remainder from peers.
+    Distribute { noc: f64 },
+    /// Compute-shift rounds with SRAM blocking: traffic first, then
+    /// compute (serialization order does not affect totals).
+    Shift { noc: f64 },
+    /// Concurrent SRAM: traffic and compute drain together.
+    ShiftCompute { noc: f64, compute: f64 },
+    Compute { secs: f64 },
+    Allreduce { secs: f64 },
+}
+
+struct ActiveExec {
+    op: usize,
+    phase: ExecPhase,
+}
+
+struct ActivePre {
+    op: usize,
+    latency: f64,
+    noc: f64,
+}
+
+struct Engine<'a> {
+    program: &'a DeviceProgram,
+    system: &'a SystemConfig,
+    opts: &'a SimOptions,
+    costs: Vec<OpCosts>,
+    pre_jobs: Vec<PreJob>,
+    fabric: f64,
+    mean_hops: f64,
+    blocking: bool,
+
+    t: f64,
+    next_pre: usize,
+    next_exec: usize,
+    active_pre: Option<ActivePre>,
+    active_exec: Option<ActiveExec>,
+    done_pre: Vec<bool>,
+    done_exec: Vec<bool>,
+    pre_span: Vec<(f64, f64)>,
+    exec_span: Vec<(f64, f64)>,
+
+    resident: Bytes,
+    peak_resident: Bytes,
+    violations: usize,
+
+    buckets: TimeBuckets,
+    hbm_bytes: f64,
+    link_bytes_pre: f64,
+    link_bytes_exec: f64,
+    segments: Vec<Segment>,
+}
+
+#[derive(Clone, Copy)]
+struct Segment {
+    t0: f64,
+    dt: f64,
+    hbm_rate: f64,
+    intercore_rate: f64,
+    pre_noc_rate: f64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(program: &'a DeviceProgram, system: &'a SystemConfig, opts: &'a SimOptions) -> Self {
+        let chip = &system.chip;
+        let device = AnalyticDevice::of_chip(chip)
+            .with_noise(opts.noise_sigma)
+            .with_seed(opts.noise_seed);
+        let fabric = chip
+            .topology
+            .effective_bulk_bandwidth(chip.cores)
+            .bytes_per_sec();
+        let mean_hops = chip.topology.mean_hops();
+        let hbm_bw = system.hbm.total_bandwidth().bytes_per_sec();
+        let injection = chip
+            .topology
+            .hbm_injection_bandwidth(chip.cores)
+            .bytes_per_sec();
+        let shift_bw = chip.topology.shift_bandwidth().bytes_per_sec();
+
+        let costs = program
+            .specs
+            .iter()
+            .map(|s| {
+                let compute_secs =
+                    (device.tile_time(&s.tile) * s.chunks as f64).as_secs();
+                let dist_bytes = s.distribute_traffic.as_f64() * s.cores_used as f64;
+                let shift_bytes = s.shift_traffic.as_f64() * s.cores_used as f64;
+                let exec_noc_cap = (shift_bw * s.cores_used as f64).min(fabric);
+                let allreduce_secs = system.allreduce_time(s.allreduce).as_secs();
+                let pre_noc_bytes = s.noc_preload_bytes.as_f64();
+                let dram = s.hbm_load.as_f64();
+                let (pre_cap, dram_per_noc, pre_latency) = if dram <= 0.0 {
+                    (fabric, 0.0, 0.0)
+                } else {
+                    let ratio = pre_noc_bytes / dram; // replication >= 1
+                    (
+                        injection.min(hbm_bw * ratio).min(fabric),
+                        1.0 / ratio,
+                        system.hbm.access_latency.as_secs(),
+                    )
+                };
+                OpCosts {
+                    compute_secs,
+                    dist_bytes,
+                    shift_bytes,
+                    exec_noc_cap,
+                    allreduce_secs,
+                    pre_noc_bytes,
+                    pre_cap,
+                    dram_per_noc,
+                    pre_latency,
+                }
+            })
+            .collect();
+
+        let mut pre_jobs = Vec::new();
+        let mut last_exec: Option<usize> = None;
+        for instr in &program.instrs {
+            match *instr {
+                DeviceInstr::PreloadAsync { op } => pre_jobs.push(PreJob {
+                    op: op.index(),
+                    barrier: last_exec,
+                }),
+                DeviceInstr::Execute { op } => last_exec = Some(op.index()),
+            }
+        }
+
+        let n = program.op_count();
+        Engine {
+            program,
+            system,
+            opts,
+            costs,
+            pre_jobs,
+            fabric,
+            mean_hops,
+            blocking: chip.sram_contention == SramContention::Blocking,
+            t: 0.0,
+            next_pre: 0,
+            next_exec: 0,
+            active_pre: None,
+            active_exec: None,
+            done_pre: vec![false; n],
+            done_exec: vec![false; n],
+            pre_span: vec![(0.0, 0.0); n],
+            exec_span: vec![(0.0, 0.0); n],
+            resident: Bytes::ZERO,
+            peak_resident: Bytes::ZERO,
+            violations: 0,
+            buckets: TimeBuckets::default(),
+            hbm_bytes: 0.0,
+            link_bytes_pre: 0.0,
+            link_bytes_exec: 0.0,
+            segments: Vec::new(),
+        }
+    }
+
+    fn audit(&mut self) {
+        if self.resident > self.peak_resident {
+            self.peak_resident = self.resident;
+        }
+        if !self.opts.dedicated_interconnects
+            && self.resident > self.system.chip.usable_sram_per_core()
+        {
+            self.violations += 1;
+        }
+    }
+
+    fn try_start(&mut self) {
+        if self.active_pre.is_none() && self.next_pre < self.pre_jobs.len() {
+            let job = &self.pre_jobs[self.next_pre];
+            if job.barrier.is_none_or(|e| self.done_exec[e]) {
+                let op = job.op;
+                self.pre_span[op].0 = self.t;
+                self.resident += self.program.specs[op].preload_space;
+                self.audit();
+                self.active_pre = Some(ActivePre {
+                    op,
+                    latency: self.costs[op].pre_latency,
+                    noc: self.costs[op].pre_noc_bytes,
+                });
+                self.next_pre += 1;
+            }
+        }
+        if self.active_exec.is_none()
+            && self.next_exec < self.done_exec.len()
+            && self.done_pre[self.next_exec]
+        {
+            let op = self.next_exec;
+            self.exec_span[op].0 = self.t;
+            let spec = &self.program.specs[op];
+            self.resident = self.resident.saturating_sub(spec.preload_space) + spec.exec_space;
+            self.audit();
+            self.active_exec = Some(ActiveExec {
+                op,
+                phase: self.first_phase(op),
+            });
+        }
+    }
+
+    fn first_phase(&self, op: usize) -> ExecPhase {
+        let c = &self.costs[op];
+        if c.dist_bytes > 0.0 {
+            ExecPhase::Distribute { noc: c.dist_bytes }
+        } else {
+            self.after_distribute(op)
+        }
+    }
+
+    fn after_distribute(&self, op: usize) -> ExecPhase {
+        let c = &self.costs[op];
+        if self.blocking {
+            if c.shift_bytes > 0.0 {
+                ExecPhase::Shift {
+                    noc: c.shift_bytes,
+                }
+            } else {
+                ExecPhase::Compute {
+                    secs: c.compute_secs,
+                }
+            }
+        } else {
+            ExecPhase::ShiftCompute {
+                noc: c.shift_bytes,
+                compute: c.compute_secs,
+            }
+        }
+    }
+
+    /// Max-min fair fabric split between the preload flow and the
+    /// execution phase. Returns `(pre_rate, exec_rate, contended)`.
+    fn rates(&self) -> (f64, f64, bool) {
+        let cap_pre = match &self.active_pre {
+            Some(p) if p.latency <= EPS && p.noc > EPS => self.costs[p.op].pre_cap,
+            _ => 0.0,
+        };
+        let cap_exec = match &self.active_exec {
+            Some(e) => match &e.phase {
+                ExecPhase::Distribute { noc }
+                | ExecPhase::Shift { noc }
+                | ExecPhase::ShiftCompute { noc, .. }
+                    if *noc > EPS =>
+                {
+                    self.costs[e.op].exec_noc_cap
+                }
+                _ => 0.0,
+            },
+            None => 0.0,
+        };
+        if self.opts.dedicated_interconnects {
+            return (cap_pre.min(self.fabric), cap_exec.min(self.fabric), false);
+        }
+        if cap_pre + cap_exec <= self.fabric {
+            return (cap_pre, cap_exec, false);
+        }
+        let half = self.fabric / 2.0;
+        let (pre, exec) = if cap_pre <= half {
+            (cap_pre, self.fabric - cap_pre)
+        } else if cap_exec <= half {
+            (self.fabric - cap_exec, cap_exec)
+        } else {
+            (half, half)
+        };
+        (pre, exec, true)
+    }
+
+    /// Earliest completion among active flow components.
+    fn next_event(&self, pre_rate: f64, exec_rate: f64) -> f64 {
+        let mut dt = f64::INFINITY;
+        if let Some(p) = &self.active_pre {
+            if p.latency > EPS {
+                dt = dt.min(p.latency);
+            } else if p.noc > EPS && pre_rate > 0.0 {
+                dt = dt.min(p.noc / pre_rate);
+            }
+        }
+        if let Some(e) = &self.active_exec {
+            match &e.phase {
+                ExecPhase::Distribute { noc } | ExecPhase::Shift { noc } => {
+                    if exec_rate > 0.0 {
+                        dt = dt.min(noc / exec_rate);
+                    }
+                }
+                ExecPhase::ShiftCompute { noc, compute } => {
+                    if *noc > EPS && exec_rate > 0.0 {
+                        dt = dt.min(noc / exec_rate);
+                    }
+                    if *compute > EPS {
+                        dt = dt.min(*compute);
+                    }
+                }
+                ExecPhase::Compute { secs } | ExecPhase::Allreduce { secs } => {
+                    dt = dt.min(*secs);
+                }
+            }
+        }
+        dt
+    }
+
+    fn advance(&mut self, dt: f64, pre_rate: f64, exec_rate: f64, contended: bool) {
+        // Accounting first (rates constant over dt).
+        let mut hbm_rate = 0.0;
+        if let Some(p) = &self.active_pre {
+            if p.latency <= EPS {
+                hbm_rate = pre_rate * self.costs[p.op].dram_per_noc;
+            }
+        }
+        self.hbm_bytes += hbm_rate * dt;
+        self.link_bytes_pre += pre_rate * dt * self.mean_hops;
+        self.link_bytes_exec += exec_rate * dt;
+        let pre_active = self.active_pre.is_some();
+        let exec_active = self.active_exec.is_some();
+        let d = Seconds::new(dt);
+        if contended && (pre_active || exec_active) {
+            self.buckets.interconnect += d;
+        } else if pre_active && exec_active {
+            self.buckets.overlapped += d;
+        } else if exec_active {
+            self.buckets.execute += d;
+        } else if pre_active {
+            self.buckets.preload += d;
+        } else {
+            self.buckets.idle += d;
+        }
+        if self.opts.trace_samples > 0 && dt > 0.0 {
+            self.segments.push(Segment {
+                t0: self.t,
+                dt,
+                hbm_rate,
+                intercore_rate: exec_rate,
+                pre_noc_rate: pre_rate,
+            });
+        }
+
+        // Drain.
+        if let Some(p) = &mut self.active_pre {
+            if p.latency > EPS {
+                p.latency -= dt;
+            } else {
+                p.noc -= pre_rate * dt;
+            }
+        }
+        if let Some(e) = &mut self.active_exec {
+            match &mut e.phase {
+                ExecPhase::Distribute { noc } | ExecPhase::Shift { noc } => {
+                    *noc -= exec_rate * dt;
+                }
+                ExecPhase::ShiftCompute { noc, compute } => {
+                    *noc -= exec_rate * dt;
+                    *compute -= dt;
+                }
+                ExecPhase::Compute { secs } | ExecPhase::Allreduce { secs } => *secs -= dt,
+            }
+        }
+        self.t += dt;
+    }
+
+    /// Retires finished flows and advances execution phases.
+    fn complete(&mut self) {
+        if let Some(p) = &self.active_pre {
+            if p.latency <= EPS && p.noc <= EPS {
+                let op = p.op;
+                self.done_pre[op] = true;
+                self.pre_span[op].1 = self.t;
+                self.active_pre = None;
+            }
+        }
+        loop {
+            let Some(e) = &self.active_exec else { break };
+            let op = e.op;
+            let next = match &e.phase {
+                ExecPhase::Distribute { noc } if *noc <= EPS => Some(self.after_distribute(op)),
+                ExecPhase::Shift { noc } if *noc <= EPS => Some(ExecPhase::Compute {
+                    secs: self.costs[op].compute_secs,
+                }),
+                ExecPhase::ShiftCompute { noc, compute } if *noc <= EPS && *compute <= EPS => {
+                    Some(ExecPhase::Allreduce {
+                        secs: self.costs[op].allreduce_secs,
+                    })
+                }
+                ExecPhase::Compute { secs } if *secs <= EPS => Some(ExecPhase::Allreduce {
+                    secs: self.costs[op].allreduce_secs,
+                }),
+                ExecPhase::Allreduce { secs } if *secs <= EPS => None,
+                _ => break,
+            };
+            match next {
+                Some(phase) => {
+                    self.active_exec = Some(ActiveExec { op, phase });
+                }
+                None => {
+                    self.done_exec[op] = true;
+                    self.exec_span[op].1 = self.t;
+                    self.resident = self
+                        .resident
+                        .saturating_sub(self.program.specs[op].exec_space);
+                    self.active_exec = None;
+                    self.next_exec = op + 1;
+                }
+            }
+        }
+    }
+
+    /// Retires and starts work until the instant is stable: completions
+    /// unblock starts, zero-length preloads retire immediately, and
+    /// freshly-started flows may themselves be empty.
+    fn settle(&mut self) {
+        loop {
+            self.complete();
+            let before = (
+                self.active_pre.is_some(),
+                self.active_exec.is_some(),
+                self.next_pre,
+                self.next_exec,
+            );
+            self.try_start();
+            self.complete();
+            let after = (
+                self.active_pre.is_some(),
+                self.active_exec.is_some(),
+                self.next_pre,
+                self.next_exec,
+            );
+            if before == after {
+                break;
+            }
+        }
+    }
+
+    fn run(mut self) -> SimReport {
+        let n = self.done_exec.len();
+        let limit = 60 * n + 10_000;
+        let mut iter = 0usize;
+        loop {
+            iter += 1;
+            assert!(iter < limit, "simulator exceeded event budget (bug)");
+            self.settle();
+            if self.next_exec >= n && self.active_exec.is_none() {
+                break;
+            }
+            // Progress must be possible: program validity guarantees the
+            // next preload's barrier is satisfied eventually.
+            assert!(
+                self.active_pre.is_some() || self.active_exec.is_some(),
+                "simulator deadlock at t={} (op {})",
+                self.t,
+                self.next_exec
+            );
+            let (pre_rate, exec_rate, contended) = self.rates();
+            let dt = self.next_event(pre_rate, exec_rate);
+            assert!(
+                dt.is_finite() && dt > 0.0,
+                "stalled event loop at t={} (dt={dt})",
+                self.t
+            );
+            self.advance(dt, pre_rate, exec_rate, contended);
+        }
+        self.finish()
+    }
+
+    fn finish(self) -> SimReport {
+        let total = Seconds::new(self.t.max(0.0));
+        let chip = &self.system.chip;
+        let raw_noc = chip
+            .topology
+            .total_bandwidth(chip.cores)
+            .bytes_per_sec();
+        let hbm_bw = self.system.hbm.total_bandwidth().bytes_per_sec();
+        let denom = (self.t.max(1e-30)) * raw_noc;
+        let noc_util_preload = self.link_bytes_pre / denom;
+        let noc_util_intercore = self.link_bytes_exec / denom;
+        let flops: f64 = self.program.specs.iter().map(|s| s.flops.get()).sum();
+
+        let trace = if self.opts.trace_samples > 0 {
+            Some(rasterize(&self.segments, self.t, self.opts.trace_samples))
+        } else {
+            None
+        };
+
+        SimReport {
+            total,
+            buckets: self.buckets,
+            hbm_bytes: Bytes::new(self.hbm_bytes as u64),
+            hbm_util: self.hbm_bytes / (self.t.max(1e-30) * hbm_bw),
+            noc_util: noc_util_preload + noc_util_intercore,
+            noc_util_preload,
+            noc_util_intercore,
+            achieved: FlopRate::new(flops / self.t.max(1e-30)),
+            exec_spans: to_spans(&self.exec_span),
+            preload_spans: to_spans(&self.pre_span),
+            peak_resident: self.peak_resident,
+            capacity_violations: self.violations,
+            trace,
+        }
+    }
+}
+
+fn to_spans(raw: &[(f64, f64)]) -> Vec<(Seconds, Seconds)> {
+    raw.iter()
+        .map(|&(s, e)| (Seconds::new(s.max(0.0)), Seconds::new(e.max(0.0))))
+        .collect()
+}
+
+fn rasterize(segments: &[Segment], total: f64, samples: usize) -> Trace {
+    let dt = (total / samples as f64).max(1e-30);
+    let mut hbm = vec![0.0; samples];
+    let mut intercore = vec![0.0; samples];
+    let mut noc = vec![0.0; samples];
+    for seg in segments {
+        let (mut t, end) = (seg.t0, seg.t0 + seg.dt);
+        while t < end {
+            let idx = ((t / dt) as usize).min(samples - 1);
+            let mut bucket_end = ((idx + 1) as f64 * dt).min(end);
+            if bucket_end <= t {
+                // Floating-point boundary: force progress by at least one
+                // bucket width.
+                bucket_end = (t + dt).min(end).max(t * (1.0 + 1e-12) + 1e-300);
+            }
+            let w = (bucket_end - t) / dt;
+            hbm[idx] += seg.hbm_rate * w;
+            intercore[idx] += seg.intercore_rate * w;
+            noc[idx] += (seg.intercore_rate + seg.pre_noc_rate) * w;
+            t = bucket_end;
+        }
+    }
+    Trace {
+        dt: Seconds::new(dt),
+        hbm,
+        intercore,
+        noc_total: noc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elk_core::Compiler;
+    use elk_hw::presets;
+    use elk_model::{zoo, ModelGraph, Workload};
+
+    fn small_graph() -> ModelGraph {
+        let mut cfg = zoo::llama2_13b();
+        cfg.layers = 3;
+        cfg.build(Workload::decode(16, 1024), 4)
+    }
+
+    fn compiled() -> (SystemConfig, DeviceProgram) {
+        let system = presets::ipu_pod4();
+        let plan = Compiler::new(system.clone())
+            .compile(&small_graph())
+            .expect("compile");
+        (system, plan.program)
+    }
+
+    #[test]
+    fn simulation_terminates_and_accounts_time() {
+        let (system, program) = compiled();
+        let rep = simulate(&program, &system, &SimOptions::default());
+        assert!(rep.total > Seconds::ZERO);
+        let sum = rep.buckets.total().as_secs();
+        assert!(
+            (sum - rep.total.as_secs()).abs() < 1e-9 * rep.total.as_secs().max(1.0),
+            "buckets {sum} vs total {}",
+            rep.total.as_secs()
+        );
+    }
+
+    #[test]
+    fn utilizations_are_fractions() {
+        let (system, program) = compiled();
+        let rep = simulate(&program, &system, &SimOptions::default());
+        assert!((0.0..=1.0 + 1e-9).contains(&rep.hbm_util), "{}", rep.hbm_util);
+        assert!(rep.noc_util >= 0.0 && rep.noc_util <= 1.0 + 1e-9, "{}", rep.noc_util);
+        assert!(rep.hbm_util > 0.05, "HBM should be meaningfully used");
+    }
+
+    #[test]
+    fn hbm_bytes_match_program() {
+        let (system, program) = compiled();
+        let rep = simulate(&program, &system, &SimOptions::default());
+        let expect: u64 = program.specs.iter().map(|s| s.hbm_load.get()).sum();
+        let got = rep.hbm_bytes.get();
+        let err = (got as f64 - expect as f64).abs() / expect as f64;
+        assert!(err < 0.01, "dram bytes {got} vs {expect}");
+    }
+
+    #[test]
+    fn elk_plan_has_no_capacity_violations() {
+        let (system, program) = compiled();
+        let rep = simulate(&program, &system, &SimOptions::default());
+        assert_eq!(rep.capacity_violations, 0);
+        assert!(rep.peak_resident <= system.chip.usable_sram_per_core());
+    }
+
+    #[test]
+    fn ideal_fabric_is_no_slower() {
+        let (system, program) = compiled();
+        let shared = simulate(&program, &system, &SimOptions::default());
+        let ideal = simulate(&program, &system, &SimOptions::ideal());
+        assert!(ideal.total <= shared.total + Seconds::from_micros(1.0));
+        assert_eq!(ideal.buckets.interconnect, Seconds::ZERO);
+    }
+
+    #[test]
+    fn spans_respect_program_rules() {
+        let (system, program) = compiled();
+        let rep = simulate(&program, &system, &SimOptions::default());
+        // Done-tag rule.
+        for (e, p) in rep.exec_spans.iter().zip(&rep.preload_spans) {
+            assert!(e.0 >= p.1);
+        }
+        // Sequential executes.
+        for w in rep.exec_spans.windows(2) {
+            assert!(w[1].0 >= w[0].1);
+        }
+        // Sequential preloads in issue order.
+        let order = program.preload_order();
+        for w in order.windows(2) {
+            let a = rep.preload_spans[w[0].index()];
+            let b = rep.preload_spans[w[1].index()];
+            assert!(b.0 >= a.1);
+        }
+    }
+
+    #[test]
+    fn trace_covers_makespan() {
+        let (system, program) = compiled();
+        let rep = simulate(
+            &program,
+            &system,
+            &SimOptions::default().with_trace(64),
+        );
+        let trace = rep.trace.expect("trace requested");
+        assert_eq!(trace.hbm.len(), 64);
+        // Mean traced HBM rate must reproduce total bytes.
+        let traced: f64 =
+            trace.hbm.iter().sum::<f64>() * trace.dt.as_secs();
+        let err = (traced - rep.hbm_bytes.as_f64()).abs() / rep.hbm_bytes.as_f64();
+        assert!(err < 0.02, "traced {traced} vs {}", rep.hbm_bytes);
+    }
+
+    #[test]
+    fn mesh_suffers_more_contention_than_all_to_all() {
+        let graph = small_graph();
+        let a2a_sys = presets::ipu_pod4();
+        let mesh_sys = presets::ipu_pod4_mesh();
+        let a2a = Compiler::new(a2a_sys.clone()).compile(&graph).unwrap();
+        let mesh = Compiler::new(mesh_sys.clone()).compile(&graph).unwrap();
+        let ra = simulate(&a2a.program, &a2a_sys, &SimOptions::default());
+        let rm = simulate(&mesh.program, &mesh_sys, &SimOptions::default());
+        // Fig. 21: mesh chips show higher link-level utilization because
+        // every transfer pays multiple hops.
+        assert!(
+            rm.noc_util > ra.noc_util,
+            "mesh {:.3} vs a2a {:.3}",
+            rm.noc_util,
+            ra.noc_util
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Event-driven simulator for ICCA chips with HBM (paper §5, "Simulation
+//! framework").
+//!
+//! The simulator executes a lowered [`elk_core::DeviceProgram`] under the
+//! §4.5 hardware rules on a configurable system: per-core compute rates
+//! from an [`elk_cost::AnalyticDevice`] (with measurement noise — the
+//! simulator's timings deliberately differ from the compiler's learned
+//! cost model, as real hardware differs from compile-time predictions),
+//! an interconnect whose capacity is shared between HBM-controller
+//! delivery and inter-core exchange, HBM channels, and inter-chip links.
+//!
+//! It is *flow-level* event-driven: each preload and each execution phase
+//! (data distribution, compute-shift rotation, all-reduce) is a fluid flow
+//! claiming fabric/HBM capacity; on every flow arrival or completion the
+//! engine recomputes max-min fair rates. Sequential per-link packet
+//! service and fair sharing are equivalent for bulk-transfer completion
+//! times, which is all the §6 metrics consume.
+//!
+//! ```
+//! use elk_core::Compiler;
+//! use elk_hw::presets;
+//! use elk_model::{zoo, Workload};
+//! use elk_sim::{simulate, SimOptions};
+//!
+//! # fn main() -> Result<(), elk_core::CompileError> {
+//! let mut cfg = zoo::llama2_13b();
+//! cfg.layers = 2; // doctest-sized
+//! let graph = cfg.build(Workload::decode(16, 512), 4);
+//! let system = presets::ipu_pod4();
+//! let plan = Compiler::new(system.clone()).compile(&graph)?;
+//! let report = simulate(&plan.program, &system, &SimOptions::default());
+//! assert!(report.total.as_secs() > 0.0);
+//! assert_eq!(report.capacity_violations, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod engine;
+mod options;
+mod report;
+
+pub use engine::simulate;
+pub use options::SimOptions;
+pub use report::{SimReport, TimeBuckets, Trace};

@@ -1,0 +1,57 @@
+use serde::{Deserialize, Serialize};
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimOptions {
+    /// Relative magnitude of the deterministic per-tile timing noise
+    /// (models hardware variance the compiler did not see).
+    pub noise_sigma: f64,
+    /// Seed of the timing noise.
+    pub noise_seed: u64,
+    /// Give preload and execution dedicated interconnects and skip the
+    /// capacity audit — the §6.1 *Ideal* roofline assumption.
+    pub dedicated_interconnects: bool,
+    /// Number of samples in the bandwidth-demand time series (0 = no
+    /// trace).
+    pub trace_samples: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            noise_sigma: 0.05,
+            noise_seed: 0x5eed,
+            dedicated_interconnects: false,
+            trace_samples: 0,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Options for the Ideal roofline run.
+    #[must_use]
+    pub fn ideal() -> Self {
+        SimOptions {
+            dedicated_interconnects: true,
+            ..SimOptions::default()
+        }
+    }
+
+    /// Enables bandwidth tracing with `samples` buckets.
+    #[must_use]
+    pub fn with_trace(mut self, samples: usize) -> Self {
+        self.trace_samples = samples;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_has_dedicated_fabric() {
+        assert!(SimOptions::ideal().dedicated_interconnects);
+        assert!(!SimOptions::default().dedicated_interconnects);
+    }
+}

@@ -1,0 +1,104 @@
+use serde::{Deserialize, Serialize};
+
+use elk_units::{Bytes, FlopRate, Seconds};
+
+/// Decomposition of the makespan into the paper's Fig. 18(a)/20
+/// categories.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeBuckets {
+    /// Only the HBM/preload path is busy.
+    pub preload: Seconds,
+    /// Only the cores are busy.
+    pub execute: Seconds,
+    /// Preload and execution proceed simultaneously.
+    pub overlapped: Seconds,
+    /// Preload or execution are throttled by interconnect contention.
+    pub interconnect: Seconds,
+    /// Nothing in flight (sync gaps).
+    pub idle: Seconds,
+}
+
+impl TimeBuckets {
+    /// Sum of all buckets (equals the makespan).
+    #[must_use]
+    pub fn total(&self) -> Seconds {
+        self.preload + self.execute + self.overlapped + self.interconnect + self.idle
+    }
+}
+
+/// Piecewise-constant bandwidth time series (Figs. 6–8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Sample spacing.
+    pub dt: Seconds,
+    /// HBM read bandwidth per sample (bytes/s).
+    pub hbm: Vec<f64>,
+    /// Inter-core (core-to-core) bandwidth per sample (bytes/s,
+    /// chip-wide).
+    pub intercore: Vec<f64>,
+    /// Total fabric bandwidth per sample including controller-to-core
+    /// delivery (bytes/s, chip-wide).
+    pub noc_total: Vec<f64>,
+}
+
+/// Measured outcome of one simulated model step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// End-to-end makespan.
+    pub total: Seconds,
+    /// Makespan decomposition.
+    pub buckets: TimeBuckets,
+    /// DRAM bytes read.
+    pub hbm_bytes: Bytes,
+    /// Mean HBM bandwidth utilization over the makespan.
+    pub hbm_util: f64,
+    /// Mean interconnect utilization over the makespan (link-level, i.e.
+    /// weighted by hop count).
+    pub noc_util: f64,
+    /// Portion of `noc_util` from operator preload (controller-to-core).
+    pub noc_util_preload: f64,
+    /// Portion of `noc_util` from inter-core sharing (distribution +
+    /// compute-shift).
+    pub noc_util_intercore: f64,
+    /// Achieved compute throughput (total FLOPs / makespan), per chip.
+    pub achieved: FlopRate,
+    /// Per-operator execution spans.
+    pub exec_spans: Vec<(Seconds, Seconds)>,
+    /// Per-operator preload spans.
+    pub preload_spans: Vec<(Seconds, Seconds)>,
+    /// Peak per-core SRAM residency.
+    pub peak_resident: Bytes,
+    /// Residency events exceeding per-core SRAM (0 for sound plans).
+    pub capacity_violations: usize,
+    /// Optional bandwidth time series.
+    pub trace: Option<Trace>,
+}
+
+impl SimReport {
+    /// Fraction of the makespan with preload/execute overlapped.
+    #[must_use]
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.total.is_zero() {
+            0.0
+        } else {
+            (self.buckets.overlapped + self.buckets.interconnect) / self.total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_total() {
+        let b = TimeBuckets {
+            preload: Seconds::new(1.0),
+            execute: Seconds::new(2.0),
+            overlapped: Seconds::new(3.0),
+            interconnect: Seconds::new(0.5),
+            idle: Seconds::new(0.25),
+        };
+        assert!((b.total().as_secs() - 6.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! Regression tests for simulator bugs found during bring-up.
+
+use elk_core::Compiler;
+use elk_hw::presets;
+use elk_model::{zoo, Workload};
+use elk_sim::{simulate, SimOptions};
+
+/// The event loop once started new work only at the *next* event
+/// boundary after a completion, idling the exec engine for the tail of
+/// every in-flight preload (≈45% lost overlap). Guard: on a full
+/// bandwidth-balanced model, Elk must overlap the large majority of the
+/// makespan.
+#[test]
+fn exec_engine_does_not_idle_behind_preloads() {
+    let system = presets::ipu_pod4();
+    let graph = zoo::llama2_13b().build(Workload::decode(32, 2048), 4);
+    let plan = Compiler::new(system.clone()).compile(&graph).expect("compile");
+    let report = simulate(&plan.program, &system, &SimOptions::default());
+    assert!(
+        report.overlap_fraction() > 0.6,
+        "overlap fraction {:.2} — the settle loop regressed",
+        report.overlap_fraction()
+    );
+    // And the run must be near the HBM roofline, not 2x above it.
+    let roofline = system
+        .hbm
+        .total_bandwidth()
+        .transfer_time(graph.total_hbm_load());
+    assert!(
+        report.total < roofline * 1.25,
+        "total {} vs roofline {}",
+        report.total,
+        roofline
+    );
+}
+
+/// Trace rasterization once looped forever when a segment boundary fell
+/// exactly on a bucket edge. Guard: tracing terminates and conserves the
+/// traffic integral for many bucket counts (different boundary
+/// alignments).
+#[test]
+fn trace_rasterization_terminates_and_conserves() {
+    let system = presets::ipu_pod4();
+    let mut cfg = zoo::llama2_13b();
+    cfg.layers = 4;
+    let graph = cfg.build(Workload::decode(32, 2048), 4);
+    let plan = Compiler::new(system.clone()).compile(&graph).expect("compile");
+    for samples in [7usize, 32, 48, 100, 255] {
+        let report = simulate(
+            &plan.program,
+            &system,
+            &SimOptions::default().with_trace(samples),
+        );
+        let trace = report.trace.expect("trace");
+        assert_eq!(trace.hbm.len(), samples);
+        let integral: f64 = trace.hbm.iter().sum::<f64>() * trace.dt.as_secs();
+        let expect = report.hbm_bytes.as_f64();
+        assert!(
+            (integral - expect).abs() < 0.03 * expect,
+            "samples {samples}: integral {integral:.3e} vs {expect:.3e}"
+        );
+    }
+}
+
+/// Zero-HBM operators (softmax, residuals) produce zero-length preloads
+/// that must retire instantly without stalling the pipeline, in any
+/// quantity.
+#[test]
+fn chains_of_instant_preloads_make_progress() {
+    let system = presets::ipu_pod4();
+    // DiT has long runs of on-chip-only operators between weight loads.
+    let mut dit = zoo::dit_xl();
+    dit.layers = 6;
+    let graph = dit.build(Workload::decode(2, 256), 1);
+    let single = presets::single_chip();
+    let plan = Compiler::new(single.clone()).compile(&graph).expect("compile");
+    let report = simulate(&plan.program, &single, &SimOptions::default());
+    assert!(report.total.as_secs() > 0.0);
+    assert_eq!(report.capacity_violations, 0);
+    let _ = system;
+}
+
+/// Different noise seeds produce different (but close) measurements —
+/// the noise path is alive and bounded.
+#[test]
+fn noise_seed_perturbs_measurements_boundedly() {
+    let system = presets::ipu_pod4();
+    let mut cfg = zoo::opt_30b();
+    cfg.layers = 3;
+    let graph = cfg.build(Workload::decode(16, 1024), 4);
+    let plan = Compiler::new(system.clone()).compile(&graph).expect("compile");
+    let a = simulate(
+        &plan.program,
+        &system,
+        &SimOptions {
+            noise_seed: 1,
+            ..SimOptions::default()
+        },
+    );
+    let b = simulate(
+        &plan.program,
+        &system,
+        &SimOptions {
+            noise_seed: 2,
+            ..SimOptions::default()
+        },
+    );
+    assert_ne!(a.total, b.total);
+    let ratio = a.total / b.total;
+    assert!((0.9..1.1).contains(&ratio), "seed ratio {ratio}");
+}

@@ -1,0 +1,25 @@
+//! Typed physical quantities used throughout the Elk workspace.
+//!
+//! The Elk compiler and simulator juggle three resource dimensions — memory
+//! capacity, time, and bandwidth — whose raw representations (`u64`, `f64`)
+//! are easy to confuse. This crate wraps them in transparent newtypes with
+//! the arithmetic that is physically meaningful and nothing more:
+//!
+//! ```
+//! use elk_units::{Bytes, ByteRate, Seconds};
+//!
+//! let tensor = Bytes::mib(168);
+//! let link = ByteRate::gib_per_sec(5.5);
+//! let t: Seconds = tensor / link;
+//! assert!(t > Seconds::ZERO);
+//! ```
+
+mod bytes;
+mod flops;
+mod rate;
+mod time;
+
+pub use bytes::Bytes;
+pub use flops::{FlopRate, Flops};
+pub use rate::ByteRate;
+pub use time::Seconds;

@@ -1,0 +1,70 @@
+//! Property tests for the unit types: arithmetic laws the rest of the
+//! workspace silently relies on.
+
+use proptest::prelude::*;
+
+use elk_units::{ByteRate, Bytes, FlopRate, Flops, Seconds};
+
+proptest! {
+    #[test]
+    fn bytes_div_is_a_covering(total in 1u64..1_000_000, parts in 1u64..512) {
+        // Splitting into `parts` rounded-up pieces always covers the total.
+        let per = Bytes::new(total) / parts;
+        prop_assert!(per * parts >= Bytes::new(total));
+        // And never over-covers by more than one piece minus one byte per part.
+        prop_assert!((per * parts).get() - total < parts);
+    }
+
+    #[test]
+    fn bytes_scale_monotone(total in 0u64..1_000_000, a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let t = Bytes::new(total);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(t.scale(lo) <= t.scale(hi));
+        prop_assert!(t.scale(1.0) >= t);
+    }
+
+    #[test]
+    fn transfer_time_round_trip(vol in 1u64..1_000_000_000, gib in 1.0f64..1000.0) {
+        let rate = ByteRate::gib_per_sec(gib);
+        let t = rate.transfer_time(Bytes::new(vol));
+        let back = rate.bytes_in(t);
+        // Round trip within one byte of rounding slack per f64 step.
+        prop_assert!((back.get() as i64 - vol as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn seconds_sub_never_negative(a in 0.0f64..1e3, b in 0.0f64..1e3) {
+        let d = Seconds::new(a) - Seconds::new(b);
+        prop_assert!(d >= Seconds::ZERO);
+        if a >= b {
+            prop_assert!((d.as_secs() - (a - b)).abs() < 1e-9 * (1.0 + a));
+        }
+    }
+
+    #[test]
+    fn seconds_ordering_consistent_with_f64(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let (sa, sb) = (Seconds::new(a), Seconds::new(b));
+        prop_assert_eq!(sa < sb, a < b);
+        prop_assert_eq!(sa.max(sb).as_secs(), a.max(b));
+        prop_assert_eq!(sa.min(sb).as_secs(), a.min(b));
+    }
+
+    #[test]
+    fn flops_over_rate_scales_linearly(work in 1.0f64..1e15, tflops in 0.001f64..2000.0) {
+        let t1 = Flops::new(work) / FlopRate::tera(tflops);
+        let t2 = Flops::new(2.0 * work) / FlopRate::tera(tflops);
+        prop_assert!((t2.as_secs() - 2.0 * t1.as_secs()).abs() < 1e-9 * t2.as_secs().max(1e-30));
+    }
+
+    #[test]
+    fn rate_aggregation_is_additive(a in 0.0f64..1e12, b in 0.0f64..1e12) {
+        let sum = ByteRate::new(a) + ByteRate::new(b);
+        prop_assert!((sum.bytes_per_sec() - (a + b)).abs() < 1e-6 * (a + b).max(1.0));
+    }
+
+    #[test]
+    fn bytes_sum_matches_u64_sum(values in prop::collection::vec(0u64..1_000_000, 0..64)) {
+        let total: Bytes = values.iter().map(|&v| Bytes::new(v)).sum();
+        prop_assert_eq!(total.get(), values.iter().sum::<u64>());
+    }
+}

@@ -1,0 +1,47 @@
+//! LLM serving scenario: compare all five designs (§6.1) across batch
+//! sizes for one model, reproducing the Fig. 17 reading for one column.
+//!
+//! ```text
+//! cargo run --release --example llm_serving [model] [seq_len]
+//! # model in {llama13, llama70, gemma27, opt30}, default llama13
+//! ```
+
+use elk::baselines::{Design, DesignRunner};
+use elk::prelude::*;
+
+fn main() -> Result<(), elk::compiler::CompileError> {
+    let model_arg = std::env::args().nth(1).unwrap_or_else(|| "llama13".into());
+    let seq: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2048);
+    let cfg = match model_arg.as_str() {
+        "llama70" => zoo::llama2_70b(),
+        "gemma27" => zoo::gemma2_27b(),
+        "opt30" => zoo::opt_30b(),
+        _ => zoo::llama2_13b(),
+    };
+
+    let runner = DesignRunner::new(presets::ipu_pod4());
+    println!("{} decode, seq_len {seq}, 4 chips, 16 TB/s pod HBM", cfg.name);
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "batch", "Basic", "Static", "ELK-Dyn", "ELK-Full", "Ideal"
+    );
+
+    for batch in [16u64, 32, 64] {
+        let graph = cfg.build(Workload::decode(batch, seq), 4);
+        let catalog = runner.catalog(&graph)?;
+        let mut row = format!("{batch:>6}");
+        for design in Design::ALL {
+            let out = runner.run(design, &graph, &catalog, &SimOptions::default())?;
+            row.push_str(&format!(" {:>8.2}ms", out.report.total.as_millis()));
+        }
+        println!("{row}");
+    }
+
+    println!();
+    println!("Expected: ELK-Full tracks Ideal closely and the gap to Basic/Static");
+    println!("widens with batch (KV-cache pressure on the on-chip memory).");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Quickstart: compile one LLM decode step with Elk and measure it on
+//! the ICCA chip simulator.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use elk::prelude::*;
+
+fn main() -> Result<(), elk::compiler::CompileError> {
+    // The paper's platform: an IPU-POD4 (4 chips x 1472 cores x 624 KB)
+    // with 4 TB/s of HBM per chip.
+    let system = presets::ipu_pod4();
+    println!("system: {system}");
+
+    // One decode step of Llama-2-13B: 32 requests against a 2048-token
+    // KV cache, tensor-parallel over the 4 chips.
+    let graph = zoo::llama2_13b().build(Workload::decode(32, 2048), 4);
+    println!("model:  {graph}");
+
+    // Compile: enumerate partition plans, search preload orders with the
+    // inductive scheduler and the cost-aware allocator, lower to the
+    // abstract device program.
+    let compiler = Compiler::new(system.clone());
+    let plan = compiler.compile(&graph)?;
+    println!(
+        "compiled in {:.2}s: {} instructions, {} candidate orders, \
+         mean preload number {:.1}, estimate {}",
+        plan.stats.compile_seconds,
+        plan.program.instrs.len(),
+        plan.stats.orders_considered,
+        plan.stats.avg_preload_number,
+        plan.estimate.total,
+    );
+
+    // Measure on the event-driven simulator (noisy analytic device,
+    // shared interconnect, HBM channels).
+    let report = simulate(&plan.program, &system, &SimOptions::default());
+    println!(
+        "simulated per-token latency: {}  (HBM util {:.0}%, NoC util {:.0}%, {:.1} TFLOPS/chip)",
+        report.total,
+        report.hbm_util * 100.0,
+        report.noc_util * 100.0,
+        report.achieved.as_tera(),
+    );
+    assert_eq!(report.capacity_violations, 0, "plan must respect SRAM");
+
+    // Compare against the paper's roofline.
+    let hbm_bound = system
+        .hbm
+        .total_bandwidth()
+        .transfer_time(graph.total_hbm_load());
+    println!(
+        "HBM roofline: {} -> Elk achieves {:.0}% of it end-to-end",
+        hbm_bound,
+        hbm_bound / report.total * 100.0
+    );
+    Ok(())
+}

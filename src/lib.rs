@@ -1,0 +1,64 @@
+//! # Elk — a DL compiler framework for inter-core connected AI chips
+//!
+//! Reproduction of *"Elk: Exploring the Efficiency of Inter-core Connected
+//! AI Chips with Deep Learning Compiler Techniques"* (MICRO 2025), built
+//! from scratch in Rust: the compiler (§4), the operator partitioner
+//! (§2.2/§5), the cost models (§4.3), the ICCA-chip simulator (§5), and
+//! the evaluation baselines (§6.1).
+//!
+//! This facade crate re-exports the workspace's public API under one
+//! namespace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`model`] | `elk-model` | operator graphs, model zoo, workloads |
+//! | [`hw`] | `elk-hw` | chips, topologies, HBM, system presets |
+//! | [`cost`] | `elk-cost` | analytic device + linear-tree cost models |
+//! | [`partition`] | `elk-partition` | execute/preload-state plan enumeration |
+//! | [`compiler`] | `elk-core` | scheduling, allocation, reordering, codegen |
+//! | [`sim`] | `elk-sim` | event-driven chip simulator |
+//! | [`baselines`] | `elk-baselines` | Basic / Static / Elk-Dyn / Elk-Full / Ideal |
+//! | [`units`] | `elk-units` | typed bytes/seconds/bandwidth/FLOPs |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use elk::prelude::*;
+//!
+//! # fn main() -> Result<(), elk::compiler::CompileError> {
+//! // A (doctest-sized) LLM decode step on an IPU-POD4-class system.
+//! let mut cfg = zoo::llama2_13b();
+//! cfg.layers = 2;
+//! let graph = cfg.build(Workload::decode(16, 512), 4);
+//! let system = presets::ipu_pod4();
+//!
+//! // Compile with full Elk, then measure on the simulator.
+//! let plan = Compiler::new(system.clone()).compile(&graph)?;
+//! let report = simulate(&plan.program, &system, &SimOptions::default());
+//! assert_eq!(report.capacity_violations, 0);
+//! println!("per-token latency: {}", report.total);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/elk-bench` for the paper's tables and figures.
+
+pub use elk_baselines as baselines;
+pub use elk_core as compiler;
+pub use elk_cost as cost;
+pub use elk_hw as hw;
+pub use elk_model as model;
+pub use elk_partition as partition;
+pub use elk_sim as sim;
+pub use elk_units as units;
+
+/// The common imports for application code.
+pub mod prelude {
+    pub use elk_baselines::{Design, DesignRunner};
+    pub use elk_core::{Compiler, CompilerOptions};
+    pub use elk_hw::{presets, ChipConfig, HbmConfig, SystemConfig, Topology};
+    pub use elk_model::{zoo, ModelGraph, TransformerConfig, Workload};
+    pub use elk_sim::{simulate, SimOptions, SimReport};
+    pub use elk_units::{ByteRate, Bytes, FlopRate, Flops, Seconds};
+}

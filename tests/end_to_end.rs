@@ -1,0 +1,90 @@
+//! End-to-end integration: every zoo model compiles and simulates on the
+//! paper's platform, respecting all hardware rules.
+
+use elk::baselines::{Design, DesignRunner};
+use elk::prelude::*;
+
+/// A small but structurally complete variant of each zoo LLM.
+fn small(mut cfg: TransformerConfig, layers: u32) -> TransformerConfig {
+    cfg.layers = layers;
+    cfg
+}
+
+#[test]
+fn all_models_compile_and_simulate() {
+    let system = presets::ipu_pod4();
+    let compiler = Compiler::new(system.clone());
+    for cfg in [
+        small(zoo::llama2_13b(), 3),
+        small(zoo::gemma2_27b(), 3),
+        small(zoo::opt_30b(), 3),
+        small(zoo::llama2_70b(), 3),
+    ] {
+        let graph = cfg.build(Workload::decode(16, 1024), 4);
+        let plan = compiler.compile(&graph).expect("compile");
+        plan.program.validate().expect("valid program");
+        assert_eq!(plan.estimate.capacity_violations, 0, "{}", cfg.name);
+        let report = simulate(&plan.program, &system, &SimOptions::default());
+        assert_eq!(report.capacity_violations, 0, "{}", cfg.name);
+        assert!(report.total > Seconds::ZERO);
+        // The makespan decomposition covers the makespan.
+        let sum = report.buckets.total().as_secs();
+        assert!((sum - report.total.as_secs()).abs() < 1e-9 * sum.max(1.0));
+    }
+}
+
+#[test]
+fn dit_compiles_on_single_chip() {
+    let system = presets::single_chip();
+    let mut dit = zoo::dit_xl();
+    dit.layers = 4;
+    let graph = dit.build(Workload::decode(4, 256), 1);
+    let plan = Compiler::new(system.clone()).compile(&graph).expect("compile");
+    let report = simulate(&plan.program, &system, &SimOptions::default());
+    assert_eq!(report.capacity_violations, 0);
+    // Diffusion is compute-bound: HBM utilization should be low.
+    assert!(report.hbm_util < 0.5, "DiT hbm util {}", report.hbm_util);
+}
+
+#[test]
+fn training_forward_compiles() {
+    let system = presets::ipu_pod4();
+    let mut cfg = zoo::llama2_13b();
+    cfg.layers = 2;
+    let graph = cfg.build(Workload::training_forward(2, 1024), 4);
+    let plan = Compiler::new(system.clone()).compile(&graph).expect("compile");
+    let report = simulate(&plan.program, &system, &SimOptions::default());
+    assert_eq!(report.capacity_violations, 0);
+    // Training is compute-bound: achieved TFLOPS far above decode levels.
+    assert!(report.achieved.as_tera() > 20.0);
+}
+
+#[test]
+fn compilation_is_deterministic() {
+    let system = presets::ipu_pod4();
+    let mut cfg = zoo::opt_30b();
+    cfg.layers = 2;
+    let graph = cfg.build(Workload::decode(16, 512), 4);
+    let a = Compiler::new(system.clone()).compile(&graph).expect("a");
+    let b = Compiler::new(system.clone()).compile(&graph).expect("b");
+    assert_eq!(a.program, b.program);
+    assert_eq!(a.schedule.order, b.schedule.order);
+    let ra = simulate(&a.program, &system, &SimOptions::default());
+    let rb = simulate(&b.program, &system, &SimOptions::default());
+    assert_eq!(ra.total, rb.total);
+}
+
+#[test]
+fn runner_and_compiler_agree_on_elk_full() {
+    let system = presets::ipu_pod4();
+    let mut cfg = zoo::llama2_13b();
+    cfg.layers = 2;
+    let graph = cfg.build(Workload::decode(16, 1024), 4);
+    let direct = Compiler::new(system.clone()).compile(&graph).expect("direct");
+    let runner = DesignRunner::new(system);
+    let catalog = runner.catalog(&graph).expect("catalog");
+    let via_runner = runner
+        .run(Design::ElkFull, &graph, &catalog, &SimOptions::default())
+        .expect("runner");
+    assert_eq!(direct.program, via_runner.program);
+}

@@ -1,0 +1,58 @@
+//! Serde round-trips of the public artifacts: compiled programs,
+//! schedules, and simulator reports are data a downstream user will cache
+//! to disk (the paper's artifact stores execution traces the same way).
+
+use elk::compiler::{Compiler, DeviceProgram, Schedule};
+use elk::prelude::*;
+use elk::sim::SimReport;
+
+fn fixture() -> (SystemConfig, elk::model::ModelGraph) {
+    let mut cfg = zoo::llama2_13b();
+    cfg.layers = 2;
+    (presets::ipu_pod4(), cfg.build(Workload::decode(8, 512), 4))
+}
+
+#[test]
+fn device_program_round_trips_through_json() {
+    let (system, graph) = fixture();
+    let plan = Compiler::new(system).compile(&graph).expect("compile");
+    let json = serde_json::to_string(&plan.program).expect("serialize");
+    let back: DeviceProgram = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, plan.program);
+    back.validate().expect("still well-formed");
+}
+
+#[test]
+fn schedule_round_trips_through_json() {
+    let (system, graph) = fixture();
+    let plan = Compiler::new(system).compile(&graph).expect("compile");
+    let json = serde_json::to_string(&plan.schedule).expect("serialize");
+    let back: Schedule = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, plan.schedule);
+}
+
+#[test]
+fn sim_report_round_trips_through_json() {
+    let (system, graph) = fixture();
+    let plan = Compiler::new(system.clone()).compile(&graph).expect("compile");
+    let report = simulate(
+        &plan.program,
+        &system,
+        &SimOptions::default().with_trace(16),
+    );
+    let json = serde_json::to_string(&report).expect("serialize");
+    let back: SimReport = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, report);
+}
+
+#[test]
+fn model_graph_and_system_round_trip() {
+    let (system, graph) = fixture();
+    let gj = serde_json::to_string(&graph).expect("graph");
+    let back: elk::model::ModelGraph = serde_json::from_str(&gj).expect("graph back");
+    assert_eq!(back, graph);
+    assert_eq!(back.total_hbm_load(), graph.total_hbm_load());
+    let sj = serde_json::to_string(&system).expect("system");
+    let sys_back: SystemConfig = serde_json::from_str(&sj).expect("system back");
+    assert_eq!(sys_back, system);
+}
