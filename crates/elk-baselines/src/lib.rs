@@ -268,7 +268,12 @@ mod tests {
         let runner = DesignRunner::new(presets::ipu_pod4());
         let graph = small_graph();
         let catalog = runner.catalog(&graph).unwrap();
-        for d in [Design::Basic, Design::Static, Design::ElkDyn, Design::ElkFull] {
+        for d in [
+            Design::Basic,
+            Design::Static,
+            Design::ElkDyn,
+            Design::ElkFull,
+        ] {
             let o = runner
                 .run(d, &graph, &catalog, &SimOptions::default())
                 .unwrap();

@@ -121,8 +121,9 @@ pub fn plan_with_budget(
     // earlier preloads have executed and freed their space by then).
     let spaces: Vec<Bytes> = (0..n)
         .map(|i| {
-            catalog.op(graph.ops()[i].id()).preload_points(choices[i].exec_idx)
-                [choices[i].preload_idx]
+            catalog
+                .op(graph.ops()[i].id())
+                .preload_points(choices[i].exec_idx)[choices[i].preload_idx]
                 .space
         })
         .collect();

@@ -21,7 +21,9 @@ fn bench_cost(c: &mut Criterion) {
     let model = LearnedCostModel::fit(&device, &ProfileConfig::default());
     let tile = TileShape::matmul(16, 1280, 24);
     g.bench_function("predict_tile", |b| b.iter(|| model.tile_time(&tile)));
-    g.bench_function("predict_link", |b| b.iter(|| model.link_time(Bytes::kib(96))));
+    g.bench_function("predict_link", |b| {
+        b.iter(|| model.link_time(Bytes::kib(96)))
+    });
     g.bench_function("analytic_tile", |b| b.iter(|| device.tile_time(&tile)));
     g.finish();
 }

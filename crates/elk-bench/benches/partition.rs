@@ -16,7 +16,9 @@ fn bench_partition(c: &mut Criterion) {
     let scores = graph.iter().find(|o| o.name() == "l0.attn_scores").unwrap();
 
     let mut g = c.benchmark_group("partition");
-    g.bench_function("enumerate_weight_matmul", |b| b.iter(|| partitioner.plans(qkv)));
+    g.bench_function("enumerate_weight_matmul", |b| {
+        b.iter(|| partitioner.plans(qkv))
+    });
     g.bench_function("enumerate_kv_batchmatmul", |b| {
         b.iter(|| partitioner.plans(scores))
     });

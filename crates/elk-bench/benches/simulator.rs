@@ -12,14 +12,22 @@ fn bench_simulator(c: &mut Criterion) {
     let mut cfg = zoo::llama2_13b();
     cfg.layers = 8;
     let graph = cfg.build(Workload::decode(32, 2048), 4);
-    let plan = Compiler::new(system.clone()).compile(&graph).expect("compile");
+    let plan = Compiler::new(system.clone())
+        .compile(&graph)
+        .expect("compile");
 
     let mut g = c.benchmark_group("simulator");
     g.bench_function("simulate_8_layers", |b| {
         b.iter(|| simulate(&plan.program, &system, &SimOptions::default()))
     });
     g.bench_function("simulate_with_trace", |b| {
-        b.iter(|| simulate(&plan.program, &system, &SimOptions::default().with_trace(64)))
+        b.iter(|| {
+            simulate(
+                &plan.program,
+                &system,
+                &SimOptions::default().with_trace(64),
+            )
+        })
     });
     g.finish();
 }

@@ -3,8 +3,10 @@
 
 use std::time::Instant;
 
+type Experiment = (&'static str, fn(&mut elk_bench::Ctx));
+
 fn main() {
-    let experiments: Vec<(&str, fn(&mut elk_bench::Ctx))> = vec![
+    let experiments: Vec<Experiment> = vec![
         ("table2", elk_bench::experiments::table2::run),
         ("fig05", elk_bench::experiments::fig05::run),
         ("fig06", elk_bench::experiments::fig06::run),

@@ -85,8 +85,7 @@ impl Ctx {
         fs::write(self.results_dir.join(format!("{}.txt", self.id)), &self.out)
             .expect("write transcript");
         let json = serde_json::to_string_pretty(payload).expect("serialize results");
-        fs::write(self.results_dir.join(format!("{}.json", self.id)), json)
-            .expect("write json");
+        fs::write(self.results_dir.join(format!("{}.json", self.id)), json).expect("write json");
     }
 }
 

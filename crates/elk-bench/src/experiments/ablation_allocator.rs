@@ -41,7 +41,14 @@ fn exhaustive(
             return;
         }
         for p in windows[k] {
-            rec(windows, k + 1, space + p.space, time + p.time, capacity, best);
+            rec(
+                windows,
+                k + 1,
+                space + p.space,
+                time + p.time,
+                capacity,
+                best,
+            );
         }
     }
     let mut best = None;
@@ -82,8 +89,7 @@ pub fn run(ctx: &mut Ctx) {
                         .collect()
                 })
                 .collect();
-            let refs: Vec<&[FrontierPoint]> =
-                window_points.iter().map(Vec::as_slice).collect();
+            let refs: Vec<&[FrontierPoint]> = window_points.iter().map(Vec::as_slice).collect();
             // Tighten capacity so the allocator has real work to do.
             for frac in [1.0f64, 0.6, 0.4] {
                 let cap = capacity.scale(frac);
@@ -128,6 +134,9 @@ pub fn run(ctx: &mut Ctx) {
     ctx.line("");
     ctx.line("Reading: the greedy Δ = space/time rule is near-optimal on real frontiers,");
     ctx.line("justifying §8's choice of an O(P·K) heuristic over exponential solvers.");
-    assert_eq!(summary.feasibility_mismatches, 0, "greedy missed a feasible window");
+    assert_eq!(
+        summary.feasibility_mismatches, 0,
+        "greedy missed a feasible window"
+    );
     ctx.finish(&summary);
 }

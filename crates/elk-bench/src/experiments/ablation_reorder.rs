@@ -64,7 +64,14 @@ pub fn run(ctx: &mut Ctx) {
         });
     }
     ctx.table(
-        &["edit cap", "orders", "chosen d", "latency(ms)", "noc-stall(ms)", "compile(s)"],
+        &[
+            "edit cap",
+            "orders",
+            "chosen d",
+            "latency(ms)",
+            "noc-stall(ms)",
+            "compile(s)",
+        ],
         &cells,
     );
     ctx.line("");

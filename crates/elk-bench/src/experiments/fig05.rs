@@ -32,8 +32,7 @@ pub fn run(ctx: &mut Ctx) {
             (OpRole::AttnNorm, "MatMul: Layer_Norm"),
             (OpRole::MlpDown, "MatMul: Output_FFN"),
         ] {
-            let Some(op) = graph.ops()[span.clone()].iter().find(|o| o.role() == role)
-            else {
+            let Some(op) = graph.ops()[span.clone()].iter().find(|o| o.role() == role) else {
                 continue;
             };
             let plans = catalog.op(op.id());

@@ -43,7 +43,10 @@ pub fn run(ctx: &mut Ctx) {
                 preload,
                 PreloadMode::MinFootprint,
             ) else {
-                ctx.line(format!("{}: {kib} KiB preload space infeasible", graph.name()));
+                ctx.line(format!(
+                    "{}: {kib} KiB preload space infeasible",
+                    graph.name()
+                ));
                 continue;
             };
             let rep = simulate(&prog, &system, &SimOptions::default().with_trace(48));
@@ -73,7 +76,10 @@ pub fn run(ctx: &mut Ctx) {
 
 /// A coarse ASCII sparkline for terminal output.
 pub(crate) fn sparkline(values: &[f64]) -> String {
-    const GLYPHS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const GLYPHS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     let max = values.iter().copied().fold(f64::MIN, f64::max).max(1e-12);
     values
         .iter()

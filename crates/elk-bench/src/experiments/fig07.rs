@@ -58,11 +58,7 @@ pub fn run(ctx: &mut Ctx) {
         ] {
             let (model, rep) = trace_mode(&system, &runner, &cfg, mode);
             let trace = rep.trace.expect("trace");
-            let series: Vec<f64> = trace
-                .intercore
-                .iter()
-                .map(|r| r / cores / 1e9)
-                .collect();
+            let series: Vec<f64> = trace.intercore.iter().map(|r| r / cores / 1e9).collect();
             let mean = series.iter().sum::<f64>() / series.len() as f64;
             ctx.line(format!(
                 "{model} {label:>10}: mean {mean:.2} GB/s/core, trace: {}",

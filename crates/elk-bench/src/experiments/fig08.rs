@@ -35,14 +35,9 @@ pub fn run(ctx: &mut Ctx) {
         ] {
             let (model, rep) = trace_mode(&system, &runner, &cfg, mode);
             let trace = rep.trace.expect("trace");
-            let series: Vec<f64> = trace
-                .noc_total
-                .iter()
-                .map(|r| r / cores / 1e9)
-                .collect();
+            let series: Vec<f64> = trace.noc_total.iter().map(|r| r / cores / 1e9).collect();
             let mean = series.iter().sum::<f64>() / series.len() as f64;
-            let var =
-                series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / series.len() as f64;
+            let var = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / series.len() as f64;
             let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
             ctx.line(format!(
                 "{model} {label:>10}: mean {mean:.2} GB/s/core, CV {cv:.2}, trace: {}",

@@ -45,12 +45,21 @@ pub fn run(ctx: &mut Ctx) {
     ctx.table(&["panel", "MAPE", "log-R^2"], &rows);
 
     for r in &reports {
-        let sample: Vec<(f64, f64)> = r.pairs.iter().step_by(r.pairs.len() / 8 + 1).copied().collect();
+        let sample: Vec<(f64, f64)> = r
+            .pairs
+            .iter()
+            .step_by(r.pairs.len() / 8 + 1)
+            .copied()
+            .collect();
         let cells: Vec<String> = sample
             .iter()
             .map(|(p, m)| format!("{p:.1}/{m:.1}"))
             .collect();
-        ctx.line(format!("{:>12} pred/meas us: {}", r.subject, cells.join("  ")));
+        ctx.line(format!(
+            "{:>12} pred/meas us: {}",
+            r.subject,
+            cells.join("  ")
+        ));
         panels.push(Panel {
             subject: r.subject.clone(),
             mape: r.mape,

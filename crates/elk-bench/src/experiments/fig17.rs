@@ -55,7 +55,9 @@ pub fn run(ctx: &mut Ctx) {
     }
 
     ctx.table(
-        &["model", "seq", "batch", "Basic", "Static", "ELK-Dyn", "ELK-Full", "Ideal"],
+        &[
+            "model", "seq", "batch", "Basic", "Static", "ELK-Dyn", "ELK-Full", "Ideal",
+        ],
         &cells,
     );
 

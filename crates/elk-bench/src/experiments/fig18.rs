@@ -35,7 +35,13 @@ pub fn run(ctx: &mut Ctx) {
     for cfg in llms() {
         let graph = build_llm(&cfg, default_workload());
         let catalog = runner.catalog(&graph).expect("catalog");
-        let outs = run_designs(&runner, &graph, &catalog, &Design::ALL, &SimOptions::default());
+        let outs = run_designs(
+            &runner,
+            &graph,
+            &catalog,
+            &Design::ALL,
+            &SimOptions::default(),
+        );
         for o in &outs {
             let b = o.report.buckets;
             cells.push(vec![

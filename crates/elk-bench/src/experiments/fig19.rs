@@ -20,7 +20,9 @@ pub struct Row {
 }
 
 /// Shared sweep used by Figs. 19–21.
-pub(crate) fn sweep(ctx: &mut Ctx) -> Vec<(String, String, f64, Vec<elk_baselines::DesignOutcome>)> {
+pub(crate) fn sweep(
+    ctx: &mut Ctx,
+) -> Vec<(String, String, f64, Vec<elk_baselines::DesignOutcome>)> {
     let bws: &[f64] = if ctx.full {
         &[4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]
     } else {
@@ -45,8 +47,13 @@ pub(crate) fn sweep(ctx: &mut Ctx) -> Vec<(String, String, f64, Vec<elk_baseline
                     .system()
                     .with_total_hbm_bandwidth(ByteRate::tib_per_sec(bw));
                 let runner = base_runner.with_system(system);
-                let outs =
-                    run_designs(&runner, &graph, &catalog, &Design::ALL, &SimOptions::default());
+                let outs = run_designs(
+                    &runner,
+                    &graph,
+                    &catalog,
+                    &Design::ALL,
+                    &SimOptions::default(),
+                );
                 out.push((topo_name.to_string(), cfg.name.clone(), bw, outs));
             }
         }
@@ -80,7 +87,9 @@ pub fn run(ctx: &mut Ctx) {
         });
     }
     ctx.table(
-        &["topology", "model", "HBM TB/s", "Basic", "Static", "ELK-Dyn", "ELK-Full", "Ideal"],
+        &[
+            "topology", "model", "HBM TB/s", "Basic", "Static", "ELK-Dyn", "ELK-Full", "Ideal",
+        ],
         &cells,
     );
     ctx.line("");

@@ -42,7 +42,13 @@ pub fn run(ctx: &mut Ctx) {
             base.system()
                 .with_total_hbm_bandwidth(ByteRate::tib_per_sec(bw)),
         );
-        let outs = run_designs(&runner, &graph, &catalog, &Design::ALL, &SimOptions::default());
+        let outs = run_designs(
+            &runner,
+            &graph,
+            &catalog,
+            &Design::ALL,
+            &SimOptions::default(),
+        );
         for o in &outs {
             let b = o.report.buckets;
             cells.push(vec![
@@ -66,7 +72,15 @@ pub fn run(ctx: &mut Ctx) {
         }
     }
     ctx.table(
-        &["HBM TB/s", "design", "pre", "exe", "ovl", "noc", "total(ms)"],
+        &[
+            "HBM TB/s",
+            "design",
+            "pre",
+            "exe",
+            "ovl",
+            "noc",
+            "total(ms)",
+        ],
         &cells,
     );
     ctx.line("");

@@ -41,7 +41,9 @@ pub fn run(ctx: &mut Ctx) {
         });
     }
     ctx.table(
-        &["topology", "model", "HBM TB/s", "Basic", "Static", "ELK-Dyn", "ELK-Full", "Ideal"],
+        &[
+            "topology", "model", "HBM TB/s", "Basic", "Static", "ELK-Dyn", "ELK-Full", "Ideal",
+        ],
         &cells,
     );
     ctx.line("");

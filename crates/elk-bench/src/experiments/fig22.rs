@@ -53,8 +53,13 @@ pub fn run(ctx: &mut Ctx) {
                         .system()
                         .with_total_hbm_bandwidth(ByteRate::tib_per_sec(hbm)),
                 );
-                let outs =
-                    run_designs(&runner, &graph, &catalog, &Design::ALL, &SimOptions::default());
+                let outs = run_designs(
+                    &runner,
+                    &graph,
+                    &catalog,
+                    &Design::ALL,
+                    &SimOptions::default(),
+                );
                 let lat: Vec<f64> = outs.iter().map(|o| o.report.total.as_millis()).collect();
                 cells.push(vec![
                     topo_name.to_string(),
@@ -76,7 +81,9 @@ pub fn run(ctx: &mut Ctx) {
         }
     }
     ctx.table(
-        &["topology", "NoC TB/s", "HBM TB/s", "Basic", "Static", "ELK-Dyn", "ELK-Full", "Ideal"],
+        &[
+            "topology", "NoC TB/s", "HBM TB/s", "Basic", "Static", "ELK-Dyn", "ELK-Full", "Ideal",
+        ],
         &cells,
     );
     ctx.line("");

@@ -50,8 +50,13 @@ pub fn run(ctx: &mut Ctx) {
         for cfg in &llm_cfgs {
             let graph = cfg.build(default_workload(), 4);
             let catalog = runner.catalog(&graph).expect("catalog");
-            let outs =
-                run_designs(&runner, &graph, &catalog, &Design::ALL, &SimOptions::default());
+            let outs = run_designs(
+                &runner,
+                &graph,
+                &catalog,
+                &Design::ALL,
+                &SimOptions::default(),
+            );
             push(&mut rows, &mut cells, &cfg.name, cores, &outs);
         }
         // DiT-XL on a single chip (paper: up to 1472 cores).
@@ -59,12 +64,20 @@ pub fn run(ctx: &mut Ctx) {
         let dit_runner = DesignRunner::new(dit_sys);
         let dit = zoo::dit_xl().build(Workload::decode(8, 256), 1);
         let catalog = dit_runner.catalog(&dit).expect("catalog");
-        let outs = run_designs(&dit_runner, &dit, &catalog, &Design::ALL, &SimOptions::default());
+        let outs = run_designs(
+            &dit_runner,
+            &dit,
+            &catalog,
+            &Design::ALL,
+            &SimOptions::default(),
+        );
         push(&mut rows, &mut cells, "DiT-XL", cores, &outs);
     }
 
     ctx.table(
-        &["model", "cores", "Basic", "Static", "ELK-Dyn", "ELK-Full", "Ideal"],
+        &[
+            "model", "cores", "Basic", "Static", "ELK-Dyn", "ELK-Full", "Ideal",
+        ],
         &cells,
     );
     ctx.line("");

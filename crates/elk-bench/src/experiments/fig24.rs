@@ -35,8 +35,12 @@ pub fn run(ctx: &mut Ctx) {
     };
     let nocs: &[f64] = &[32.0, 48.0];
     let hbms: &[f64] = &[300.0, 400.0];
-    let topos: &[(&str, fn() -> elk_hw::SystemConfig)] = if ctx.full {
-        &[("all-to-all", presets::ipu_pod4), ("mesh", presets::ipu_pod4_mesh)]
+    type TopoPreset = (&'static str, fn() -> elk_hw::SystemConfig);
+    let topos: &[TopoPreset] = if ctx.full {
+        &[
+            ("all-to-all", presets::ipu_pod4),
+            ("mesh", presets::ipu_pod4_mesh),
+        ]
     } else {
         &[("all-to-all", presets::ipu_pod4)]
     };
@@ -58,13 +62,8 @@ pub fn run(ctx: &mut Ctx) {
                             .system()
                             .with_total_hbm_bandwidth(ByteRate::gib_per_sec(hbm)),
                     );
-                    let outs = run_designs(
-                        &runner,
-                        &graph,
-                        &catalog,
-                        &DESIGNS,
-                        &SimOptions::default(),
-                    );
+                    let outs =
+                        run_designs(&runner, &graph, &catalog, &DESIGNS, &SimOptions::default());
                     let achieved: Vec<f64> = outs
                         .iter()
                         .map(|o| pod_tflops(o, runner.system().chips))
@@ -90,7 +89,15 @@ pub fn run(ctx: &mut Ctx) {
         }
     }
     ctx.table(
-        &["topology", "NoC TB/s", "HBM GB/s", "avail TFLOPS", "Static", "ELK-Full", "Ideal"],
+        &[
+            "topology",
+            "NoC TB/s",
+            "HBM GB/s",
+            "avail TFLOPS",
+            "Static",
+            "ELK-Full",
+            "Ideal",
+        ],
         &cells,
     );
     ctx.line("");

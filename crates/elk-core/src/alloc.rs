@@ -61,9 +61,8 @@ pub fn allocate(
     while space > capacity {
         // Pick the step with the best freed-bytes-per-added-second ratio.
         let mut best: Option<(usize, f64)> = None;
-        for item in 0..pos.len() {
+        for (item, &at) in pos.iter().enumerate() {
             let f = frontier(item);
-            let at = pos[item];
             if at + 1 >= f.len() {
                 continue;
             }
@@ -92,11 +91,7 @@ pub fn allocate(
         picks: picks.clone(),
         space,
         exec_time: current[current_idx].time,
-        distribute_time: windows
-            .iter()
-            .zip(&picks)
-            .map(|(w, &i)| w[i].time)
-            .sum(),
+        distribute_time: windows.iter().zip(&picks).map(|(w, &i)| w[i].time).sum(),
     })
 }
 
@@ -183,8 +178,7 @@ mod tests {
                     for (k, b) in w2.iter().enumerate() {
                         let _ = (i, j, k);
                         if c.space + a.space + b.space <= cap {
-                            let t =
-                                (c.time + a.time + b.time).as_micros();
+                            let t = (c.time + a.time + b.time).as_micros();
                             if best.is_none_or(|x| t < x) {
                                 best = Some(t);
                             }

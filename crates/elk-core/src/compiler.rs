@@ -9,12 +9,12 @@ use elk_partition::Partitioner;
 use elk_units::Seconds;
 
 use crate::{
-    candidate_orders, evaluate, Catalog, CompileError, DeviceProgram, PlanEstimate,
-    ReorderOptions, Schedule, ScheduleOptions, Scheduler,
+    candidate_orders, evaluate, Catalog, CompileError, DeviceProgram, PlanEstimate, ReorderOptions,
+    Schedule, ScheduleOptions, Scheduler,
 };
 
 /// End-to-end compiler configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct CompilerOptions {
     /// Scheduling knobs (§4.2–4.3).
     pub schedule: ScheduleOptions,
@@ -24,17 +24,6 @@ pub struct CompilerOptions {
     pub profile: ProfileConfig,
     /// Worker threads for order evaluation (0 = all available).
     pub threads: usize,
-}
-
-impl Default for CompilerOptions {
-    fn default() -> Self {
-        CompilerOptions {
-            schedule: ScheduleOptions::default(),
-            reorder: ReorderOptions::default(),
-            profile: ProfileConfig::default(),
-            threads: 0,
-        }
-    }
 }
 
 /// Summary statistics of one compilation, feeding Table 2 and Fig. 16.
@@ -186,7 +175,9 @@ impl Compiler {
 
         let scheduler = Scheduler::new(graph, catalog, &self.system, self.opts.schedule);
         let threads = if self.opts.threads == 0 {
-            std::thread::available_parallelism().map_or(4, |n| n.get()).min(16)
+            std::thread::available_parallelism()
+                .map_or(4, |n| n.get())
+                .min(16)
         } else {
             self.opts.threads
         };
@@ -297,13 +288,7 @@ mod tests {
 
     #[test]
     fn empty_graph_is_rejected() {
-        let g = ModelGraph::new(
-            "empty",
-            Workload::decode(1, 16),
-            1,
-            Vec::new(),
-            Vec::new(),
-        );
+        let g = ModelGraph::new("empty", Workload::decode(1, 16), 1, Vec::new(), Vec::new());
         assert!(matches!(
             Compiler::new(presets::ipu_pod4()).compile(&g),
             Err(CompileError::EmptyGraph)

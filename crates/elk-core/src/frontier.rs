@@ -63,12 +63,10 @@ impl OpPlans {
     #[must_use]
     pub fn new(plans: Vec<ExecutePlan>) -> Self {
         assert!(!plans.is_empty(), "operator with no feasible plans");
-        let exec_frontier = pareto_frontier(plans.iter().enumerate().map(|(i, p)| {
-            FrontierPoint {
-                plan_idx: i,
-                space: p.exec_space,
-                time: p.exec_time,
-            }
+        let exec_frontier = pareto_frontier(plans.iter().enumerate().map(|(i, p)| FrontierPoint {
+            plan_idx: i,
+            space: p.exec_space,
+            time: p.exec_time,
         }));
         OpPlans {
             plans,
@@ -188,7 +186,11 @@ impl Catalog {
     /// Table 2.
     #[must_use]
     pub fn max_plans_per_op(&self) -> usize {
-        self.entries.iter().map(|e| e.plans.len()).max().unwrap_or(0)
+        self.entries
+            .iter()
+            .map(|e| e.plans.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 

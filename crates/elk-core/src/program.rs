@@ -108,8 +108,8 @@ impl DeviceProgram {
 
         let mut instrs = Vec::with_capacity(2 * n);
         let mut issued = 0usize;
-        for i in 0..n {
-            let cut = schedule.per_op[i].cut.max(pos[i] + 1).min(n);
+        for (i, per_op) in schedule.per_op.iter().enumerate() {
+            let cut = per_op.cut.max(pos[i] + 1).min(n);
             while issued < cut {
                 instrs.push(DeviceInstr::PreloadAsync {
                     op: schedule.order[issued],
@@ -281,7 +281,10 @@ mod tests {
         let (graph, prog) = lowered();
         for (i, spec) in prog.specs.iter().enumerate() {
             assert_eq!(spec.op, OpId(i));
-            assert_eq!(spec.hbm_load.is_zero(), graph.op(OpId(i)).hbm_load().is_zero());
+            assert_eq!(
+                spec.hbm_load.is_zero(),
+                graph.op(OpId(i)).hbm_load().is_zero()
+            );
             assert!(spec.cores_used > 0);
             assert!(spec.exec_len > Seconds::ZERO);
         }

@@ -78,7 +78,7 @@ pub fn candidate_orders(
         .filter(|i| span.ops.contains(i))
         .collect();
     let h = slots.len();
-    if h < 2 || h > 8 {
+    if !(2..=8).contains(&h) {
         return vec![identity];
     }
 
@@ -99,8 +99,7 @@ pub fn candidate_orders(
     let mut perms = permutations(h);
     perms.retain(|p| {
         let d = inversions(p);
-        opts.max_edit_distance.is_none_or(|cap| d <= cap)
-            && order_fits(p, &min_space, capacity)
+        opts.max_edit_distance.is_none_or(|cap| d <= cap) && order_fits(p, &min_space, capacity)
     });
     perms.sort_by_key(|p| (inversions(p), p.clone()));
 
@@ -180,7 +179,7 @@ fn heap_rec(k: usize, items: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
     }
     for i in 0..k {
         heap_rec(k - 1, items, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             items.swap(i, k - 1);
         } else {
             items.swap(0, k - 1);
@@ -239,7 +238,10 @@ mod tests {
         );
         assert!(orders.len() > 1, "should find reorder candidates");
         assert_eq!(orders[0].edit_distance, 0);
-        assert_eq!(orders[0].order, (0..graph.len()).map(OpId).collect::<Vec<_>>());
+        assert_eq!(
+            orders[0].order,
+            (0..graph.len()).map(OpId).collect::<Vec<_>>()
+        );
         // Sorted by edit distance.
         for w in orders.windows(2) {
             assert!(w[0].edit_distance <= w[1].edit_distance);
@@ -282,11 +284,8 @@ mod tests {
             system.chip.usable_sram_per_core(),
             &ReorderOptions::default(),
         );
-        let heavy: std::collections::HashSet<usize> = graph
-            .hbm_heavy_ops()
-            .iter()
-            .map(|i| i.index())
-            .collect();
+        let heavy: std::collections::HashSet<usize> =
+            graph.hbm_heavy_ops().iter().map(|i| i.index()).collect();
         for cand in orders.iter().skip(1) {
             for (slot, op) in cand.order.iter().enumerate() {
                 if op.index() != slot {
@@ -308,12 +307,7 @@ mod tests {
             enable: false,
             ..ReorderOptions::default()
         };
-        let orders = candidate_orders(
-            &graph,
-            &catalog,
-            system.chip.usable_sram_per_core(),
-            &opts,
-        );
+        let orders = candidate_orders(&graph, &catalog, system.chip.usable_sram_per_core(), &opts);
         assert_eq!(orders.len(), 1);
     }
 

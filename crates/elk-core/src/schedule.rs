@@ -146,8 +146,8 @@ impl<'a> Scheduler<'a> {
             .hbm
             .total_bandwidth()
             .min(chip.topology.hbm_injection_bandwidth(chip.cores));
-        let available = (fabric.bytes_per_sec() - hbm_rate.bytes_per_sec())
-            .max(fabric.bytes_per_sec() * 0.2);
+        let available =
+            (fabric.bytes_per_sec() - hbm_rate.bytes_per_sec()).max(fabric.bytes_per_sec() * 0.2);
         let with = exec_noc_bytes.as_f64() / available;
         let without = exec_noc_bytes.as_f64() / fabric.bytes_per_sec();
         Seconds::new((with - without).max(0.0))
@@ -214,10 +214,7 @@ impl<'a> Scheduler<'a> {
                     if best.is_none() {
                         return Err(CompileError::CapacityExceeded {
                             op: self.graph.op(op).name().to_string(),
-                            required: plans
-                                .exec_frontier
-                                .last()
-                                .map_or(Bytes::ZERO, |f| f.space),
+                            required: plans.exec_frontier.last().map_or(Bytes::ZERO, |f| f.space),
                             capacity,
                         });
                     }
@@ -230,9 +227,7 @@ impl<'a> Scheduler<'a> {
                     exe_start_next
                 };
                 let plan = plans.plan_at(alloc.current);
-                let exec_noc = Bytes::new(
-                    plan.shift_traffic.get().saturating_mul(plan.cores_used),
-                );
+                let exec_noc = Bytes::new(plan.shift_traffic.get().saturating_mul(plan.cores_used));
                 let contention = self.contention_penalty(p, exec_noc);
                 let exec_len = alloc.exec_time
                     + contention
@@ -241,10 +236,7 @@ impl<'a> Scheduler<'a> {
                 // impose on future executions (Fig. 11's joint objective).
                 let score = end_bound + exec_len + alloc.distribute_time;
                 let current_to_end = end_bound + exec_len;
-                if best
-                    .as_ref()
-                    .is_none_or(|(_, _, s, _)| score < *s)
-                {
+                if best.as_ref().is_none_or(|(_, _, s, _)| score < *s) {
                     best = Some((p, alloc, score, current_to_end));
                 }
             }
@@ -271,19 +263,13 @@ impl<'a> Scheduler<'a> {
                 + contention
                 + self.system.allreduce_time(self.graph.op(op).allreduce());
             let exe_start = end_bound + exec_len;
-            let cut = if p < pending.len() {
-                pending[p].pos
-            } else {
-                n
-            };
+            let cut = if p < pending.len() { pending[p].pos } else { n };
 
             // Place op i's own preload as late as the π order allows
             // (§4.2: just before its execution or before the next preload
             // in order, whichever is earlier).
             let insert_at = pending.partition_point(|q| q.pos < pos[i]);
-            let next_start = pending
-                .get(insert_at)
-                .map_or(Seconds::ZERO, |q| q.start);
+            let next_start = pending.get(insert_at).map_or(Seconds::ZERO, |q| q.start);
             let pre_end = exe_start.max(next_start);
             let pre_len = self.preload_duration(plans.preload_at(alloc.current, 0));
             pending.insert(
@@ -328,9 +314,7 @@ impl<'a> Scheduler<'a> {
             let cost = |pre: &PreloadPlan| self.preload_duration(pre) + pre.distribute_time;
             let mut best = s.preload_idx;
             for (k, pre) in plan.preload_plans.iter().enumerate() {
-                if pre.preload_space <= budget
-                    && cost(pre) < cost(&plan.preload_plans[best])
-                {
+                if pre.preload_space <= budget && cost(pre) < cost(&plan.preload_plans[best]) {
                     best = k;
                 }
             }

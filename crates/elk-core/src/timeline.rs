@@ -211,7 +211,10 @@ mod tests {
         let sched = Scheduler::new(&graph, &catalog, &system, ScheduleOptions::default())
             .schedule(&identity_order(graph.len()))
             .unwrap();
-        (system.clone(), DeviceProgram::lower(&graph, &catalog, &sched))
+        (
+            system.clone(),
+            DeviceProgram::lower(&graph, &catalog, &sched),
+        )
     }
 
     #[test]

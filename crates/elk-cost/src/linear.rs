@@ -90,13 +90,7 @@ impl LinearModel {
             x.len(),
             self.coef.len()
         );
-        self.intercept
-            + self
-                .coef
-                .iter()
-                .zip(x)
-                .map(|(c, v)| c * v)
-                .sum::<f64>()
+        self.intercept + self.coef.iter().zip(x).map(|(c, v)| c * v).sum::<f64>()
     }
 
     /// Fitted coefficients (without intercept).
@@ -131,8 +125,9 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
             if f == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= f * a[col][k];
+            let (upper, lower) = a.split_at_mut(row);
+            for (rv, pv) in lower[0][col..].iter_mut().zip(&upper[col][col..]) {
+                *rv -= f * pv;
             }
             b[row] -= f * b[col];
         }

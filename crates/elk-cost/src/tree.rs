@@ -167,6 +167,9 @@ fn best_split(
     let total_sse = sse(ys, idx);
     let mut best: Option<(usize, f64, f64)> = None;
 
+    // `f` is a feature index into every sample's row, not a position in
+    // one slice — a range loop is the natural shape here.
+    #[allow(clippy::needless_range_loop)]
     for f in 0..d {
         let mut vals: Vec<f64> = idx.iter().map(|&i| xs[i][f]).collect();
         vals.sort_by(|a, b| a.total_cmp(b));
@@ -203,7 +206,9 @@ mod tests {
 
     #[test]
     fn pure_linear_target_needs_one_leaf_quality() {
-        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, (i * i % 17) as f64]).collect();
+        let xs: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64, (i * i % 17) as f64])
+            .collect();
         let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] + 0.5 * x[1] + 1.0).collect();
         let tree = LinearTreeModel::fit(&xs, &ys, &TreeParams::default());
         for x in &xs {

@@ -169,10 +169,7 @@ mod tests {
     #[test]
     fn usable_sram_excludes_io_buffer() {
         let chip = presets::ipu_pod4().chip;
-        assert_eq!(
-            chip.usable_sram_per_core(),
-            Bytes::kib(624) - Bytes::kib(8)
-        );
+        assert_eq!(chip.usable_sram_per_core(), Bytes::kib(624) - Bytes::kib(8));
     }
 
     #[test]

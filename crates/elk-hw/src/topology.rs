@@ -154,7 +154,7 @@ impl fmt::Display for Topology {
 fn mesh_dims(cores: u64) -> (u32, u32) {
     assert!(cores > 0, "mesh needs at least one core");
     let mut rows = (cores as f64).sqrt().floor() as u64;
-    while rows > 1 && cores % rows != 0 {
+    while rows > 1 && !cores.is_multiple_of(rows) {
         rows -= 1;
     }
     let cols = cores / rows;

@@ -66,7 +66,7 @@ impl DitConfig {
     pub fn build(&self, workload: Workload, shards: u64) -> ModelGraph {
         assert!(shards > 0, "shard count must be > 0");
         assert!(
-            self.heads % shards == 0,
+            self.heads.is_multiple_of(shards),
             "heads ({}) must divide by shards ({shards})",
             self.heads
         );

@@ -244,7 +244,10 @@ mod tests {
             Workload::decode(1, 16),
             1,
             vec![mk("a", 1000), mk("b", 0), mk("c", 4000)],
-            vec![LayerSpan { layer: 0, ops: 0..3 }],
+            vec![LayerSpan {
+                layer: 0,
+                ops: 0..3,
+            }],
         )
     }
 
@@ -280,7 +283,10 @@ mod tests {
             g.workload(),
             1,
             g.ops().to_vec(),
-            vec![LayerSpan { layer: 0, ops: 0..9 }],
+            vec![LayerSpan {
+                layer: 0,
+                ops: 0..9,
+            }],
         );
     }
 }

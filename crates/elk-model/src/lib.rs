@@ -34,7 +34,7 @@ pub mod zoo;
 
 pub use dtype::DType;
 pub use graph::{LayerSpan, ModelGraph};
-pub use op::{OpId, OpKind, OpRole, Operator, OperandSource, ReduceKind, UnaryKind};
+pub use op::{OpId, OpKind, OpRole, OperandSource, Operator, ReduceKind, UnaryKind};
 pub use stats::GraphStats;
 pub use transformer::{NormKind, TransformerConfig};
 pub use workload::{Phase, Workload};

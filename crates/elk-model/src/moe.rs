@@ -57,8 +57,8 @@ impl MoeConfig {
     #[must_use]
     pub fn param_count(&self) -> u64 {
         let h = self.hidden;
-        let attn = h * (self.heads + 2 * self.kv_heads) * self.head_dim
-            + self.heads * self.head_dim * h;
+        let attn =
+            h * (self.heads + 2 * self.kv_heads) * self.head_dim + self.heads * self.head_dim * h;
         let expert = 3 * h * self.expert_intermediate;
         let router = h * self.experts;
         self.layers as u64 * (attn + self.experts * expert + router) + 2 * self.vocab * h
@@ -69,12 +69,11 @@ impl MoeConfig {
     #[must_use]
     pub fn active_param_count(&self) -> u64 {
         let h = self.hidden;
-        let attn = h * (self.heads + 2 * self.kv_heads) * self.head_dim
-            + self.heads * self.head_dim * h;
+        let attn =
+            h * (self.heads + 2 * self.kv_heads) * self.head_dim + self.heads * self.head_dim * h;
         let expert = 3 * h * self.expert_intermediate;
         let router = h * self.experts;
-        self.layers as u64 * (attn + self.experts_per_token * expert + router)
-            + 2 * self.vocab * h
+        self.layers as u64 * (attn + self.experts_per_token * expert + router) + 2 * self.vocab * h
     }
 
     /// Builds the per-shard operator graph using the generic-expert plan.
@@ -86,9 +85,12 @@ impl MoeConfig {
     #[must_use]
     pub fn build(&self, workload: Workload, shards: u64) -> ModelGraph {
         assert!(shards > 0, "shard count must be > 0");
-        assert!(self.heads % shards == 0, "heads must divide by shards");
         assert!(
-            self.expert_intermediate % shards == 0,
+            self.heads.is_multiple_of(shards),
+            "heads must divide by shards"
+        );
+        assert!(
+            self.expert_intermediate.is_multiple_of(shards),
             "expert intermediate must divide by shards"
         );
         // Reuse the dense-transformer builder for attention, then splice
@@ -194,7 +196,11 @@ impl MoeConfig {
                                     format!("l{l}.expert{e}.down"),
                                     OpRole::MlpDown,
                                     Some(l),
-                                    OpKind::MatMul { m: te, k: i_s, n: h },
+                                    OpKind::MatMul {
+                                        m: te,
+                                        k: i_s,
+                                        n: h,
+                                    },
                                     dtype,
                                     OperandSource::HbmWeight,
                                     dtype.bytes_for(i_s * h),
@@ -271,10 +277,7 @@ mod tests {
         let cfg = zoo::mixtral_8x7b();
         let g = cfg.build(Workload::decode(8, 512), 4);
         let span = &g.layer_spans()[1];
-        let names: Vec<&str> = g.ops()[span.ops.clone()]
-            .iter()
-            .map(|o| o.name())
-            .collect();
+        let names: Vec<&str> = g.ops()[span.ops.clone()].iter().map(|o| o.name()).collect();
         assert!(names.iter().any(|n| n.contains("router")));
         assert!(names.iter().any(|n| n.contains("expert0.up")));
         assert!(names.iter().any(|n| n.contains("expert1.down")));

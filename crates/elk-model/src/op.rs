@@ -182,9 +182,7 @@ impl OpKind {
             OpKind::BatchMatMul { batch, m, k, n } => {
                 2.0 * batch as f64 * m as f64 * k as f64 * n as f64
             }
-            OpKind::RowReduce { rows, cols, kind } => {
-                (rows * cols * kind.flops_per_elem()) as f64
-            }
+            OpKind::RowReduce { rows, cols, kind } => (rows * cols * kind.flops_per_elem()) as f64,
             OpKind::Elementwise { elems, kind, .. } => (elems * kind.flops_per_elem()) as f64,
             OpKind::Gather { .. } => 0.0,
         };

@@ -3,8 +3,8 @@ use serde::{Deserialize, Serialize};
 use elk_units::Bytes;
 
 use crate::{
-    DType, LayerSpan, ModelGraph, OpId, OpKind, OpRole, OperandSource, Operator, Phase,
-    ReduceKind, UnaryKind, Workload,
+    DType, LayerSpan, ModelGraph, OpId, OpKind, OpRole, OperandSource, Operator, Phase, ReduceKind,
+    UnaryKind, Workload,
 };
 
 /// Normalization flavour of a transformer architecture.
@@ -110,12 +110,12 @@ impl TransformerConfig {
     pub fn build(&self, workload: Workload, shards: u64) -> ModelGraph {
         assert!(shards > 0, "shard count must be > 0");
         assert!(
-            self.heads % shards == 0,
+            self.heads.is_multiple_of(shards),
             "heads ({}) must divide by shards ({shards})",
             self.heads
         );
         assert!(
-            self.intermediate % shards == 0,
+            self.intermediate.is_multiple_of(shards),
             "intermediate ({}) must divide by shards ({shards})",
             self.intermediate
         );
@@ -586,10 +586,7 @@ mod tests {
     #[test]
     fn allreduce_recorded_on_row_parallel_ops() {
         let g = zoo::llama2_13b().build(Workload::decode(8, 128), 4);
-        let n = g
-            .iter()
-            .filter(|o| !o.allreduce().is_zero())
-            .count();
+        let n = g.iter().filter(|o| !o.allreduce().is_zero()).count();
         assert_eq!(n, 2 * 40, "attn_out and mlp_down per layer");
     }
 }

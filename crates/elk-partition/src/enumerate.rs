@@ -127,7 +127,9 @@ impl<'a> Partitioner<'a> {
                     push(1, pm, 1, 1, 1, 1);
                 }
             }
-            OpKind::Gather { rows, table_rows, .. } => {
+            OpKind::Gather {
+                rows, table_rows, ..
+            } => {
                 let _ = rows;
                 for pm in split_candidates(table_rows, cores) {
                     push(1, pm, 1, 1, 1, 1);
@@ -241,7 +243,7 @@ impl<'a> Partitioner<'a> {
                 }
             })
             .collect();
-        plans.sort_by(|a, b| b.preload_space.cmp(&a.preload_space));
+        plans.sort_by_key(|p| std::cmp::Reverse(p.preload_space));
         plans.dedup_by_key(|p| p.preload_space);
         plans
     }
@@ -276,9 +278,7 @@ fn chunk_tile(kind: &OpKind, f: &PlanFactors, chunks: u64) -> TileShape {
         OpKind::Elementwise { elems, arity, .. } => {
             TileShape::elementwise(elems.div_ceil(f.pm), arity)
         }
-        OpKind::Gather { rows, width, .. } => {
-            TileShape::gather(rows.div_ceil(f.pm).max(1), width)
-        }
+        OpKind::Gather { rows, width, .. } => TileShape::gather(rows.div_ceil(f.pm).max(1), width),
     }
 }
 
@@ -329,6 +329,16 @@ fn rep_candidates(g: u64) -> Vec<u64> {
     }
     v.push(g);
     v
+}
+
+/// Average hop count for intra-group gathers on the topology (1 on
+/// all-to-all; ~⅔·√g on a mesh where group members are laid out in a
+/// near-square patch).
+fn group_hop_factor(topology: &Topology, group: u64) -> f64 {
+    match topology {
+        Topology::AllToAll { .. } => 1.0,
+        Topology::Mesh2d { .. } => (0.66 * (group as f64).sqrt()).max(1.0),
+    }
 }
 
 #[cfg(test)]
@@ -384,10 +394,7 @@ mod tests {
             .find(|o| o.name() == "l0.attn_qkv")
             .expect("qkv op");
         let plans = p.plans(qkv);
-        let fastest = plans
-            .iter()
-            .min_by_key(|p| p.exec_time)
-            .expect("non-empty");
+        let fastest = plans.iter().min_by_key(|p| p.exec_time).expect("non-empty");
         let smallest = plans
             .iter()
             .min_by_key(|p| p.exec_space)
@@ -497,16 +504,9 @@ mod tests {
     fn frac_rounds_up_exactly() {
         assert_eq!(frac(Bytes::new(10), 1, 3), Bytes::new(4));
         assert_eq!(frac(Bytes::new(10), 0, 3), Bytes::ZERO);
-        assert_eq!(frac(Bytes::new(u64::MAX / 2), 2, 1), Bytes::new(u64::MAX - 1));
-    }
-}
-
-/// Average hop count for intra-group gathers on the topology (1 on
-/// all-to-all; ~⅔·√g on a mesh where group members are laid out in a
-/// near-square patch).
-fn group_hop_factor(topology: &Topology, group: u64) -> f64 {
-    match topology {
-        Topology::AllToAll { .. } => 1.0,
-        Topology::Mesh2d { .. } => (0.66 * (group as f64).sqrt()).max(1.0),
+        assert_eq!(
+            frac(Bytes::new(u64::MAX / 2), 2, 1),
+            Bytes::new(u64::MAX - 1)
+        );
     }
 }

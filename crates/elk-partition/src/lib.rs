@@ -35,5 +35,5 @@
 mod enumerate;
 mod plan;
 
-pub use enumerate::{Partitioner, split_candidates};
+pub use enumerate::{split_candidates, Partitioner};
 pub use plan::{ExecutePlan, PlanFactors, PreloadPlan};

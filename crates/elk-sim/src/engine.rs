@@ -49,14 +49,25 @@ struct PreJob {
 
 enum ExecPhase {
     /// Gather the preload-state remainder from peers.
-    Distribute { noc: f64 },
+    Distribute {
+        noc: f64,
+    },
     /// Compute-shift rounds with SRAM blocking: traffic first, then
     /// compute (serialization order does not affect totals).
-    Shift { noc: f64 },
+    Shift {
+        noc: f64,
+    },
     /// Concurrent SRAM: traffic and compute drain together.
-    ShiftCompute { noc: f64, compute: f64 },
-    Compute { secs: f64 },
-    Allreduce { secs: f64 },
+    ShiftCompute {
+        noc: f64,
+        compute: f64,
+    },
+    Compute {
+        secs: f64,
+    },
+    Allreduce {
+        secs: f64,
+    },
 }
 
 struct ActiveExec {
@@ -132,8 +143,7 @@ impl<'a> Engine<'a> {
             .specs
             .iter()
             .map(|s| {
-                let compute_secs =
-                    (device.tile_time(&s.tile) * s.chunks as f64).as_secs();
+                let compute_secs = (device.tile_time(&s.tile) * s.chunks as f64).as_secs();
                 let dist_bytes = s.distribute_traffic.as_f64() * s.cores_used as f64;
                 let shift_bytes = s.shift_traffic.as_f64() * s.cores_used as f64;
                 let exec_noc_cap = (shift_bw * s.cores_used as f64).min(fabric);
@@ -262,9 +272,7 @@ impl<'a> Engine<'a> {
         let c = &self.costs[op];
         if self.blocking {
             if c.shift_bytes > 0.0 {
-                ExecPhase::Shift {
-                    noc: c.shift_bytes,
-                }
+                ExecPhase::Shift { noc: c.shift_bytes }
             } else {
                 ExecPhase::Compute {
                     secs: c.compute_secs,
@@ -416,8 +424,7 @@ impl<'a> Engine<'a> {
                 self.active_pre = None;
             }
         }
-        loop {
-            let Some(e) = &self.active_exec else { break };
+        while let Some(e) = &self.active_exec {
             let op = e.op;
             let next = match &e.phase {
                 ExecPhase::Distribute { noc } if *noc <= EPS => Some(self.after_distribute(op)),
@@ -512,10 +519,7 @@ impl<'a> Engine<'a> {
     fn finish(self) -> SimReport {
         let total = Seconds::new(self.t.max(0.0));
         let chip = &self.system.chip;
-        let raw_noc = chip
-            .topology
-            .total_bandwidth(chip.cores)
-            .bytes_per_sec();
+        let raw_noc = chip.topology.total_bandwidth(chip.cores).bytes_per_sec();
         let hbm_bw = self.system.hbm.total_bandwidth().bytes_per_sec();
         let denom = (self.t.max(1e-30)) * raw_noc;
         let noc_util_preload = self.link_bytes_pre / denom;
@@ -620,8 +624,16 @@ mod tests {
     fn utilizations_are_fractions() {
         let (system, program) = compiled();
         let rep = simulate(&program, &system, &SimOptions::default());
-        assert!((0.0..=1.0 + 1e-9).contains(&rep.hbm_util), "{}", rep.hbm_util);
-        assert!(rep.noc_util >= 0.0 && rep.noc_util <= 1.0 + 1e-9, "{}", rep.noc_util);
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&rep.hbm_util),
+            "{}",
+            rep.hbm_util
+        );
+        assert!(
+            rep.noc_util >= 0.0 && rep.noc_util <= 1.0 + 1e-9,
+            "{}",
+            rep.noc_util
+        );
         assert!(rep.hbm_util > 0.05, "HBM should be meaningfully used");
     }
 
@@ -676,16 +688,11 @@ mod tests {
     #[test]
     fn trace_covers_makespan() {
         let (system, program) = compiled();
-        let rep = simulate(
-            &program,
-            &system,
-            &SimOptions::default().with_trace(64),
-        );
+        let rep = simulate(&program, &system, &SimOptions::default().with_trace(64));
         let trace = rep.trace.expect("trace requested");
         assert_eq!(trace.hbm.len(), 64);
         // Mean traced HBM rate must reproduce total bytes.
-        let traced: f64 =
-            trace.hbm.iter().sum::<f64>() * trace.dt.as_secs();
+        let traced: f64 = trace.hbm.iter().sum::<f64>() * trace.dt.as_secs();
         let err = (traced - rep.hbm_bytes.as_f64()).abs() / rep.hbm_bytes.as_f64();
         assert!(err < 0.02, "traced {traced} vs {}", rep.hbm_bytes);
     }

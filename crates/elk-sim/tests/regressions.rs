@@ -14,7 +14,9 @@ use elk_sim::{simulate, SimOptions};
 fn exec_engine_does_not_idle_behind_preloads() {
     let system = presets::ipu_pod4();
     let graph = zoo::llama2_13b().build(Workload::decode(32, 2048), 4);
-    let plan = Compiler::new(system.clone()).compile(&graph).expect("compile");
+    let plan = Compiler::new(system.clone())
+        .compile(&graph)
+        .expect("compile");
     let report = simulate(&plan.program, &system, &SimOptions::default());
     assert!(
         report.overlap_fraction() > 0.6,
@@ -44,7 +46,9 @@ fn trace_rasterization_terminates_and_conserves() {
     let mut cfg = zoo::llama2_13b();
     cfg.layers = 4;
     let graph = cfg.build(Workload::decode(32, 2048), 4);
-    let plan = Compiler::new(system.clone()).compile(&graph).expect("compile");
+    let plan = Compiler::new(system.clone())
+        .compile(&graph)
+        .expect("compile");
     for samples in [7usize, 32, 48, 100, 255] {
         let report = simulate(
             &plan.program,
@@ -73,7 +77,9 @@ fn chains_of_instant_preloads_make_progress() {
     dit.layers = 6;
     let graph = dit.build(Workload::decode(2, 256), 1);
     let single = presets::single_chip();
-    let plan = Compiler::new(single.clone()).compile(&graph).expect("compile");
+    let plan = Compiler::new(single.clone())
+        .compile(&graph)
+        .expect("compile");
     let report = simulate(&plan.program, &single, &SimOptions::default());
     assert!(report.total.as_secs() > 0.0);
     assert_eq!(report.capacity_violations, 0);
@@ -88,7 +94,9 @@ fn noise_seed_perturbs_measurements_boundedly() {
     let mut cfg = zoo::opt_30b();
     cfg.layers = 3;
     let graph = cfg.build(Workload::decode(16, 1024), 4);
-    let plan = Compiler::new(system.clone()).compile(&graph).expect("compile");
+    let plan = Compiler::new(system.clone())
+        .compile(&graph)
+        .expect("compile");
     let a = simulate(
         &plan.program,
         &system,

@@ -196,7 +196,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             Seconds::from_millis(3.0),
             Seconds::ZERO,
             Seconds::from_micros(5.0),

@@ -44,8 +44,7 @@ fn main() -> Result<(), elk::compiler::CompileError> {
         let spec = &plan.program.specs[i];
         println!(
             "  {:<16} tile {} x{} on {} cores, exec space {}, preload {}",
-            spec.name, spec.tile, spec.chunks, spec.cores_used, spec.exec_space,
-            spec.preload_space,
+            spec.name, spec.tile, spec.chunks, spec.cores_used, spec.exec_space, spec.preload_space,
         );
     }
 

@@ -23,7 +23,10 @@ fn main() -> Result<(), elk::compiler::CompileError> {
     };
 
     let runner = DesignRunner::new(presets::ipu_pod4());
-    println!("{} decode, seq_len {seq}, 4 chips, 16 TB/s pod HBM", cfg.name);
+    println!(
+        "{} decode, seq_len {seq}, 4 chips, 16 TB/s pod HBM",
+        cfg.name
+    );
     println!(
         "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "batch", "Basic", "Static", "ELK-Dyn", "ELK-Full", "Ideal"

@@ -1,0 +1,163 @@
+//! Minimal offline stand-in for the `criterion` bench API used by
+//! `elk-bench`: `Criterion`, benchmark groups, `Bencher::iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!`
+//! macros.
+//!
+//! Instead of criterion's statistical sampling, each benchmark runs a
+//! short warmup, then times a fixed batch and prints the mean
+//! iteration time. That keeps `cargo bench` fast and dependency-free
+//! while still exercising every bench path and producing comparable
+//! numbers run-to-run. Set `ELK_BENCH_ITERS` to raise the measured
+//! iteration count for lower-variance numbers.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+fn measured_iters() -> u32 {
+    std::env::var("ELK_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+}
+
+/// Batch sizing hint; accepted for API compatibility, the shim times
+/// each batch element individually regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; runs and times the workload.
+pub struct Bencher {
+    iters: u32,
+    /// Mean seconds per iteration of the last `iter*` call.
+    last_mean: f64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            iters: measured_iters(),
+            last_mean: 0.0,
+        }
+    }
+
+    /// Times `f`, discarding one warmup run.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std_black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.last_mean = start.elapsed().as_secs_f64() / f64::from(self.iters);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup
+    /// time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std_black_box(routine(setup()));
+        let mut total = 0.0;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            total += start.elapsed().as_secs_f64();
+        }
+        self.last_mean = total / f64::from(self.iters);
+    }
+}
+
+fn print_result(id: &str, mean_secs: f64) {
+    let (value, unit) = if mean_secs >= 1.0 {
+        (mean_secs, "s")
+    } else if mean_secs >= 1e-3 {
+        (mean_secs * 1e3, "ms")
+    } else if mean_secs >= 1e-6 {
+        (mean_secs * 1e6, "µs")
+    } else {
+        (mean_secs * 1e9, "ns")
+    };
+    println!("{id:<40} {value:>10.3} {unit}/iter");
+}
+
+/// Top-level bench driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        print_result(id, b.last_mean);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim's fixed iteration count is
+    /// controlled by `ELK_BENCH_ITERS` instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        print_result(&format!("{}/{id}", self.name), b.last_mean);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

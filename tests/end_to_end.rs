@@ -39,7 +39,9 @@ fn dit_compiles_on_single_chip() {
     let mut dit = zoo::dit_xl();
     dit.layers = 4;
     let graph = dit.build(Workload::decode(4, 256), 1);
-    let plan = Compiler::new(system.clone()).compile(&graph).expect("compile");
+    let plan = Compiler::new(system.clone())
+        .compile(&graph)
+        .expect("compile");
     let report = simulate(&plan.program, &system, &SimOptions::default());
     assert_eq!(report.capacity_violations, 0);
     // Diffusion is compute-bound: HBM utilization should be low.
@@ -52,7 +54,9 @@ fn training_forward_compiles() {
     let mut cfg = zoo::llama2_13b();
     cfg.layers = 2;
     let graph = cfg.build(Workload::training_forward(2, 1024), 4);
-    let plan = Compiler::new(system.clone()).compile(&graph).expect("compile");
+    let plan = Compiler::new(system.clone())
+        .compile(&graph)
+        .expect("compile");
     let report = simulate(&plan.program, &system, &SimOptions::default());
     assert_eq!(report.capacity_violations, 0);
     // Training is compute-bound: achieved TFLOPS far above decode levels.
@@ -80,7 +84,9 @@ fn runner_and_compiler_agree_on_elk_full() {
     let mut cfg = zoo::llama2_13b();
     cfg.layers = 2;
     let graph = cfg.build(Workload::decode(16, 1024), 4);
-    let direct = Compiler::new(system.clone()).compile(&graph).expect("direct");
+    let direct = Compiler::new(system.clone())
+        .compile(&graph)
+        .expect("direct");
     let runner = DesignRunner::new(system);
     let catalog = runner.catalog(&graph).expect("catalog");
     let via_runner = runner

@@ -1,0 +1,95 @@
+//! Golden-value regression test: a small fixed model on a fixed preset
+//! must keep producing the exact same compiled program and simulator
+//! report. Any cost-model, partitioner, scheduler, or simulator change
+//! that shifts these numbers is *visible* — if the shift is intended,
+//! update the constants below in the same commit and say why.
+//!
+//! The pipeline is fully deterministic (the profile RNG is seeded, the
+//! schedule search is exhaustive over a fixed candidate set), so the
+//! float comparisons use a tight relative tolerance that only absorbs
+//! cross-platform libm differences.
+
+use elk::prelude::*;
+
+/// Relative tolerance for pinned floats.
+const REL: f64 = 1e-9;
+
+fn assert_close(name: &str, got: f64, want: f64) {
+    let tol = REL * want.abs().max(1e-300);
+    assert!(
+        (got - want).abs() <= tol,
+        "{name} drifted: got {got:?}, pinned {want:?}"
+    );
+}
+
+#[test]
+fn small_llama_decode_on_ipu_pod4_matches_pinned_report() {
+    let mut cfg = zoo::llama2_13b();
+    cfg.layers = 2;
+    let graph = cfg.build(Workload::decode(16, 512), 4);
+    let system = presets::ipu_pod4();
+
+    let plan = Compiler::new(system.clone())
+        .compile(&graph)
+        .expect("compile");
+    let report = simulate(&plan.program, &system, &SimOptions::default());
+
+    // Program shape.
+    assert_eq!(plan.program.specs.len(), 31, "operator count");
+    assert_eq!(plan.program.instrs.len(), 62, "instruction count");
+    assert_eq!(plan.program.validate(), Ok(()));
+
+    // Soundness.
+    assert_eq!(report.capacity_violations, 0);
+    assert_eq!(plan.estimate.capacity_violations, 0);
+    assert_eq!(report.exec_spans.len(), 31);
+
+    // Exact integer quantities.
+    assert_eq!(report.hbm_bytes, Bytes::new(564_971_520), "HBM read volume");
+    assert_eq!(report.peak_resident, Bytes::new(181_782), "peak residency");
+
+    // Pinned latencies (seconds).
+    assert_close("total", report.total.as_secs(), 1.931_976_061_036_663_2e-4);
+    assert_close(
+        "estimate.total",
+        plan.estimate.total.as_secs(),
+        2.261_333_889_447_634_4e-4,
+    );
+
+    // Per-phase makespan decomposition (Fig. 18/20 buckets).
+    assert_close(
+        "buckets.preload",
+        report.buckets.preload.as_secs(),
+        1.874_645_149_230_957e-5,
+    );
+    assert_close(
+        "buckets.execute",
+        report.buckets.execute.as_secs(),
+        6.179_917_201_427_709e-5,
+    );
+    assert_close(
+        "buckets.overlapped",
+        report.buckets.overlapped.as_secs(),
+        1.102_910_526_432_444_5e-4,
+    );
+    assert_close(
+        "buckets.interconnect",
+        report.buckets.interconnect.as_secs(),
+        2.360_929_953_835_227_3e-6,
+    );
+    assert_close("buckets.idle", report.buckets.idle.as_secs(), 0.0);
+    assert_close(
+        "buckets sum equals makespan",
+        report.buckets.total().as_secs(),
+        report.total.as_secs(),
+    );
+
+    // Utilizations.
+    assert_close("hbm_util", report.hbm_util, 0.664_913_264_785_591_7);
+    assert_close("noc_util", report.noc_util, 0.443_561_060_748_087_27);
+    assert_close(
+        "achieved TFLOPS",
+        report.achieved.get(),
+        3.350_737_004_746_536_3e13,
+    );
+}

@@ -11,27 +11,29 @@ use elk::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = TransformerConfig> {
     (
-        1u32..=3,              // layers
+        1u32..=3,                                       // layers
         prop::sample::select(vec![512u64, 1024, 2048]), // hidden
         prop::sample::select(vec![8u64, 16]),           // heads
         prop::sample::select(vec![1u64, 2, 4]),         // kv group divisor
-        any::<bool>(),          // glu
-        any::<bool>(),          // rope
+        any::<bool>(),                                  // glu
+        any::<bool>(),                                  // rope
     )
-        .prop_map(|(layers, hidden, heads, kv_div, glu, rope)| TransformerConfig {
-            name: format!("prop-{hidden}h{heads}"),
-            layers,
-            hidden,
-            heads,
-            kv_heads: (heads / kv_div).max(4),
-            head_dim: hidden / heads,
-            intermediate: hidden * 3,
-            vocab: 8192,
-            glu,
-            norm: if glu { NormKind::Rms } else { NormKind::Layer },
-            rope,
-            post_norms: false,
-        })
+        .prop_map(
+            |(layers, hidden, heads, kv_div, glu, rope)| TransformerConfig {
+                name: format!("prop-{hidden}h{heads}"),
+                layers,
+                hidden,
+                heads,
+                kv_heads: (heads / kv_div).max(4),
+                head_dim: hidden / heads,
+                intermediate: hidden * 3,
+                vocab: 8192,
+                glu,
+                norm: if glu { NormKind::Rms } else { NormKind::Layer },
+                rope,
+                post_norms: false,
+            },
+        )
 }
 
 fn arb_workload() -> impl Strategy<Value = Workload> {

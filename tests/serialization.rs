@@ -34,7 +34,9 @@ fn schedule_round_trips_through_json() {
 #[test]
 fn sim_report_round_trips_through_json() {
     let (system, graph) = fixture();
-    let plan = Compiler::new(system.clone()).compile(&graph).expect("compile");
+    let plan = Compiler::new(system.clone())
+        .compile(&graph)
+        .expect("compile");
     let report = simulate(
         &plan.program,
         &system,
