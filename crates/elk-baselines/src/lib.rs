@@ -31,6 +31,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod basic;
 mod ideal;
 mod manual;

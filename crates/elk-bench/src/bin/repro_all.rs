@@ -22,6 +22,7 @@ fn main() {
         ("fig22", elk_bench::experiments::fig22::run),
         ("fig23", elk_bench::experiments::fig23::run),
         ("fig24", elk_bench::experiments::fig24::run),
+        ("serving", elk_bench::experiments::serving::run),
     ];
     let t0 = Instant::now();
     for (id, run) in experiments {

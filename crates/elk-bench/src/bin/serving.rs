@@ -1,0 +1,6 @@
+//! Request-level serving experiment. See `elk_bench::experiments::serving`.
+
+fn main() {
+    let mut ctx = elk_bench::Ctx::new("serving");
+    elk_bench::experiments::serving::run(&mut ctx);
+}

@@ -11,12 +11,18 @@ use elk_units::{Bytes, Seconds};
 
 use crate::ctx::{build_llm, default_system, Ctx};
 
+/// Allocator-vs-ILP comparison summary.
 #[derive(Debug, Serialize)]
 pub struct Summary {
+    /// Scheduling windows compared.
     pub windows: usize,
+    /// Windows where the greedy allocator matched the ILP optimum.
     pub agreements: usize,
+    /// Mean objective gap to the optimum (fraction).
     pub mean_gap: f64,
+    /// Worst-case objective gap (fraction).
     pub worst_gap: f64,
+    /// Windows where one side found a fit the other missed.
     pub feasibility_mismatches: usize,
 }
 

@@ -10,13 +10,20 @@ use elk_sim::{simulate, SimOptions};
 
 use crate::ctx::{default_system, Ctx};
 
+/// One preload-reorder budget point.
 #[derive(Debug, Serialize)]
 pub struct Row {
+    /// Edit-distance cap label.
     pub edit_cap: String,
+    /// Candidate preload orders evaluated.
     pub orders_considered: usize,
+    /// Edit distance of the chosen order.
     pub chosen_edit_distance: usize,
+    /// Simulated step latency (ms).
     pub latency_ms: f64,
+    /// Time throttled by interconnect contention (ms).
     pub interconnect_ms: f64,
+    /// Compile wall-clock (s).
     pub compile_seconds: f64,
 }
 

@@ -13,10 +13,14 @@ use elk_sim::SimOptions;
 use crate::ctx::{build_llm, default_system, Ctx};
 use crate::experiments::run_designs;
 
+/// One SRAM-scaling point.
 #[derive(Debug, Serialize)]
 pub struct Row {
+    /// Per-core SRAM label.
     pub sram: String,
+    /// Design name.
     pub design: String,
+    /// Simulated step latency (ms).
     pub latency_ms: f64,
 }
 

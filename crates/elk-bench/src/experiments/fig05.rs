@@ -8,9 +8,12 @@ use elk_model::{zoo, OpRole};
 
 use crate::ctx::{build_llm, default_system, default_workload, Ctx};
 
+/// Pareto frontier of one operator's partition plans.
 #[derive(Debug, Serialize)]
 pub struct Series {
+    /// Model name.
     pub model: String,
+    /// Operator name.
     pub op: String,
     /// `(execution space KiB, execution time us)` Pareto points.
     pub points: Vec<(f64, f64)>,

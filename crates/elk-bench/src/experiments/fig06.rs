@@ -11,9 +11,12 @@ use elk_units::Bytes;
 
 use crate::ctx::{build_llm, default_system, default_workload, Ctx};
 
+/// HBM-demand time series for one preload-space size.
 #[derive(Debug, Serialize)]
 pub struct Series {
+    /// Model name.
     pub model: String,
+    /// Preload-space size (KiB per core).
     pub preload_space_kib: u64,
     /// Mean HBM demand per time bucket, TB/s.
     pub hbm_tbps: Vec<f64>,

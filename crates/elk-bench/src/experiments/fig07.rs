@@ -12,12 +12,16 @@ use elk_sim::{simulate, SimOptions};
 use crate::ctx::{build_llm, default_system, default_workload, Ctx};
 use crate::experiments::fig06::sparkline;
 
+/// Inter-core traffic time series for one preload-state mode.
 #[derive(Debug, Serialize)]
 pub struct Series {
+    /// Model name.
     pub model: String,
+    /// Preload-state mode label.
     pub mode: String,
     /// Mean per-core inter-core demand per bucket, GB/s.
     pub intercore_gbps: Vec<f64>,
+    /// Mean of the series (GB/s).
     pub mean_gbps: f64,
 }
 

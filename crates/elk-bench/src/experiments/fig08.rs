@@ -11,12 +11,16 @@ use crate::ctx::{default_system, Ctx};
 use crate::experiments::fig06::sparkline;
 use crate::experiments::fig07::trace_mode;
 
+/// Total fabric-demand time series for one preload-state mode.
 #[derive(Debug, Serialize)]
 pub struct Series {
+    /// Model name.
     pub model: String,
+    /// Preload-state mode label.
     pub mode: String,
     /// Total per-core fabric demand per bucket, GB/s.
     pub noc_gbps: Vec<f64>,
+    /// Coefficient of variation of the demand (spikiness metric).
     pub cv: f64,
 }
 

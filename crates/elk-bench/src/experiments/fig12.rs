@@ -7,10 +7,14 @@ use elk_cost::{AccuracyReport, AnalyticDevice, LearnedCostModel, OpClass, Profil
 
 use crate::ctx::{default_system, Ctx};
 
+/// Cost-model accuracy panel for one prediction subject.
 #[derive(Debug, Serialize)]
 pub struct Panel {
+    /// What is being predicted (execution / preload / e2e).
     pub subject: String,
+    /// Mean absolute percentage error.
     pub mape: f64,
+    /// R-squared in log space.
     pub r2_log: f64,
     /// A subsample of `(predicted us, measured us)` pairs.
     pub sample_pairs: Vec<(f64, f64)>,

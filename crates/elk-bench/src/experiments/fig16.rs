@@ -9,12 +9,18 @@ use elk_model::Workload;
 
 use crate::ctx::{build_llm, default_system, llms, Ctx};
 
+/// Compile-time measurement for one model/batch point.
 #[derive(Debug, Serialize)]
 pub struct Row {
+    /// Model name.
     pub model: String,
+    /// Batch size.
     pub batch: u64,
+    /// Compile wall-clock (s).
     pub compile_seconds: f64,
+    /// Candidate preload orders evaluated.
     pub orders_considered: usize,
+    /// Edit distance of the chosen order.
     pub chosen_edit_distance: usize,
 }
 

@@ -10,10 +10,14 @@ use elk_sim::SimOptions;
 use crate::ctx::{build_llm, default_system, llms, ms, Ctx};
 use crate::experiments::run_designs;
 
+/// Per-token serving latency of one model/seq/batch point.
 #[derive(Debug, Serialize)]
 pub struct Row {
+    /// Model name.
     pub model: String,
+    /// Sequence length.
     pub seq_len: u64,
+    /// Batch size.
     pub batch: u64,
     /// Latency (ms) per design, in `Design::ALL` order.
     pub latency_ms: Vec<f64>,

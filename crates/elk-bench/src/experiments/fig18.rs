@@ -10,17 +10,28 @@ use elk_sim::SimOptions;
 use crate::ctx::{build_llm, default_system, default_workload, llms, pct, Ctx};
 use crate::experiments::{pod_tflops, run_designs};
 
+/// Time-breakdown and utilization of one model under one design.
 #[derive(Debug, Serialize)]
 pub struct Row {
+    /// Model name.
     pub model: String,
+    /// Design name.
     pub design: String,
+    /// Preload-only time (ms).
     pub preload_ms: f64,
+    /// Execute-only time (ms).
     pub execute_ms: f64,
+    /// Overlapped preload/execute time (ms).
     pub overlapped_ms: f64,
+    /// Interconnect-throttled time (ms).
     pub interconnect_ms: f64,
+    /// Mean HBM bandwidth utilization.
     pub hbm_util: f64,
+    /// NoC utilization share from preloads.
     pub noc_util_preload: f64,
+    /// NoC utilization share from inter-core sharing.
     pub noc_util_intercore: f64,
+    /// Achieved pod-level TFLOPS.
     pub pod_tflops: f64,
 }
 

@@ -10,10 +10,14 @@ use elk_units::ByteRate;
 use crate::ctx::{build_llm, default_workload, llms, Ctx};
 use crate::experiments::run_designs;
 
+/// Latency across designs for one topology/HBM point.
 #[derive(Debug, Serialize)]
 pub struct Row {
+    /// Interconnect topology label.
     pub topology: String,
+    /// Model name.
     pub model: String,
+    /// Pod HBM bandwidth (TB/s).
     pub hbm_tbps: f64,
     /// Latency (ms) per design in `Design::ALL` order.
     pub latency_ms: Vec<f64>,

@@ -12,14 +12,22 @@ use elk_units::ByteRate;
 use crate::ctx::{build_llm, default_workload, Ctx};
 use crate::experiments::run_designs;
 
+/// Time breakdown for one HBM-bandwidth point under one design.
 #[derive(Debug, Serialize)]
 pub struct Row {
+    /// Pod HBM bandwidth (TB/s).
     pub hbm_tbps: f64,
+    /// Design name.
     pub design: String,
+    /// Preload-only time (ms).
     pub preload_ms: f64,
+    /// Execute-only time (ms).
     pub execute_ms: f64,
+    /// Overlapped preload/execute time (ms).
     pub overlapped_ms: f64,
+    /// Interconnect-throttled time (ms).
     pub interconnect_ms: f64,
+    /// Total makespan (ms).
     pub total_ms: f64,
 }
 

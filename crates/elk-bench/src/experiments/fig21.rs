@@ -6,10 +6,14 @@ use serde::Serialize;
 use crate::ctx::{pct, Ctx};
 use crate::experiments::fig19::sweep;
 
+/// NoC utilization across designs for one topology/HBM point.
 #[derive(Debug, Serialize)]
 pub struct Row {
+    /// Interconnect topology label.
     pub topology: String,
+    /// Model name.
     pub model: String,
+    /// Pod HBM bandwidth (TB/s).
     pub hbm_tbps: f64,
     /// NoC utilization per design in `Design::ALL` order.
     pub noc_util: Vec<f64>,

@@ -12,10 +12,14 @@ use elk_units::ByteRate;
 use crate::ctx::{build_llm, default_workload, Ctx};
 use crate::experiments::run_designs;
 
+/// Latency across designs for one NoC/HBM bandwidth point.
 #[derive(Debug, Serialize)]
 pub struct Row {
+    /// Interconnect topology label.
     pub topology: String,
+    /// Per-chip NoC bandwidth (TB/s).
     pub noc_tbps: f64,
+    /// Pod HBM bandwidth (TB/s).
     pub hbm_tbps: f64,
     /// Latency (ms) per design in `Design::ALL` order.
     pub latency_ms: Vec<f64>,

@@ -12,9 +12,12 @@ use elk_units::ByteRate;
 use crate::ctx::{default_workload, Ctx};
 use crate::experiments::run_designs;
 
+/// Latency across designs for one core-count point.
 #[derive(Debug, Serialize)]
 pub struct Row {
+    /// Model name.
     pub model: String,
+    /// Cores per chip.
     pub cores: u64,
     /// Latency (ms) per design in `Design::ALL` order.
     pub latency_ms: Vec<f64>,

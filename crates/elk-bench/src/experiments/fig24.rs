@@ -13,11 +13,16 @@ use elk_units::ByteRate;
 use crate::ctx::Ctx;
 use crate::experiments::{pod_tflops, run_designs};
 
+/// Achieved training throughput for one projected-hardware point.
 #[derive(Debug, Serialize)]
 pub struct Row {
+    /// Interconnect topology label.
     pub topology: String,
+    /// Per-chip NoC bandwidth (TB/s).
     pub noc_tbps: f64,
+    /// Per-chip HBM bandwidth (GB/s).
     pub hbm_gbps: f64,
+    /// Hardware peak pod TFLOPS.
     pub available_tflops: f64,
     /// Achieved pod TFLOPS for Static, ELK-Full, Ideal.
     pub achieved: Vec<f64>,

@@ -18,6 +18,7 @@ pub mod fig21;
 pub mod fig22;
 pub mod fig23;
 pub mod fig24;
+pub mod serving;
 pub mod table2;
 
 use elk_baselines::{Design, DesignOutcome, DesignRunner};

@@ -13,13 +13,20 @@ use elk_units::Bytes;
 
 use crate::ctx::{build_llm, default_system, default_workload, Ctx};
 
+/// Table 2 statistics for one model.
 #[derive(Debug, Serialize)]
 pub struct Row {
+    /// Model name.
     pub model: String,
+    /// Cores per chip (`C`).
     pub c: usize,
+    /// HBM-heavy operators per layer (`H`).
     pub h: usize,
+    /// Partition plans per heavy operator (`P`).
     pub p: usize,
+    /// Preload-state choices per heavy operator (`K`).
     pub k: usize,
+    /// Total operators per shard (`N`).
     pub n: usize,
 }
 

@@ -20,6 +20,19 @@
 //! Set `ELK_FULL=1` for the complete parameter grids (several times
 //! slower); the default "quick" grids cover every series with fewer
 //! points.
+//!
+//! Programmatic use — every experiment is a library function over a
+//! [`Ctx`]:
+//!
+//! ```
+//! let mut ctx = elk_bench::Ctx::new("doctest");
+//! ctx.table(
+//!     &["design", "ms"],
+//!     &[vec!["ELK-Full".into(), "4.87".into()]],
+//! );
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod ctx;
 pub mod experiments;

@@ -33,6 +33,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod alloc;
 mod compiler;
 mod error;

@@ -9,7 +9,7 @@
 //!   for the hardware. It exposes deterministic measurement noise, so
 //!   "profiling" it produces realistic imperfect samples.
 //! * [`LinearTreeModel`] / [`LearnedCostModel`] — the same model family the
-//!   paper uses ([10]): a regression tree whose leaves are ordinary
+//!   paper uses (its reference \[10\]): a regression tree whose leaves are ordinary
 //!   least-squares linear models over tile-shape features.
 //!
 //! The compiler plans with the *learned* model while the simulator charges
@@ -28,6 +28,8 @@
 //! let ratio = predicted.as_secs() / measured.as_secs();
 //! assert!((0.5..2.0).contains(&ratio));
 //! ```
+
+#![warn(missing_docs)]
 
 mod accuracy;
 mod analytic;

@@ -22,6 +22,8 @@
 //! assert!(noc.bytes_per_sec() > 7.5e12);
 //! ```
 
+#![warn(missing_docs)]
+
 mod chip;
 mod hbm;
 mod system;

@@ -21,6 +21,9 @@
 //! assert!(graph.total_hbm_load().get() > 0);
 //! ```
 
+#![warn(missing_docs)]
+
+mod bucket;
 mod dtype;
 mod graph;
 mod op;
@@ -32,6 +35,7 @@ pub mod dit;
 pub mod moe;
 pub mod zoo;
 
+pub use bucket::{pow2_at_least, SeqBuckets};
 pub use dtype::DType;
 pub use graph::{LayerSpan, ModelGraph};
 pub use op::{OpId, OpKind, OpRole, OperandSource, Operator, ReduceKind, UnaryKind};

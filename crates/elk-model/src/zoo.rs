@@ -5,6 +5,45 @@ use crate::dit::DitConfig;
 use crate::moe::MoeConfig;
 use crate::{NormKind, TransformerConfig};
 
+/// A model alias paired with its constructor.
+pub type LlmAlias = (&'static str, fn() -> TransformerConfig);
+
+/// CLI aliases of the evaluation LLMs, in Table 2 order, paired with
+/// their constructors — the single source of truth for name-based
+/// lookups.
+pub const LLM_ALIASES: [LlmAlias; 4] = [
+    ("llama13", llama2_13b),
+    ("gemma27", gemma2_27b),
+    ("opt30", opt_30b),
+    ("llama70", llama2_70b),
+];
+
+/// Resolves a CLI model alias (e.g. `"llama13"`).
+///
+/// # Errors
+///
+/// Returns a message listing the valid aliases when `name` is unknown.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(elk_model::zoo::by_name("opt30").unwrap().name, "OPT-30B");
+/// assert!(elk_model::zoo::by_name("gpt5").is_err());
+/// ```
+pub fn by_name(name: &str) -> Result<TransformerConfig, String> {
+    LLM_ALIASES
+        .iter()
+        .find(|(alias, _)| *alias == name)
+        .map(|(_, build)| build())
+        .ok_or_else(|| {
+            let valid: Vec<&str> = LLM_ALIASES.iter().map(|(a, _)| *a).collect();
+            format!(
+                "unknown model '{name}': expected one of {}",
+                valid.join(", ")
+            )
+        })
+}
+
 /// Llama-2-13B: 40 layers, hidden 5120, 40 heads (MHA), SwiGLU FFN.
 #[must_use]
 pub fn llama2_13b() -> TransformerConfig {

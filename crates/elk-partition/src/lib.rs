@@ -1,7 +1,8 @@
 //! Single-operator partition plans for ICCA chips (§2.2, §4.3, §5).
 //!
 //! Elk does not invent its own intra-operator execution model: it consumes
-//! partition plans produced by compute-shift-style compilers (T10 [34]) and
+//! partition plans produced by compute-shift-style compilers (T10, the
+//! paper's reference \[34\]) and
 //! trades them off globally. This crate is that plan generator, built from
 //! scratch:
 //!
@@ -31,6 +32,8 @@
 //! let plans = partitioner.plans(&graph.ops()[1]); // attn_norm
 //! assert!(!plans.is_empty());
 //! ```
+
+#![warn(missing_docs)]
 
 mod enumerate;
 mod plan;

@@ -1,0 +1,185 @@
+//! Iteration-level continuous batching (Orca-style).
+//!
+//! Each scheduler iteration is either a **prefill** step (admitting
+//! waiting requests, bounded by free batch slots and a prompt-token
+//! budget) or a **decode** step (one token for every active request).
+//! Prefill has priority whenever requests are waiting and slots are
+//! free — the policy that minimizes time-to-first-token at a small cost
+//! to decode throughput.
+
+use serde::{Deserialize, Serialize};
+
+use elk_model::{Phase, SeqBuckets, Workload};
+
+/// Continuous-batching knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// Maximum concurrent requests per replica (decode batch cap and
+    /// admission bound).
+    pub max_batch: u64,
+    /// Prompt-token budget per prefill step (at least one request is
+    /// always admitted, even if its prompt alone exceeds the budget).
+    pub max_prefill_tokens: u64,
+    /// Sequence-length bucketing for plan-cache keys.
+    pub seq_buckets: SeqBuckets,
+    /// Round step batch sizes up to powers of two so the plan cache sees
+    /// a bounded set of batch shapes (costs a conservative latency
+    /// estimate for mid-bucket sizes).
+    pub bucket_batch: bool,
+}
+
+impl Default for BatchConfig {
+    /// Batch cap 64 (the paper's largest evaluated batch),
+    /// an 8192-token prefill budget, and pow-of-two bucketing on.
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 64,
+            max_prefill_tokens: 8192,
+            seq_buckets: SeqBuckets::default(),
+            bucket_batch: true,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Validates the knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` or `max_prefill_tokens` is zero.
+    pub fn validate(&self) {
+        assert!(self.max_batch > 0, "max_batch must be > 0");
+        assert!(
+            self.max_prefill_tokens > 0,
+            "max_prefill_tokens must be > 0"
+        );
+    }
+
+    /// The bucketed step workload for `n` requests at raw sequence
+    /// length `seq` (the longest context in the batch).
+    #[must_use]
+    pub(crate) fn step_workload(&self, phase: Phase, n: u64, seq: u64) -> Workload {
+        let mut wl = Workload {
+            batch: n,
+            seq_len: seq,
+            phase,
+        };
+        wl = wl.bucketed(&self.seq_buckets);
+        if self.bucket_batch {
+            wl = wl.with_bucketed_batch(self.max_batch);
+        }
+        wl
+    }
+}
+
+/// What the scheduler decided to run this iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepPlan {
+    /// Admit the first `admit` waiting requests and run their prefill.
+    Prefill {
+        /// How many waiting requests to admit, in FIFO order.
+        admit: usize,
+    },
+    /// Run one decode iteration over all active requests.
+    Decode,
+}
+
+/// Picks the next iteration given the FIFO prompt lengths of waiting
+/// requests and the number of active (decoding) requests.
+///
+/// Returns `None` when there is nothing to do (idle — the engine jumps
+/// the clock to the next arrival).
+#[must_use]
+pub fn next_step(cfg: &BatchConfig, waiting_prompts: &[u64], active: usize) -> Option<StepPlan> {
+    let free = (cfg.max_batch as usize).saturating_sub(active);
+    if !waiting_prompts.is_empty() && free > 0 {
+        let mut admit = 0;
+        let mut tokens = 0u64;
+        for &p in waiting_prompts.iter().take(free) {
+            if admit > 0 && tokens + p > cfg.max_prefill_tokens {
+                break;
+            }
+            admit += 1;
+            tokens += p;
+        }
+        return Some(StepPlan::Prefill { admit });
+    }
+    if active > 0 {
+        return Some(StepPlan::Decode);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elk_model::Phase;
+
+    fn cfg() -> BatchConfig {
+        BatchConfig {
+            max_batch: 4,
+            max_prefill_tokens: 1000,
+            seq_buckets: SeqBuckets::new(256, 4096),
+            bucket_batch: true,
+        }
+    }
+
+    #[test]
+    fn prefill_has_priority_while_slots_free() {
+        assert_eq!(
+            next_step(&cfg(), &[100, 100], 2),
+            Some(StepPlan::Prefill { admit: 2 })
+        );
+    }
+
+    #[test]
+    fn full_batch_decodes_even_with_waiters() {
+        assert_eq!(next_step(&cfg(), &[100], 4), Some(StepPlan::Decode));
+    }
+
+    #[test]
+    fn admission_respects_token_budget() {
+        // 600 + 600 > 1000: only the first fits alongside another.
+        assert_eq!(
+            next_step(&cfg(), &[600, 600, 600], 0),
+            Some(StepPlan::Prefill { admit: 1 })
+        );
+        // A single oversized prompt is still admitted alone.
+        assert_eq!(
+            next_step(&cfg(), &[5000], 0),
+            Some(StepPlan::Prefill { admit: 1 })
+        );
+    }
+
+    #[test]
+    fn admission_respects_free_slots() {
+        assert_eq!(
+            next_step(&cfg(), &[10, 10, 10, 10, 10], 1),
+            Some(StepPlan::Prefill { admit: 3 })
+        );
+    }
+
+    #[test]
+    fn idle_when_nothing_to_do() {
+        assert_eq!(next_step(&cfg(), &[], 0), None);
+        assert_eq!(next_step(&cfg(), &[], 2), Some(StepPlan::Decode));
+    }
+
+    #[test]
+    fn step_workload_buckets_both_axes() {
+        let wl = cfg().step_workload(Phase::Decode, 3, 700);
+        assert_eq!(wl.batch, 4); // pow2(3)
+        assert_eq!(wl.seq_len, 1024);
+        assert_eq!(wl.phase, Phase::Decode);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_batch_rejected() {
+        BatchConfig {
+            max_batch: 0,
+            ..BatchConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,250 @@
+//! Plan cache: one compile + simulate per distinct workload signature.
+//!
+//! Continuous batching generates a stream of `(phase, batch, seq)` step
+//! shapes. After bucketing (see [`elk_model::SeqBuckets`]) the stream
+//! collapses onto a small set of signatures, so caching the simulated
+//! step latency per signature means repeated shapes never recompile.
+//! Plan catalogs are design-independent and cached separately, so the
+//! five evaluation designs share the enumeration work too.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use elk_baselines::{Design, DesignRunner};
+use elk_core::{Catalog, CompileError};
+use elk_model::{ModelGraph, Phase, TransformerConfig, Workload};
+use elk_sim::SimOptions;
+use elk_units::Seconds;
+
+/// Cache key: the workload signature the compiled step latency depends
+/// on.
+///
+/// The model is identified **by name**: the cache trusts
+/// [`TransformerConfig::name`] to uniquely identify the architecture,
+/// and assumes the same [`SimOptions`] on every lookup. Both hold
+/// inside [`ServingSim`](crate::ServingSim), which fixes the config per
+/// instance; callers driving a shared `PlanCache` directly must keep
+/// model names unique and simulator options constant themselves.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PlanKey {
+    /// Model name (from [`TransformerConfig::name`]).
+    pub model: String,
+    /// Tensor-parallel shard count the graph was built for.
+    pub shards: u64,
+    /// Evaluation design the plan was compiled for.
+    pub design: Design,
+    /// Step phase (prefill or decode).
+    pub phase: Phase,
+    /// Bucketed batch size.
+    pub batch: u64,
+    /// Bucketed sequence length.
+    pub seq_bucket: u64,
+}
+
+impl PlanKey {
+    /// Builds the key for `design` on a **bucketed** workload.
+    #[must_use]
+    pub fn new(model: &str, shards: u64, design: Design, wl: Workload) -> Self {
+        PlanKey {
+            model: model.to_string(),
+            shards,
+            design,
+            phase: wl.phase,
+            batch: wl.batch,
+            seq_bucket: wl.seq_len,
+        }
+    }
+}
+
+/// Hit/miss counters, cumulative over the cache's lifetime.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered without compiling.
+    pub hits: u64,
+    /// Lookups that compiled and simulated a new plan.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction (`0.0` before any lookup).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counters accumulated since an earlier `snapshot` of this cache.
+    #[must_use]
+    pub fn since(&self, snapshot: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - snapshot.hits,
+            misses: self.misses - snapshot.misses,
+        }
+    }
+}
+
+/// Signature of the graph/catalog, shared by all designs:
+/// `(model name, shards, phase, batch, seq bucket)`.
+type GraphKey = (String, u64, Phase, u64, u64);
+
+/// Memoizes compiled-and-simulated step latencies per [`PlanKey`].
+///
+/// The catalog layer (plan enumeration per operator) is keyed on the
+/// workload signature alone and reused across designs; the latency
+/// layer additionally keys on the design. Both layers live for the
+/// cache's lifetime, so one cache shared across designs and replicas
+/// maximizes reuse.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    graphs: HashMap<GraphKey, (ModelGraph, Catalog)>,
+    latencies: HashMap<PlanKey, Seconds>,
+    /// Signatures known to have no feasible plan, so the serving layer's
+    /// fallback (micro-batch splitting) does not recompile the same
+    /// doomed shape every step.
+    graph_failures: HashMap<GraphKey, CompileError>,
+    plan_failures: HashMap<PlanKey, CompileError>,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Simulated latency of one `wl` step under `design`, compiling on
+    /// first sight of the signature. `wl` must already be bucketed —
+    /// the cache keys on it verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from catalog construction or planning.
+    pub fn step_latency(
+        &mut self,
+        runner: &DesignRunner,
+        cfg: &TransformerConfig,
+        shards: u64,
+        design: Design,
+        wl: Workload,
+        sim: &SimOptions,
+    ) -> Result<Seconds, CompileError> {
+        let key = PlanKey::new(&cfg.name, shards, design, wl);
+        if let Some(&latency) = self.latencies.get(&key) {
+            self.stats.hits += 1;
+            return Ok(latency);
+        }
+        let gkey: GraphKey = (cfg.name.clone(), shards, wl.phase, wl.batch, wl.seq_len);
+        if let Some(e) = self.graph_failures.get(&gkey) {
+            self.stats.hits += 1;
+            return Err(e.clone());
+        }
+        if let Some(e) = self.plan_failures.get(&key) {
+            self.stats.hits += 1;
+            return Err(e.clone());
+        }
+        self.stats.misses += 1;
+        if !self.graphs.contains_key(&gkey) {
+            let graph = cfg.build(wl, shards);
+            match runner.catalog(&graph) {
+                Ok(catalog) => {
+                    self.graphs.insert(gkey.clone(), (graph, catalog));
+                }
+                Err(e) => {
+                    self.graph_failures.insert(gkey, e.clone());
+                    return Err(e);
+                }
+            }
+        }
+        let (graph, catalog) = &self.graphs[&gkey];
+        match runner.run(design, graph, catalog, sim) {
+            Ok(outcome) => {
+                let latency = outcome.report.total;
+                self.latencies.insert(key, latency);
+                Ok(latency)
+            }
+            Err(e) => {
+                self.plan_failures.insert(key, e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// Cumulative hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of distinct compiled plans resident.
+    #[must_use]
+    pub fn plans(&self) -> usize {
+        self.latencies.len()
+    }
+
+    /// Number of distinct graph/catalog signatures resident.
+    #[must_use]
+    pub fn catalogs(&self) -> usize {
+        self.graphs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elk_hw::presets;
+    use elk_model::zoo;
+
+    fn tiny_cfg() -> TransformerConfig {
+        let mut cfg = zoo::llama2_13b();
+        cfg.layers = 2;
+        cfg
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cfg = tiny_cfg();
+        let runner = DesignRunner::new(presets::ipu_pod4());
+        let mut cache = PlanCache::new();
+        let wl = Workload::decode(16, 512);
+        let sim = SimOptions::default();
+        let a = cache
+            .step_latency(&runner, &cfg, 4, Design::ElkFull, wl, &sim)
+            .unwrap();
+        let b = cache
+            .step_latency(&runner, &cfg, 4, Design::ElkFull, wl, &sim)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.plans(), 1);
+    }
+
+    #[test]
+    fn designs_share_the_catalog() {
+        let cfg = tiny_cfg();
+        let runner = DesignRunner::new(presets::ipu_pod4());
+        let mut cache = PlanCache::new();
+        let wl = Workload::decode(16, 512);
+        let sim = SimOptions::default();
+        for d in Design::ALL {
+            cache.step_latency(&runner, &cfg, 4, d, wl, &sim).unwrap();
+        }
+        assert_eq!(cache.catalogs(), 1, "catalog must be design-independent");
+        assert_eq!(cache.plans(), 5);
+        assert_eq!(cache.stats().misses, 5);
+    }
+
+    #[test]
+    fn stats_delta() {
+        let s0 = CacheStats { hits: 2, misses: 3 };
+        let s1 = CacheStats { hits: 7, misses: 4 };
+        assert_eq!(s1.since(s0), CacheStats { hits: 5, misses: 1 });
+        assert!((s1.hit_rate() - 7.0 / 11.0).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,468 @@
+//! The serving engine: replays a request trace against compiled plans.
+//!
+//! Time advances iteration by iteration: each scheduler step compiles
+//! (or cache-hits) the Elk plan for its bucketed workload signature and
+//! advances the replica's clock by the simulated step latency from
+//! [`elk_sim`]'s `SimReport`. Requests are routed round-robin across
+//! `replicas` independent chip groups that share one plan cache.
+
+use elk_baselines::{Design, DesignRunner};
+use elk_core::CompileError;
+use elk_hw::SystemConfig;
+use elk_model::{Phase, TransformerConfig};
+use elk_sim::SimOptions;
+use elk_units::Seconds;
+
+use crate::batcher::{next_step, BatchConfig, StepPlan};
+use crate::cache::PlanCache;
+use crate::metrics::{LatencyStats, RequestOutcome, SloConfig};
+use crate::report::ServingReport;
+use crate::trace::RequestTrace;
+
+/// Everything a serving run is parameterized by (except the design,
+/// which is per-run so designs can share one engine and cache).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Model to serve.
+    pub model: TransformerConfig,
+    /// Tensor-parallel shard count per replica (chips per chip group).
+    pub shards: u64,
+    /// Independent chip-group replicas; requests are routed round-robin.
+    pub replicas: usize,
+    /// Continuous-batching knobs.
+    pub batch: BatchConfig,
+    /// Latency SLO for goodput accounting.
+    pub slo: SloConfig,
+    /// Chip-simulator options used when a plan is compiled.
+    pub sim: SimOptions,
+}
+
+impl ServeConfig {
+    /// A config serving `model` on `shards`-way tensor parallelism with
+    /// one replica and default batching/SLO/simulator knobs.
+    #[must_use]
+    pub fn new(model: TransformerConfig, shards: u64) -> Self {
+        ServeConfig {
+            model,
+            shards,
+            replicas: 1,
+            batch: BatchConfig::default(),
+            slo: SloConfig::default(),
+            sim: SimOptions::default(),
+        }
+    }
+
+    /// Spreads the trace over `n` independent chip-group replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_replicas(mut self, n: usize) -> Self {
+        assert!(n > 0, "replica count must be > 0");
+        self.replicas = n;
+        self
+    }
+}
+
+/// Trace-driven serving simulator for one (system, model) pair.
+///
+/// Owns the [`DesignRunner`] (fitted cost model) and the [`PlanCache`],
+/// so consecutive [`run`](ServingSim::run) calls — across designs,
+/// traces, and replicas — reuse catalogs and compiled plans.
+#[derive(Debug)]
+pub struct ServingSim {
+    runner: DesignRunner,
+    config: ServeConfig,
+    cache: PlanCache,
+}
+
+/// Per-request progress while in flight.
+struct InFlight {
+    /// Index into the trace's request vector.
+    idx: usize,
+    /// Tokens generated so far (1 after prefill).
+    generated: u64,
+}
+
+impl ServingSim {
+    /// Creates a simulator for `config` on `system`, fitting the
+    /// runner's cost model once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is ill-formed (zero batch caps, zero shards
+    /// or replicas).
+    #[must_use]
+    pub fn new(system: SystemConfig, config: ServeConfig) -> Self {
+        config.batch.validate();
+        assert!(config.shards > 0, "shards must be > 0");
+        assert!(config.replicas > 0, "replicas must be > 0");
+        ServingSim {
+            runner: DesignRunner::new(system),
+            config,
+            cache: PlanCache::new(),
+        }
+    }
+
+    /// The serve configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Cumulative plan-cache counters (across all runs so far).
+    #[must_use]
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Serves `trace` under `design` and reports request-level metrics.
+    /// The plan cache persists across calls, so running a second design
+    /// (or the same trace again) reuses catalogs and plans.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] if any step shape has no feasible
+    /// plan.
+    pub fn run(
+        &mut self,
+        design: Design,
+        trace: &RequestTrace,
+    ) -> Result<ServingReport, CompileError> {
+        let stats_before = self.cache.stats();
+        let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; trace.len()];
+        let mut queue_depth: Vec<(Seconds, usize)> = Vec::new();
+        let mut prefill_steps = 0u64;
+        let mut decode_steps = 0u64;
+        let mut makespan = Seconds::ZERO;
+
+        for replica in 0..self.config.replicas {
+            // Round-robin request routing: replica r serves indices
+            // r, r + R, r + 2R, ... in arrival order.
+            let assigned: Vec<usize> = (replica..trace.len())
+                .step_by(self.config.replicas)
+                .collect();
+            let end = self.run_replica(
+                design,
+                trace,
+                replica,
+                &assigned,
+                &mut outcomes,
+                &mut queue_depth,
+                &mut prefill_steps,
+                &mut decode_steps,
+            )?;
+            makespan = makespan.max(end);
+        }
+
+        queue_depth.sort_by_key(|&(t, _)| t);
+        let outcomes: Vec<RequestOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("every request completes"))
+            .collect();
+        Ok(self.summarize(
+            design,
+            trace,
+            outcomes,
+            queue_depth,
+            prefill_steps,
+            decode_steps,
+            makespan,
+            self.cache.stats().since(stats_before),
+        ))
+    }
+
+    /// Runs one replica's event loop; returns its final clock.
+    #[allow(clippy::too_many_arguments)]
+    fn run_replica(
+        &mut self,
+        design: Design,
+        trace: &RequestTrace,
+        replica: usize,
+        assigned: &[usize],
+        outcomes: &mut [Option<RequestOutcome>],
+        queue_depth: &mut Vec<(Seconds, usize)>,
+        prefill_steps: &mut u64,
+        decode_steps: &mut u64,
+    ) -> Result<Seconds, CompileError> {
+        let reqs = &trace.requests;
+        let mut clock = Seconds::ZERO;
+        let mut next = 0; // index into `assigned` not yet arrived
+        let mut waiting: Vec<usize> = Vec::new(); // FIFO, trace indices
+        let mut active: Vec<InFlight> = Vec::new();
+        let mut done = 0usize;
+
+        while done < assigned.len() {
+            // Admit everything that has arrived by now.
+            while next < assigned.len() && reqs[assigned[next]].arrival <= clock {
+                waiting.push(assigned[next]);
+                next += 1;
+            }
+            // next_step never admits more than max_batch requests, so a
+            // deep waiting queue need not be materialized in full.
+            let prompts: Vec<u64> = waiting
+                .iter()
+                .take(self.config.batch.max_batch as usize)
+                .map(|&i| reqs[i].prompt_len)
+                .collect();
+            let Some(step) = next_step(&self.config.batch, &prompts, active.len()) else {
+                // Idle: jump to the next arrival.
+                clock = reqs[assigned[next]].arrival;
+                continue;
+            };
+            match step {
+                StepPlan::Prefill { admit } => {
+                    let batch: Vec<usize> = waiting.drain(..admit).collect();
+                    let longest = batch
+                        .iter()
+                        .map(|&i| reqs[i].prompt_len)
+                        .max()
+                        .expect("prefill admits >= 1");
+                    let wl = self.config.batch.step_workload(
+                        Phase::Prefill,
+                        batch.len() as u64,
+                        longest,
+                    );
+                    clock += self.split_latency(design, wl)?;
+                    *prefill_steps += 1;
+                    for idx in batch {
+                        // The prefill step emits each request's first token.
+                        let outcome = RequestOutcome {
+                            id: reqs[idx].id,
+                            replica,
+                            arrival: reqs[idx].arrival,
+                            first_token: clock,
+                            completion: clock,
+                            output_len: reqs[idx].output_len,
+                        };
+                        outcomes[idx] = Some(outcome);
+                        if reqs[idx].output_len > 1 {
+                            active.push(InFlight { idx, generated: 1 });
+                        } else {
+                            done += 1;
+                        }
+                    }
+                }
+                StepPlan::Decode => {
+                    let deepest = active
+                        .iter()
+                        .map(|a| reqs[a.idx].prompt_len + a.generated)
+                        .max()
+                        .expect("decode requires >= 1 active");
+                    let wl = self.config.batch.step_workload(
+                        Phase::Decode,
+                        active.len() as u64,
+                        deepest,
+                    );
+                    clock += self.split_latency(design, wl)?;
+                    *decode_steps += 1;
+                    active.retain_mut(|a| {
+                        a.generated += 1;
+                        let outcome = outcomes[a.idx].as_mut().expect("prefilled");
+                        outcome.completion = clock;
+                        if a.generated >= reqs[a.idx].output_len {
+                            done += 1;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+            }
+            queue_depth.push((clock, waiting.len()));
+        }
+        Ok(clock)
+    }
+
+    /// Latency of one `wl` step, falling back to sequential micro-batches
+    /// when the full batch shape has no feasible on-chip plan (prefill
+    /// attention is quadratic in sequence length, so long-context steps
+    /// can exceed SRAM at batch sizes the decode path handles fine).
+    /// Splitting halves the batch until the shape compiles; a batch-1
+    /// failure is a genuine error — the request cannot run on this chip.
+    fn split_latency(
+        &mut self,
+        design: Design,
+        wl: elk_model::Workload,
+    ) -> Result<Seconds, CompileError> {
+        match self.cache.step_latency(
+            &self.runner,
+            &self.config.model,
+            self.config.shards,
+            design,
+            wl,
+            &self.config.sim,
+        ) {
+            Ok(t) => Ok(t),
+            Err(CompileError::NoFeasiblePlan { .. } | CompileError::CapacityExceeded { .. })
+                if wl.batch > 1 =>
+            {
+                let lo = elk_model::Workload {
+                    batch: wl.batch / 2,
+                    ..wl
+                };
+                let hi = elk_model::Workload {
+                    batch: wl.batch - wl.batch / 2,
+                    ..wl
+                };
+                let a = self.split_latency(design, lo)?;
+                let b = if hi.batch == lo.batch {
+                    a
+                } else {
+                    self.split_latency(design, hi)?
+                };
+                Ok(a + b)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Folds per-request outcomes into the aggregate report.
+    #[allow(clippy::too_many_arguments)]
+    fn summarize(
+        &self,
+        design: Design,
+        trace: &RequestTrace,
+        outcomes: Vec<RequestOutcome>,
+        queue_depth: Vec<(Seconds, usize)>,
+        prefill_steps: u64,
+        decode_steps: u64,
+        makespan: Seconds,
+        cache: crate::cache::CacheStats,
+    ) -> ServingReport {
+        let ttft: Vec<Seconds> = outcomes.iter().map(RequestOutcome::ttft).collect();
+        let tpot: Vec<Seconds> = outcomes.iter().filter_map(RequestOutcome::tpot).collect();
+        let e2e: Vec<Seconds> = outcomes.iter().map(RequestOutcome::e2e).collect();
+        let met = outcomes
+            .iter()
+            .filter(|o| o.meets(&self.config.slo))
+            .count();
+        let span = makespan.as_secs();
+        let per_sec = |x: f64| if span > 0.0 { x / span } else { 0.0 };
+        let (mean_q, max_q) = if queue_depth.is_empty() {
+            (0.0, 0)
+        } else {
+            (
+                queue_depth.iter().map(|&(_, d)| d as f64).sum::<f64>() / queue_depth.len() as f64,
+                queue_depth.iter().map(|&(_, d)| d).max().unwrap_or(0),
+            )
+        };
+        ServingReport {
+            design,
+            replicas: self.config.replicas,
+            requests: trace.len(),
+            completed: outcomes.len(),
+            makespan,
+            ttft: LatencyStats::of(&ttft),
+            tpot: LatencyStats::of(&tpot),
+            e2e: LatencyStats::of(&e2e),
+            slo: self.config.slo,
+            slo_attainment: if outcomes.is_empty() {
+                0.0
+            } else {
+                met as f64 / outcomes.len() as f64
+            },
+            goodput_rps: per_sec(met as f64),
+            throughput_rps: per_sec(outcomes.len() as f64),
+            tokens_per_sec: per_sec(trace.total_output_tokens() as f64),
+            prefill_steps,
+            decode_steps,
+            mean_queue_depth: mean_q,
+            max_queue_depth: max_q,
+            queue_depth,
+            cache,
+            outcomes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{ArrivalProcess, LengthDist, TraceConfig};
+    use elk_hw::presets;
+    use elk_model::{zoo, SeqBuckets};
+
+    fn tiny_config() -> ServeConfig {
+        let mut model = zoo::llama2_13b();
+        model.layers = 2;
+        ServeConfig {
+            batch: BatchConfig {
+                max_batch: 8,
+                max_prefill_tokens: 2048,
+                seq_buckets: SeqBuckets::new(256, 2048),
+                bucket_batch: true,
+            },
+            ..ServeConfig::new(model, 4)
+        }
+    }
+
+    fn tiny_trace(requests: usize) -> RequestTrace {
+        TraceConfig {
+            seed: 11,
+            requests,
+            arrivals: ArrivalProcess::Poisson { rate_rps: 200.0 },
+            prompt_len: LengthDist::Uniform { lo: 200, hi: 700 },
+            output_len: LengthDist::Uniform { lo: 2, hi: 12 },
+        }
+        .generate()
+    }
+
+    #[test]
+    fn every_request_completes_in_order_consistent_state() {
+        let mut sim = ServingSim::new(presets::ipu_pod4(), tiny_config());
+        let trace = tiny_trace(20);
+        let r = sim.run(Design::ElkFull, &trace).unwrap();
+        assert_eq!(r.completed, 20);
+        assert_eq!(r.outcomes.len(), 20);
+        for o in &r.outcomes {
+            assert!(o.first_token > o.arrival);
+            assert!(o.completion >= o.first_token);
+            if o.output_len > 1 {
+                assert!(o.completion > o.first_token);
+            }
+        }
+        assert!(r.makespan >= trace.duration());
+        assert!(r.prefill_steps > 0 && r.decode_steps > 0);
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_report() {
+        let mut sim = ServingSim::new(presets::ipu_pod4(), tiny_config());
+        let trace = RequestTrace::from_requests(vec![]);
+        let r = sim.run(Design::Basic, &trace).unwrap();
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.makespan, Seconds::ZERO);
+        assert_eq!(r.throughput_rps, 0.0);
+        assert_eq!(r.ttft.n, 0);
+    }
+
+    #[test]
+    fn replicas_split_the_load() {
+        let trace = tiny_trace(16);
+        let mut one = ServingSim::new(presets::ipu_pod4(), tiny_config());
+        let mut two = ServingSim::new(presets::ipu_pod4(), tiny_config().with_replicas(2));
+        let r1 = one.run(Design::ElkFull, &trace).unwrap();
+        let r2 = two.run(Design::ElkFull, &trace).unwrap();
+        assert_eq!(r2.completed, 16);
+        assert_eq!(r2.replicas, 2);
+        // Twice the hardware under the same load should not be slower.
+        assert!(r2.e2e.mean <= r1.e2e.mean * 1.01);
+        let replicas_used: std::collections::HashSet<usize> =
+            r2.outcomes.iter().map(|o| o.replica).collect();
+        assert_eq!(replicas_used.len(), 2);
+    }
+
+    #[test]
+    fn cache_hits_accumulate_across_runs() {
+        let mut sim = ServingSim::new(presets::ipu_pod4(), tiny_config());
+        let trace = tiny_trace(12);
+        let first = sim.run(Design::ElkFull, &trace).unwrap();
+        let second = sim.run(Design::ElkFull, &trace).unwrap();
+        assert!(first.cache.misses > 0);
+        assert!(first.cache.hits > 0, "repeated shapes must hit in-run");
+        assert_eq!(second.cache.misses, 0, "second run must be fully cached");
+        assert!(second.cache.hits > 0);
+    }
+}

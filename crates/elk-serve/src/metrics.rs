@@ -1,0 +1,263 @@
+//! Latency summaries, percentiles, and SLO accounting.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use elk_units::Seconds;
+
+/// Nearest-rank percentile of an **ascending-sorted** slice.
+///
+/// `p` is in `[0, 100]`; `p = 0` returns the minimum and `p = 100` the
+/// maximum. Returns `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use elk_serve::percentile;
+///
+/// let v = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&v, 50.0), Some(2.0)); // nearest rank: ceil(2) = 2nd
+/// assert_eq!(percentile(&v, 100.0), Some(4.0));
+/// assert_eq!(percentile(&[], 50.0), None);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+#[must_use]
+pub fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of [0, 100]");
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.max(1) - 1])
+}
+
+/// Five-number summary of a latency sample.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: Seconds,
+    /// Median (nearest-rank p50).
+    pub p50: Seconds,
+    /// Nearest-rank 95th percentile.
+    pub p95: Seconds,
+    /// Nearest-rank 99th percentile.
+    pub p99: Seconds,
+    /// Maximum.
+    pub max: Seconds,
+}
+
+impl LatencyStats {
+    /// Summarizes `values` (order-insensitive). All fields are zero for
+    /// an empty sample.
+    #[must_use]
+    pub fn of(values: &[Seconds]) -> Self {
+        if values.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted: Vec<f64> = values.iter().map(|s| s.as_secs()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("Seconds is never NaN"));
+        let pick = |p: f64| Seconds::new(percentile(&sorted, p).expect("non-empty"));
+        LatencyStats {
+            n: values.len(),
+            mean: Seconds::new(sorted.iter().sum::<f64>() / sorted.len() as f64),
+            p50: pick(50.0),
+            p95: pick(95.0),
+            p99: pick(99.0),
+            max: Seconds::new(*sorted.last().expect("non-empty")),
+        }
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:.3} ms | p50 {:.3} ms | p95 {:.3} ms | p99 {:.3} ms | max {:.3} ms (n={})",
+            self.mean.as_millis(),
+            self.p50.as_millis(),
+            self.p95.as_millis(),
+            self.p99.as_millis(),
+            self.max.as_millis(),
+            self.n
+        )
+    }
+}
+
+/// Per-request latency service-level objective.
+///
+/// A completed request *meets* the SLO when its time-to-first-token and
+/// mean time-per-output-token are both within bounds; goodput is the
+/// rate of SLO-meeting completions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloConfig {
+    /// Time-to-first-token bound.
+    pub ttft: Seconds,
+    /// Time-per-output-token bound (mean over the request's decode
+    /// steps; ignored for single-token outputs).
+    pub tpot: Seconds,
+}
+
+impl Default for SloConfig {
+    /// Interactive-chat flavored bounds: 2 s to first token, 60 ms per
+    /// subsequent token.
+    fn default() -> Self {
+        SloConfig {
+            ttft: Seconds::new(2.0),
+            tpot: Seconds::from_millis(60.0),
+        }
+    }
+}
+
+/// Timeline of one request through the serving system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestOutcome {
+    /// Request id from the trace.
+    pub id: u64,
+    /// Replica that served the request.
+    pub replica: usize,
+    /// Arrival time.
+    pub arrival: Seconds,
+    /// End of the prefill step that produced the first token.
+    pub first_token: Seconds,
+    /// End of the decode step that produced the last token.
+    pub completion: Seconds,
+    /// Tokens generated (equals the trace's `output_len`).
+    pub output_len: u64,
+}
+
+impl RequestOutcome {
+    /// Time-to-first-token: queueing plus prefill.
+    #[must_use]
+    pub fn ttft(&self) -> Seconds {
+        self.first_token - self.arrival
+    }
+
+    /// Mean time-per-output-token over the decode steps (`None` for a
+    /// single-token output, which has no decode steps).
+    #[must_use]
+    pub fn tpot(&self) -> Option<Seconds> {
+        if self.output_len < 2 {
+            return None;
+        }
+        Some((self.completion - self.first_token) / (self.output_len - 1) as f64)
+    }
+
+    /// End-to-end latency: arrival to last token.
+    #[must_use]
+    pub fn e2e(&self) -> Seconds {
+        self.completion - self.arrival
+    }
+
+    /// `true` when the request meets `slo`.
+    #[must_use]
+    pub fn meets(&self, slo: &SloConfig) -> bool {
+        self.ttft() <= slo.ttft && self.tpot().is_none_or(|t| t <= slo.tpot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_exact_small_samples() {
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&v, 0.0), Some(10.0));
+        assert_eq!(percentile(&v, 20.0), Some(10.0)); // ceil(1) = 1st
+        assert_eq!(percentile(&v, 21.0), Some(20.0)); // ceil(1.05) = 2nd
+        assert_eq!(percentile(&v, 50.0), Some(30.0));
+        assert_eq!(percentile(&v, 99.0), Some(50.0));
+        assert_eq!(percentile(&v, 100.0), Some(50.0));
+    }
+
+    #[test]
+    fn percentile_singleton() {
+        assert_eq!(percentile(&[7.5], 1.0), Some(7.5));
+        assert_eq!(percentile(&[7.5], 99.0), Some(7.5));
+    }
+
+    #[test]
+    fn percentile_empty_is_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 100]")]
+    fn percentile_rejects_out_of_range() {
+        let _ = percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn stats_of_known_sample() {
+        let vals: Vec<Seconds> = (1..=100).map(|i| Seconds::from_millis(i as f64)).collect();
+        let s = LatencyStats::of(&vals);
+        assert_eq!(s.n, 100);
+        assert!((s.mean.as_millis() - 50.5).abs() < 1e-9);
+        assert!((s.p50.as_millis() - 50.0).abs() < 1e-9);
+        assert!((s.p95.as_millis() - 95.0).abs() < 1e-9);
+        assert!((s.p99.as_millis() - 99.0).abs() < 1e-9);
+        assert!((s.max.as_millis() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_of_empty_is_zeroed() {
+        let s = LatencyStats::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, Seconds::ZERO);
+        assert_eq!(s.p99, Seconds::ZERO);
+    }
+
+    #[test]
+    fn stats_are_order_insensitive() {
+        let a = [Seconds::new(3.0), Seconds::new(1.0), Seconds::new(2.0)];
+        let b = [Seconds::new(1.0), Seconds::new(2.0), Seconds::new(3.0)];
+        assert_eq!(LatencyStats::of(&a), LatencyStats::of(&b));
+    }
+
+    fn outcome(ttft_ms: f64, total_ms: f64, tokens: u64) -> RequestOutcome {
+        RequestOutcome {
+            id: 0,
+            replica: 0,
+            arrival: Seconds::ZERO,
+            first_token: Seconds::from_millis(ttft_ms),
+            completion: Seconds::from_millis(total_ms),
+            output_len: tokens,
+        }
+    }
+
+    #[test]
+    fn outcome_derived_metrics() {
+        let o = outcome(100.0, 600.0, 11); // 10 decode steps over 500 ms
+        assert!((o.ttft().as_millis() - 100.0).abs() < 1e-9);
+        assert!((o.tpot().unwrap().as_millis() - 50.0).abs() < 1e-9);
+        assert!((o.e2e().as_millis() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_token_output_has_no_tpot_and_meets_on_ttft_alone() {
+        let o = outcome(100.0, 100.0, 1);
+        assert_eq!(o.tpot(), None);
+        let slo = SloConfig {
+            ttft: Seconds::from_millis(150.0),
+            tpot: Seconds::from_millis(1.0),
+        };
+        assert!(o.meets(&slo));
+    }
+
+    #[test]
+    fn slo_miss_on_either_axis() {
+        let slo = SloConfig {
+            ttft: Seconds::from_millis(150.0),
+            tpot: Seconds::from_millis(60.0),
+        };
+        assert!(outcome(100.0, 400.0, 11).meets(&slo));
+        assert!(!outcome(200.0, 400.0, 11).meets(&slo)); // TTFT miss
+        assert!(!outcome(100.0, 1200.0, 11).meets(&slo)); // TPOT miss
+    }
+}

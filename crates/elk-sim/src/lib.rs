@@ -35,6 +35,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod engine;
 mod options;
 mod report;

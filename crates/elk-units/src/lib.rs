@@ -14,6 +14,8 @@
 //! assert!(t > Seconds::ZERO);
 //! ```
 
+#![warn(missing_docs)]
+
 mod bytes;
 mod flops;
 mod rate;

@@ -15,11 +15,12 @@ fn main() -> Result<(), elk::compiler::CompileError> {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(2048);
-    let cfg = match model_arg.as_str() {
-        "llama70" => zoo::llama2_70b(),
-        "gemma27" => zoo::gemma2_27b(),
-        "opt30" => zoo::opt_30b(),
-        _ => zoo::llama2_13b(),
+    let cfg = match zoo::by_name(&model_arg) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
     };
 
     let runner = DesignRunner::new(presets::ipu_pod4());

@@ -9,6 +9,15 @@
 //! while still exercising every bench path and producing comparable
 //! numbers run-to-run. Set `ELK_BENCH_ITERS` to raise the measured
 //! iteration count for lower-variance numbers.
+//!
+//! ```
+//! use criterion::{black_box, Criterion};
+//!
+//! let mut c = Criterion::default();
+//! c.bench_function("add", |b| b.iter(|| black_box(2) + black_box(3)));
+//! ```
+
+#![warn(missing_docs)]
 
 use std::hint::black_box as std_black_box;
 use std::time::Instant;
@@ -29,8 +38,11 @@ fn measured_iters() -> u32 {
 /// each batch element individually regardless.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BatchSize {
+    /// Inputs are cheap to hold; criterion would batch many per alloc.
     SmallInput,
+    /// Inputs are large; criterion would batch few per alloc.
     LargeInput,
+    /// One input per iteration.
     PerIteration,
 }
 
@@ -96,6 +108,7 @@ fn print_result(id: &str, mean_secs: f64) {
 pub struct Criterion {}
 
 impl Criterion {
+    /// Runs one benchmark and prints its mean iteration time.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -106,6 +119,7 @@ impl Criterion {
         self
     }
 
+    /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("group: {name}");
         BenchmarkGroup {
@@ -128,6 +142,7 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Runs one benchmark under the group's name prefix.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -138,6 +153,7 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Ends the group (criterion would emit summary statistics here).
     pub fn finish(self) {}
 }
 

@@ -1,5 +1,5 @@
 //! Minimal offline stand-in for the parts of `proptest` this
-//! workspace's property tests use: the [`Strategy`] trait with
+//! workspace's property tests use: the [`Strategy`](strategy::Strategy) trait with
 //! `prop_map`, range / tuple / collection / sample strategies,
 //! `any::<bool>()`, the `proptest!` macro, and `prop_assert*`.
 //!
@@ -9,7 +9,19 @@
 //! - sampling is uniform (no bias toward edge cases);
 //! - every test function's RNG is seeded from its name, so runs are
 //!   fully reproducible.
+//!
+//! ```
+//! use proptest::prelude::*;
+//! use proptest::test_runner::TestRng;
+//!
+//! let mut rng = TestRng::from_name("doctest");
+//! let (x, y) = (0u32..10, 0.0f64..1.0).new_value(&mut rng);
+//! assert!(x < 10 && (0.0..1.0).contains(&y));
+//! ```
 
+#![warn(missing_docs)]
+
+/// Strategies: recipes for generating random values.
 pub mod strategy {
     use super::test_runner::TestRng;
     use std::marker::PhantomData;
@@ -17,10 +29,13 @@ pub mod strategy {
 
     /// A recipe for generating values of `Self::Value`.
     pub trait Strategy {
+        /// The type of value this strategy produces.
         type Value;
 
+        /// Samples one value.
         fn new_value(&self, rng: &mut TestRng) -> Self::Value;
 
+        /// Transforms every sampled value through `f`.
         fn prop_map<U, F>(self, f: F) -> Map<Self, F>
         where
             Self: Sized,
@@ -108,6 +123,7 @@ pub mod strategy {
 
     /// Types with a canonical default strategy (see [`any`]).
     pub trait Arbitrary: Sized {
+        /// Samples an unconstrained value.
         fn arbitrary(rng: &mut TestRng) -> Self;
     }
 
@@ -145,6 +161,7 @@ pub mod strategy {
     }
 }
 
+/// Test configuration and the deterministic RNG driving each case.
 pub mod test_runner {
     /// Per-test configuration; only `cases` is honoured by this shim.
     #[derive(Debug, Clone)]
@@ -171,6 +188,7 @@ pub mod test_runner {
     }
 
     impl TestRng {
+        /// Seeds the stream from the test's name.
         #[must_use]
         pub fn from_name(name: &str) -> Self {
             // FNV-1a over the test name: stable across runs and
@@ -183,6 +201,7 @@ pub mod test_runner {
             TestRng { state: h }
         }
 
+        /// Next raw 64-bit draw.
         pub fn next_u64(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
             let mut z = self.state;
@@ -206,12 +225,13 @@ pub mod test_runner {
     }
 }
 
+/// Collection strategies (`vec`).
 pub mod collection {
     use super::strategy::Strategy;
     use super::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specification for [`vec`].
+    /// Length specification for [`vec()`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -266,6 +286,7 @@ pub mod collection {
     }
 }
 
+/// Sampling strategies (`select`).
 pub mod sample {
     use super::strategy::Strategy;
     use super::test_runner::TestRng;

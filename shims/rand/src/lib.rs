@@ -6,13 +6,28 @@
 //! fine for the synthetic-profile sampling in `elk-cost`, and exactly
 //! reproducible from the seed, which the cost-model accuracy tests
 //! rely on.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut a = StdRng::seed_from_u64(9);
+//! let mut b = StdRng::seed_from_u64(9);
+//! let x: u64 = a.gen_range(0..100);
+//! assert_eq!(x, b.gen_range(0..100)); // same seed, same stream
+//! assert!(x < 100);
+//! ```
+
+#![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level generator interface.
 pub trait RngCore {
+    /// Next raw 64-bit draw.
     fn next_u64(&mut self) -> u64;
 
+    /// Uniform in `[0, 1)` with 53 bits of precision.
     fn next_f64(&mut self) -> f64 {
         // 53 random mantissa bits in [0, 1).
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
@@ -21,6 +36,7 @@ pub trait RngCore {
 
 /// High-level sampling interface.
 pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
     fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
     where
         Self: Sized,
@@ -28,6 +44,7 @@ pub trait Rng: RngCore {
         range.sample(self)
     }
 
+    /// `true` with probability `p`.
     fn gen_bool(&mut self, p: f64) -> bool
     where
         Self: Sized,
@@ -40,6 +57,7 @@ impl<T: RngCore> Rng for T {}
 
 /// Construction from a seed.
 pub trait SeedableRng: Sized {
+    /// Builds the generator deterministically from `seed`.
     fn seed_from_u64(seed: u64) -> Self;
 }
 
@@ -48,6 +66,7 @@ pub trait SeedableRng: Sized {
 /// like `1..=3` infers its width from the call site, as with real
 /// rand.
 pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
     fn sample(self, rng: &mut dyn RngCore) -> T;
 }
 
@@ -119,6 +138,7 @@ macro_rules! impl_float_range {
 }
 impl_float_range!(f32, f64);
 
+/// Concrete generators (`StdRng`).
 pub mod rngs {
     use super::{RngCore, SeedableRng};
 

@@ -8,6 +8,16 @@
 //! [`Value`], and `serde_json` (the sibling shim) renders/parses that
 //! tree as JSON text. Field order is preserved, so output is stable
 //! across runs — which the golden-report tests rely on.
+//!
+//! ```
+//! use serde::Value;
+//!
+//! let v = Value::Map(vec![("x".into(), Value::U64(3))]);
+//! assert_eq!(v.get("x"), Some(&Value::U64(3)));
+//! assert_eq!(v.kind(), "map");
+//! ```
+
+#![warn(missing_docs)]
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -17,12 +27,19 @@ pub use serde_derive::{Deserialize, Serialize};
 /// The in-memory serialization tree.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
+    /// JSON `null`.
     Null,
+    /// JSON boolean.
     Bool(bool),
+    /// Non-negative integer.
     U64(u64),
+    /// Negative integer.
     I64(i64),
+    /// Floating-point number.
     F64(f64),
+    /// JSON string.
     Str(String),
+    /// JSON array.
     Seq(Vec<Value>),
     /// Insertion-ordered map (JSON object).
     Map(Vec<(String, Value)>),
@@ -57,6 +74,7 @@ impl Value {
 pub struct Error(String);
 
 impl Error {
+    /// Creates an error from a message.
     #[must_use]
     pub fn msg(m: impl Into<String>) -> Self {
         Error(m.into())
@@ -73,6 +91,7 @@ impl std::error::Error for Error {}
 
 /// A value that can lower itself to a [`Value`] tree.
 pub trait Serialize {
+    /// Lowers `self` to a [`Value`] tree.
     fn to_value(&self) -> Value;
 }
 

@@ -12,6 +12,21 @@
 //!
 //! Generics are not supported — none of the workspace's serialized
 //! types are generic.
+//!
+//! ```
+//! use serde::{Serialize, Value};
+//!
+//! #[derive(Serialize)]
+//! struct Point {
+//!     x: u64,
+//!     y: u64,
+//! }
+//!
+//! let v = Point { x: 1, y: 2 }.to_value();
+//! assert_eq!(v.get("y"), Some(&Value::U64(2)));
+//! ```
+
+#![warn(missing_docs)]
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -434,6 +449,7 @@ fn gen_deserialize(item: &Item) -> String {
     )
 }
 
+/// Derives `serde::Serialize` by lowering the item to a `Value` tree.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
@@ -442,6 +458,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde_derive: generated Serialize impl failed to parse")
 }
 
+/// Derives `serde::Deserialize` by rebuilding the item from a `Value` tree.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);

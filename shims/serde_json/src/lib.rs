@@ -6,6 +6,15 @@
 //! cannot represent — are written as the strings `"Infinity"`,
 //! `"-Infinity"`, and `"NaN"`; the shim's `f64` deserializer accepts
 //! them back.
+//!
+//! ```
+//! let json = serde_json::to_string(&vec![1u64, 2, 3]).unwrap();
+//! assert_eq!(json, "[1,2,3]");
+//! let back: Vec<u64> = serde_json::from_str(&json).unwrap();
+//! assert_eq!(back, vec![1, 2, 3]);
+//! ```
+
+#![warn(missing_docs)]
 
 pub use serde::Error;
 use serde::{Deserialize, Serialize, Value};

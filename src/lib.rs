@@ -18,6 +18,7 @@
 //! | [`compiler`] | `elk-core` | scheduling, allocation, reordering, codegen |
 //! | [`sim`] | `elk-sim` | event-driven chip simulator |
 //! | [`baselines`] | `elk-baselines` | Basic / Static / Elk-Dyn / Elk-Full / Ideal |
+//! | [`serve`] | `elk-serve` | request-level serving simulator (traces, batching, SLOs) |
 //! | [`units`] | `elk-units` | typed bytes/seconds/bandwidth/FLOPs |
 //!
 //! ## Quickstart
@@ -44,12 +45,15 @@
 //! See `examples/` for runnable end-to-end scenarios and
 //! `crates/elk-bench` for the paper's tables and figures.
 
+#![warn(missing_docs)]
+
 pub use elk_baselines as baselines;
 pub use elk_core as compiler;
 pub use elk_cost as cost;
 pub use elk_hw as hw;
 pub use elk_model as model;
 pub use elk_partition as partition;
+pub use elk_serve as serve;
 pub use elk_sim as sim;
 pub use elk_units as units;
 
@@ -58,7 +62,11 @@ pub mod prelude {
     pub use elk_baselines::{Design, DesignRunner};
     pub use elk_core::{Compiler, CompilerOptions};
     pub use elk_hw::{presets, ChipConfig, HbmConfig, SystemConfig, Topology};
-    pub use elk_model::{zoo, ModelGraph, TransformerConfig, Workload};
+    pub use elk_model::{zoo, ModelGraph, SeqBuckets, TransformerConfig, Workload};
+    pub use elk_serve::{
+        ArrivalProcess, BatchConfig, LengthDist, RequestTrace, ServeConfig, ServingReport,
+        ServingSim, SloConfig, TraceConfig,
+    };
     pub use elk_sim::{simulate, SimOptions, SimReport};
     pub use elk_units::{ByteRate, Bytes, FlopRate, Flops, Seconds};
 }
