@@ -116,6 +116,7 @@ pub struct DesignOutcome {
 pub struct DesignRunner {
     system: SystemConfig,
     cost: LearnedCostModel,
+    threads: usize,
 }
 
 impl DesignRunner {
@@ -125,7 +126,26 @@ impl DesignRunner {
     pub fn new(system: SystemConfig) -> Self {
         let device = AnalyticDevice::of_chip(&system.chip).with_noise(0.05);
         let cost = LearnedCostModel::fit(&device, &ProfileConfig::default());
-        DesignRunner { system, cost }
+        DesignRunner {
+            system,
+            cost,
+            threads: 0,
+        }
+    }
+
+    /// Sets the worker-thread count for catalog construction and the
+    /// Elk designs' order search (`0` = all available cores). Outputs
+    /// are byte-identical at any setting; only wall-clock changes.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured worker-thread count (`0` = all available cores).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The system under test.
@@ -145,18 +165,20 @@ impl DesignRunner {
         DesignRunner {
             system,
             cost: self.cost.clone(),
+            threads: self.threads,
         }
     }
 
     /// Builds the plan catalog for `graph` (shareable across designs and
-    /// HBM sweeps).
+    /// HBM sweeps), fanning plan enumeration across the configured
+    /// worker threads.
     ///
     /// # Errors
     ///
     /// Propagates [`CompileError::NoFeasiblePlan`].
     pub fn catalog(&self, graph: &ModelGraph) -> Result<Catalog, CompileError> {
         let partitioner = Partitioner::new(&self.system.chip, &self.cost);
-        Catalog::build(graph, &partitioner)
+        Catalog::build_par(graph, &partitioner, self.threads)
     }
 
     /// Compiles and simulates `design` on `graph`.
@@ -179,6 +201,7 @@ impl DesignRunner {
             Design::ElkDyn | Design::ElkFull => {
                 let mut opts = CompilerOptions::default();
                 opts.reorder.enable = design == Design::ElkFull;
+                opts.threads = self.threads;
                 let compiler =
                     Compiler::with_cost_model(self.system.clone(), self.cost.clone(), opts);
                 let plan = compiler.compile_with_catalog(graph, catalog)?;

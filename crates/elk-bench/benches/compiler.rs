@@ -27,6 +27,22 @@ fn bench_compiler(c: &mut Criterion) {
         b.iter(|| compiler.compile(&graph).expect("compile"))
     });
 
+    // Same compile on a multi-worker pool (catalog fan-out + parallel
+    // order evaluation); the output is byte-identical, only wall-clock
+    // moves. See benches/par_compile.rs for the full 1-vs-N sweep with
+    // results/ emission.
+    let par_threads = elk_par::resolve_threads(0).max(4);
+    let par_compiler = Compiler::with_options(
+        system.clone(),
+        CompilerOptions {
+            threads: par_threads,
+            ..CompilerOptions::default()
+        },
+    );
+    g.bench_function("compile_llama13_4layer_parallel", |b| {
+        b.iter(|| par_compiler.compile(&graph).expect("compile"))
+    });
+
     let device = AnalyticDevice::of_chip(&system.chip);
     let cost = LearnedCostModel::fit(&device, &ProfileConfig::default());
     let partitioner = Partitioner::new(&system.chip, &cost);

@@ -2,6 +2,6 @@
 //! `elk_bench::experiments::ablation_allocator`.
 
 fn main() {
-    let mut ctx = elk_bench::Ctx::new("ablation_allocator");
+    let mut ctx = elk_bench::bin_ctx("ablation_allocator");
     elk_bench::experiments::ablation_allocator::run(&mut ctx);
 }

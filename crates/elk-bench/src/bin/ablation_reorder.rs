@@ -2,6 +2,6 @@
 //! `elk_bench::experiments::ablation_reorder`.
 
 fn main() {
-    let mut ctx = elk_bench::Ctx::new("ablation_reorder");
+    let mut ctx = elk_bench::bin_ctx("ablation_reorder");
     elk_bench::experiments::ablation_reorder::run(&mut ctx);
 }

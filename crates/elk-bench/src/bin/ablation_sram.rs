@@ -2,6 +2,6 @@
 //! `elk_bench::experiments::ablation_sram`.
 
 fn main() {
-    let mut ctx = elk_bench::Ctx::new("ablation_sram");
+    let mut ctx = elk_bench::bin_ctx("ablation_sram");
     elk_bench::experiments::ablation_sram::run(&mut ctx);
 }

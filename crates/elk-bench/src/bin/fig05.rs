@@ -1,6 +1,6 @@
 //! Reproduces the paper's fig05. See `elk_bench::experiments::fig05`.
 
 fn main() {
-    let mut ctx = elk_bench::Ctx::new("fig05");
+    let mut ctx = elk_bench::bin_ctx("fig05");
     elk_bench::experiments::fig05::run(&mut ctx);
 }

@@ -1,6 +1,6 @@
 //! Reproduces the paper's fig06. See `elk_bench::experiments::fig06`.
 
 fn main() {
-    let mut ctx = elk_bench::Ctx::new("fig06");
+    let mut ctx = elk_bench::bin_ctx("fig06");
     elk_bench::experiments::fig06::run(&mut ctx);
 }

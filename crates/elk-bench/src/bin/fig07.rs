@@ -1,6 +1,6 @@
 //! Reproduces the paper's fig07. See `elk_bench::experiments::fig07`.
 
 fn main() {
-    let mut ctx = elk_bench::Ctx::new("fig07");
+    let mut ctx = elk_bench::bin_ctx("fig07");
     elk_bench::experiments::fig07::run(&mut ctx);
 }

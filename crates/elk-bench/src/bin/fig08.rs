@@ -1,6 +1,6 @@
 //! Reproduces the paper's fig08. See `elk_bench::experiments::fig08`.
 
 fn main() {
-    let mut ctx = elk_bench::Ctx::new("fig08");
+    let mut ctx = elk_bench::bin_ctx("fig08");
     elk_bench::experiments::fig08::run(&mut ctx);
 }

@@ -1,6 +1,6 @@
 //! Reproduces the paper's fig12. See `elk_bench::experiments::fig12`.
 
 fn main() {
-    let mut ctx = elk_bench::Ctx::new("fig12");
+    let mut ctx = elk_bench::bin_ctx("fig12");
     elk_bench::experiments::fig12::run(&mut ctx);
 }

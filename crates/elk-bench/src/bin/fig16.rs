@@ -1,6 +1,6 @@
 //! Reproduces the paper's fig16. See `elk_bench::experiments::fig16`.
 
 fn main() {
-    let mut ctx = elk_bench::Ctx::new("fig16");
+    let mut ctx = elk_bench::bin_ctx("fig16");
     elk_bench::experiments::fig16::run(&mut ctx);
 }

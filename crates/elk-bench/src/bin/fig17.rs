@@ -1,6 +1,6 @@
 //! Reproduces the paper's fig17. See `elk_bench::experiments::fig17`.
 
 fn main() {
-    let mut ctx = elk_bench::Ctx::new("fig17");
+    let mut ctx = elk_bench::bin_ctx("fig17");
     elk_bench::experiments::fig17::run(&mut ctx);
 }

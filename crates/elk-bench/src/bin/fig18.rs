@@ -1,6 +1,6 @@
 //! Reproduces the paper's fig18. See `elk_bench::experiments::fig18`.
 
 fn main() {
-    let mut ctx = elk_bench::Ctx::new("fig18");
+    let mut ctx = elk_bench::bin_ctx("fig18");
     elk_bench::experiments::fig18::run(&mut ctx);
 }

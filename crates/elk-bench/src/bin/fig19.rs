@@ -1,6 +1,6 @@
 //! Reproduces the paper's fig19. See `elk_bench::experiments::fig19`.
 
 fn main() {
-    let mut ctx = elk_bench::Ctx::new("fig19");
+    let mut ctx = elk_bench::bin_ctx("fig19");
     elk_bench::experiments::fig19::run(&mut ctx);
 }

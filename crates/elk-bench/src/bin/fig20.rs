@@ -1,6 +1,6 @@
 //! Reproduces the paper's fig20. See `elk_bench::experiments::fig20`.
 
 fn main() {
-    let mut ctx = elk_bench::Ctx::new("fig20");
+    let mut ctx = elk_bench::bin_ctx("fig20");
     elk_bench::experiments::fig20::run(&mut ctx);
 }

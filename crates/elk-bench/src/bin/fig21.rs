@@ -1,6 +1,6 @@
 //! Reproduces the paper's fig21. See `elk_bench::experiments::fig21`.
 
 fn main() {
-    let mut ctx = elk_bench::Ctx::new("fig21");
+    let mut ctx = elk_bench::bin_ctx("fig21");
     elk_bench::experiments::fig21::run(&mut ctx);
 }

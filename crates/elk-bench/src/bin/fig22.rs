@@ -1,6 +1,6 @@
 //! Reproduces the paper's fig22. See `elk_bench::experiments::fig22`.
 
 fn main() {
-    let mut ctx = elk_bench::Ctx::new("fig22");
+    let mut ctx = elk_bench::bin_ctx("fig22");
     elk_bench::experiments::fig22::run(&mut ctx);
 }

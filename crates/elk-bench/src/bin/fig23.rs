@@ -1,6 +1,6 @@
 //! Reproduces the paper's fig23. See `elk_bench::experiments::fig23`.
 
 fn main() {
-    let mut ctx = elk_bench::Ctx::new("fig23");
+    let mut ctx = elk_bench::bin_ctx("fig23");
     elk_bench::experiments::fig23::run(&mut ctx);
 }

@@ -1,6 +1,6 @@
 //! Reproduces the paper's fig24. See `elk_bench::experiments::fig24`.
 
 fn main() {
-    let mut ctx = elk_bench::Ctx::new("fig24");
+    let mut ctx = elk_bench::bin_ctx("fig24");
     elk_bench::experiments::fig24::run(&mut ctx);
 }

@@ -26,7 +26,7 @@ fn main() {
     ];
     let t0 = Instant::now();
     for (id, run) in experiments {
-        let mut ctx = elk_bench::Ctx::new(id);
+        let mut ctx = elk_bench::bin_ctx(id);
         let t = Instant::now();
         run(&mut ctx);
         println!("[{id} done in {:.1}s]\n", t.elapsed().as_secs_f64());

@@ -1,6 +1,6 @@
 //! Request-level serving experiment. See `elk_bench::experiments::serving`.
 
 fn main() {
-    let mut ctx = elk_bench::Ctx::new("serving");
+    let mut ctx = elk_bench::bin_ctx("serving");
     elk_bench::experiments::serving::run(&mut ctx);
 }

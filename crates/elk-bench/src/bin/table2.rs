@@ -1,6 +1,6 @@
 //! Reproduces the paper's table2. See `elk_bench::experiments::table2`.
 
 fn main() {
-    let mut ctx = elk_bench::Ctx::new("table2");
+    let mut ctx = elk_bench::bin_ctx("table2");
     elk_bench::experiments::table2::run(&mut ctx);
 }

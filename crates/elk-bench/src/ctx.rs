@@ -19,22 +19,56 @@ pub struct Ctx {
     /// `false` unless `ELK_FULL=1`: quick grids cover every series with
     /// fewer sweep points.
     pub full: bool,
+    /// Worker threads for compiler-side parallel sections (catalog
+    /// construction, order evaluation, serving cache fan-out). Defaults
+    /// to `ELK_THREADS` if set and valid, else all available cores; the
+    /// bench binaries override it from `--threads` via [`bin_ctx`].
+    /// Experiment outputs are byte-identical at any setting.
+    pub threads: usize,
 }
 
 impl Ctx {
     /// Creates a context for experiment `id`. Results go to `results/`
     /// (override with `ELK_RESULTS_DIR`); `ELK_FULL=1` enables the full
     /// parameter grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ELK_THREADS` is set to an invalid count (`0` or
+    /// non-numeric) — the same values the `--threads` CLI flag rejects.
     #[must_use]
     pub fn new(id: &str) -> Self {
         let results_dir = std::env::var_os("ELK_RESULTS_DIR")
             .map_or_else(|| PathBuf::from("results"), PathBuf::from);
+        // One validation path for the knob: parse_threads with no CLI
+        // args falls through to ELK_THREADS / available parallelism.
+        let threads = match elk_par::parse_threads(std::iter::empty::<String>()) {
+            Ok(parsed) => parsed.threads,
+            Err(e) => panic!("{e}"),
+        };
         Ctx {
             id: id.to_string(),
             out: String::new(),
             results_dir,
             full: std::env::var_os("ELK_FULL").is_some(),
+            threads,
         }
+    }
+
+    /// Overrides the worker-thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides the results directory (benches run with the package —
+    /// not the workspace — as their working directory, so they pin the
+    /// workspace `results/` explicitly).
+    #[must_use]
+    pub fn with_results_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.results_dir = dir.into();
+        self
     }
 
     /// Prints a line to stdout and the captured transcript.
@@ -86,6 +120,22 @@ impl Ctx {
             .expect("write transcript");
         let json = serde_json::to_string_pretty(payload).expect("serialize results");
         fs::write(self.results_dir.join(format!("{}.json", self.id)), json).expect("write json");
+    }
+}
+
+/// Creates the context for a bench binary: like [`Ctx::new`] but with
+/// the thread count taken from a `--threads N` command-line flag
+/// (default: all available cores; `ELK_THREADS` is honored too).
+/// Prints a usage error and exits 2 on an invalid count — `0` included
+/// — mirroring the examples' model-name handling.
+#[must_use]
+pub fn bin_ctx(id: &str) -> Ctx {
+    match elk_par::parse_threads(std::env::args().skip(1)) {
+        Ok(parsed) => Ctx::new(id).with_threads(parsed.threads),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
     }
 }
 

@@ -71,7 +71,7 @@ pub fn run(ctx: &mut Ctx) {
     let mut cfg = zoo::llama2_13b();
     cfg.layers = 4;
     let graph = build_llm(&cfg, Workload::decode(32, 2048));
-    let runner = DesignRunner::new(system.clone());
+    let runner = DesignRunner::new(system.clone()).with_threads(ctx.threads);
     let catalog = runner.catalog(&graph).expect("catalog");
     let capacity = system.chip.usable_sram_per_core();
 

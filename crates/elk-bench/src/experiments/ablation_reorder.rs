@@ -46,7 +46,10 @@ pub fn run(ctx: &mut Ctx) {
         ("<=4", true, Some(4), 48),
         ("all H!", true, None, 720),
     ] {
-        let mut opts = CompilerOptions::default();
+        let mut opts = CompilerOptions {
+            threads: ctx.threads,
+            ..CompilerOptions::default()
+        };
         opts.reorder.enable = enable;
         opts.reorder.max_edit_distance = cap;
         opts.reorder.max_orders = max_orders;

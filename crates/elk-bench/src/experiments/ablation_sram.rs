@@ -41,7 +41,7 @@ pub fn run(ctx: &mut Ctx) {
     ] {
         let mut system = default_system();
         system.chip.sram_contention = contention;
-        let runner = DesignRunner::new(system);
+        let runner = DesignRunner::new(system).with_threads(ctx.threads);
         let catalog = runner.catalog(&graph).expect("catalog");
         let outs = run_designs(
             &runner,

@@ -22,7 +22,7 @@ pub struct Series {
 /// Runs the experiment.
 pub fn run(ctx: &mut Ctx) {
     ctx.header("Fig. 5: execution time vs per-core execution space (Pareto plans)");
-    let runner = DesignRunner::new(default_system());
+    let runner = DesignRunner::new(default_system()).with_threads(ctx.threads);
     let mut all = Vec::new();
 
     for cfg in [zoo::llama2_13b(), zoo::gemma2_27b(), zoo::opt_30b()] {

@@ -28,7 +28,7 @@ pub struct Series {
 pub fn run(ctx: &mut Ctx) {
     ctx.header("Fig. 6: HBM bandwidth demand over time vs preload space size");
     let system = default_system();
-    let runner = DesignRunner::new(system.clone());
+    let runner = DesignRunner::new(system.clone()).with_threads(ctx.threads);
     let capacity = system.chip.usable_sram_per_core();
     let mut all = Vec::new();
 

@@ -51,7 +51,7 @@ pub(crate) fn trace_mode(
 pub fn run(ctx: &mut Ctx) {
     ctx.header("Fig. 7: per-core inter-core bandwidth demand, MinPreload vs MaxPreload");
     let system = default_system();
-    let runner = DesignRunner::new(system.clone());
+    let runner = DesignRunner::new(system.clone()).with_threads(ctx.threads);
     let cores = system.chip.cores as f64;
     let mut all = Vec::new();
 

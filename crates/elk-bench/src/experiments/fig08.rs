@@ -28,7 +28,7 @@ pub struct Series {
 pub fn run(ctx: &mut Ctx) {
     ctx.header("Fig. 8: total per-core interconnect demand, MinPreload vs MaxPreload");
     let system = default_system();
-    let runner = DesignRunner::new(system.clone());
+    let runner = DesignRunner::new(system.clone()).with_threads(ctx.threads);
     let cores = system.chip.cores as f64;
     let mut all = Vec::new();
 

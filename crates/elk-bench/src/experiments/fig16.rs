@@ -4,7 +4,7 @@ use serde::Serialize;
 
 use std::time::Instant;
 
-use elk_core::Compiler;
+use elk_core::{Compiler, CompilerOptions};
 use elk_model::Workload;
 
 use crate::ctx::{build_llm, default_system, llms, Ctx};
@@ -32,7 +32,13 @@ pub fn run(ctx: &mut Ctx) {
     } else {
         &[8, 32]
     };
-    let compiler = Compiler::new(default_system());
+    let compiler = Compiler::with_options(
+        default_system(),
+        CompilerOptions {
+            threads: ctx.threads,
+            ..CompilerOptions::default()
+        },
+    );
     let mut rows = Vec::new();
 
     for cfg in llms() {

@@ -28,7 +28,7 @@ pub fn run(ctx: &mut Ctx) {
     ctx.header("Fig. 17: per-token serving latency (ms), 4 chips, 16 TB/s HBM");
     let seqs: &[u64] = if ctx.full { &[2048, 4096] } else { &[2048] };
     let batches = [16u64, 32, 64];
-    let runner = DesignRunner::new(default_system());
+    let runner = DesignRunner::new(default_system()).with_threads(ctx.threads);
     let mut rows = Vec::new();
     let mut cells = Vec::new();
 

@@ -39,7 +39,7 @@ pub struct Row {
 pub fn run(ctx: &mut Ctx) {
     ctx.header("Fig. 18: breakdown & utilization (b32 s2048)");
     let system = default_system();
-    let runner = DesignRunner::new(system.clone());
+    let runner = DesignRunner::new(system.clone()).with_threads(ctx.threads);
     let mut rows = Vec::new();
     let mut cells = Vec::new();
 

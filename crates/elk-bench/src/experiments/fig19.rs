@@ -42,7 +42,7 @@ pub(crate) fn sweep(
         ("all-to-all", presets::ipu_pod4()),
         ("mesh", presets::ipu_pod4_mesh()),
     ] {
-        let base_runner = DesignRunner::new(base);
+        let base_runner = DesignRunner::new(base).with_threads(ctx.threads);
         for cfg in &models {
             let graph = build_llm(cfg, default_workload());
             let catalog = base_runner.catalog(&graph).expect("catalog");

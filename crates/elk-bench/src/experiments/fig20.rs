@@ -39,7 +39,7 @@ pub fn run(ctx: &mut Ctx) {
     } else {
         &[8.0, 12.0, 16.0]
     };
-    let base = DesignRunner::new(presets::ipu_pod4());
+    let base = DesignRunner::new(presets::ipu_pod4()).with_threads(ctx.threads);
     let graph = build_llm(&zoo::llama2_13b(), default_workload());
     let catalog = base.catalog(&graph).expect("catalog");
     let mut rows = Vec::new();

@@ -49,7 +49,7 @@ pub fn run(ctx: &mut Ctx) {
         for &noc in nocs {
             // Changing the NoC changes the chip: fit a fresh cost model.
             let sys = base_sys.with_total_noc_bandwidth(ByteRate::tib_per_sec(noc));
-            let base_runner = DesignRunner::new(sys);
+            let base_runner = DesignRunner::new(sys).with_threads(ctx.threads);
             let catalog = base_runner.catalog(&graph).expect("catalog");
             for &hbm in hbms {
                 let runner = base_runner.with_system(

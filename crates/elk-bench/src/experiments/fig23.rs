@@ -49,7 +49,7 @@ pub fn run(ctx: &mut Ctx) {
     for &cores in core_counts {
         // LLMs on the 4-chip pod.
         let sys = presets::ipu_pod4().with_cores_and_hbm_per_core(cores, hbm_per_core);
-        let runner = DesignRunner::new(sys);
+        let runner = DesignRunner::new(sys).with_threads(ctx.threads);
         for cfg in &llm_cfgs {
             let graph = cfg.build(default_workload(), 4);
             let catalog = runner.catalog(&graph).expect("catalog");
@@ -64,7 +64,7 @@ pub fn run(ctx: &mut Ctx) {
         }
         // DiT-XL on a single chip (paper: up to 1472 cores).
         let dit_sys = presets::single_chip().with_cores_and_hbm_per_core(cores, hbm_per_core);
-        let dit_runner = DesignRunner::new(dit_sys);
+        let dit_runner = DesignRunner::new(dit_sys).with_threads(ctx.threads);
         let dit = zoo::dit_xl().build(Workload::decode(8, 256), 1);
         let catalog = dit_runner.catalog(&dit).expect("catalog");
         let outs = run_designs(

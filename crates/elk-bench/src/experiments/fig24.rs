@@ -59,7 +59,7 @@ pub fn run(ctx: &mut Ctx) {
                 let mut sys = mk().with_total_noc_bandwidth(ByteRate::tib_per_sec(noc));
                 sys.chip = sys.chip.with_compute_scale(scale);
                 let available = sys.total_matmul_rate().as_tera();
-                let base_runner = DesignRunner::new(sys);
+                let base_runner = DesignRunner::new(sys).with_threads(ctx.threads);
                 let catalog = base_runner.catalog(&graph).expect("catalog");
                 for &hbm in hbms {
                     let runner = base_runner.with_system(

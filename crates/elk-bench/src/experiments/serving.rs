@@ -67,7 +67,9 @@ pub fn run(ctx: &mut Ctx) {
     let replica_counts: &[usize] = if ctx.full { &[1, 2] } else { &[1] };
     let mut rows = Vec::new();
     for &replicas in replica_counts {
-        let mut config = ServeConfig::new(zoo::llama2_13b(), 4).with_replicas(replicas);
+        let mut config = ServeConfig::new(zoo::llama2_13b(), 4)
+            .with_replicas(replicas)
+            .with_threads(ctx.threads);
         config.batch.max_batch = 32;
         config.slo = SloConfig {
             ttft: Seconds::new(20.0),

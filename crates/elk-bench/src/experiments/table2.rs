@@ -74,9 +74,9 @@ pub fn run(ctx: &mut Ctx) {
 
     for graph in &graphs {
         let runner = if graph.shards() == 1 {
-            DesignRunner::new(elk_hw::presets::single_chip())
+            DesignRunner::new(elk_hw::presets::single_chip()).with_threads(ctx.threads)
         } else {
-            DesignRunner::new(system.clone())
+            DesignRunner::new(system.clone()).with_threads(ctx.threads)
         };
         let catalog = runner.catalog(graph).expect("catalog");
         let stats = GraphStats::of(graph);

@@ -22,7 +22,10 @@ pub struct CompilerOptions {
     pub reorder: ReorderOptions,
     /// Cost-model profiling configuration (§4.3).
     pub profile: ProfileConfig,
-    /// Worker threads for order evaluation (0 = all available).
+    /// Worker threads for catalog construction and preload-order
+    /// evaluation (`0` = all available cores, capped at 16). Results
+    /// are byte-identical at any setting — see `elk-par`'s determinism
+    /// contract.
     pub threads: usize,
 }
 
@@ -146,8 +149,17 @@ impl Compiler {
             return Err(CompileError::EmptyGraph);
         }
         let partitioner = Partitioner::new(&self.system.chip, &self.cost);
-        let catalog = Catalog::build(graph, &partitioner)?;
+        let catalog = Catalog::build_par(graph, &partitioner, self.worker_threads())?;
         self.compile_with_catalog(graph, &catalog)
+    }
+
+    /// The resolved worker count for parallel sections.
+    fn worker_threads(&self) -> usize {
+        if self.opts.threads == 0 {
+            elk_par::resolve_threads(0).min(16)
+        } else {
+            self.opts.threads
+        }
     }
 
     /// Compiles `graph` reusing a pre-built plan catalog (the catalog only
@@ -174,42 +186,25 @@ impl Compiler {
         let candidates = candidate_orders(graph, catalog, capacity, &self.opts.reorder);
 
         let scheduler = Scheduler::new(graph, catalog, &self.system, self.opts.schedule);
-        let threads = if self.opts.threads == 0 {
-            std::thread::available_parallelism()
-                .map_or(4, |n| n.get())
-                .min(16)
-        } else {
-            self.opts.threads
-        };
 
-        // Evaluate every candidate order; keep (index, total, violations).
-        let mut scores: Vec<Option<(usize, Seconds, usize)>> = vec![None; candidates.len()];
-        let chunk = candidates.len().div_ceil(threads.max(1));
-        std::thread::scope(|scope| {
-            for (t, (cands, out)) in candidates
-                .chunks(chunk.max(1))
-                .zip(scores.chunks_mut(chunk.max(1)))
-                .enumerate()
-            {
-                let scheduler = &scheduler;
-                scope.spawn(move || {
-                    for (k, cand) in cands.iter().enumerate() {
-                        let idx = t * chunk.max(1) + k;
-                        if let Ok(sched) = scheduler.schedule(&cand.order) {
-                            let prog = DeviceProgram::lower(graph, catalog, &sched);
-                            let est = evaluate(&prog, capacity);
-                            out[k] = Some((idx, est.total, est.capacity_violations));
-                        }
-                    }
-                });
-            }
-        });
+        // Evaluate every candidate order on the work pool; results merge
+        // by candidate index, so the winner (and every tiebreak) is
+        // identical at any thread count.
+        let scores: Vec<Option<(Seconds, usize)>> =
+            elk_par::par_map(self.worker_threads(), &candidates, |_, cand| {
+                scheduler.schedule(&cand.order).ok().map(|sched| {
+                    let prog = DeviceProgram::lower(graph, catalog, &sched);
+                    let est = evaluate(&prog, capacity);
+                    (est.total, est.capacity_violations)
+                })
+            });
 
         let best = scores
             .iter()
-            .flatten()
+            .enumerate()
+            .filter_map(|(idx, s)| s.map(|(total, violations)| (idx, total, violations)))
             .min_by(|a, b| (a.2, a.1).cmp(&(b.2, b.1)))
-            .map(|&(idx, _, _)| idx)
+            .map(|(idx, _, _)| idx)
             .ok_or_else(|| CompileError::InvalidPreloadOrder {
                 reason: "no candidate preload order scheduled feasibly".to_string(),
             })?;

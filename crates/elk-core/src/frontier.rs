@@ -124,37 +124,78 @@ pub struct Catalog {
 }
 
 impl Catalog {
-    /// Enumerates plans for every operator of `graph`.
+    /// Enumerates plans for every operator of `graph`, sequentially.
+    /// Equivalent to [`Catalog::build_par`] with one thread.
     ///
     /// # Errors
     ///
     /// Returns [`CompileError::NoFeasiblePlan`] if any operator cannot be
     /// partitioned into the chip's SRAM.
     pub fn build(graph: &ModelGraph, partitioner: &Partitioner<'_>) -> Result<Self, CompileError> {
-        let mut cache: HashMap<String, Arc<OpPlans>> = HashMap::new();
-        let mut entries = Vec::with_capacity(graph.len());
+        Catalog::build_par(graph, partitioner, 1)
+    }
+
+    /// Enumerates plans for every operator of `graph`, fanning the
+    /// per-signature plan searches across `threads` scoped workers
+    /// (`0` = all available cores).
+    ///
+    /// Operators are first deduplicated by signature (identical
+    /// transformer layers share one plan set), then the distinct
+    /// signatures — the expensive part — are enumerated in parallel via
+    /// [`Partitioner::enumerate_all_par`]. The resulting catalog is
+    /// byte-identical at any thread count: signatures keep their
+    /// first-appearance order, results merge by index, and on failure
+    /// the reported operator is the first infeasible one in graph
+    /// order, exactly as the sequential build reports it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::NoFeasiblePlan`] if any operator cannot be
+    /// partitioned into the chip's SRAM.
+    pub fn build_par(
+        graph: &ModelGraph,
+        partitioner: &Partitioner<'_>,
+        threads: usize,
+    ) -> Result<Self, CompileError> {
+        // Dedup pass: distinct signatures in first-appearance order.
+        let mut index_of_sig: HashMap<String, usize> = HashMap::new();
+        let mut reps: Vec<&Operator> = Vec::new();
+        let mut sig_of_op: Vec<usize> = Vec::with_capacity(graph.len());
         for op in graph.iter() {
-            let key = signature(op);
-            let entry = match cache.get(&key) {
-                Some(e) => Arc::clone(e),
-                None => {
-                    let plans = partitioner.plans(op);
-                    if plans.is_empty() {
-                        return Err(CompileError::NoFeasiblePlan {
-                            op: op.name().to_string(),
-                            capacity: Bytes::ZERO,
-                        });
-                    }
-                    let e = Arc::new(OpPlans::new(plans));
-                    cache.insert(key, Arc::clone(&e));
-                    e
+            let idx = *index_of_sig.entry(signature(op)).or_insert_with(|| {
+                reps.push(op);
+                reps.len() - 1
+            });
+            sig_of_op.push(idx);
+        }
+
+        // With one effective worker, enumerate signature-by-signature
+        // and stop at the first infeasible operator — the serving
+        // layer's micro-batch fallback probes infeasible shapes on
+        // purpose, and paying for the remaining signatures' enumeration
+        // just to discard it would dominate that error path.
+        let workers = elk_par::resolve_threads(threads).min(reps.len());
+        let mut shared = Vec::with_capacity(reps.len());
+        if workers <= 1 {
+            for op in &reps {
+                let plans = partitioner.plans(op);
+                if plans.is_empty() {
+                    return Err(no_feasible_plan(op));
                 }
-            };
-            entries.push(entry);
+                shared.push(Arc::new(OpPlans::new(plans)));
+            }
+        } else {
+            let plan_lists = partitioner.enumerate_all_par(&reps, threads);
+            for (op, plans) in reps.iter().zip(plan_lists) {
+                if plans.is_empty() {
+                    return Err(no_feasible_plan(op));
+                }
+                shared.push(Arc::new(OpPlans::new(plans)));
+            }
         }
         Ok(Catalog {
-            entries,
-            distinct: cache.len(),
+            entries: sig_of_op.iter().map(|&i| Arc::clone(&shared[i])).collect(),
+            distinct: reps.len(),
         })
     }
 
@@ -191,6 +232,13 @@ impl Catalog {
             .map(|e| e.plans.len())
             .max()
             .unwrap_or(0)
+    }
+}
+
+fn no_feasible_plan(op: &Operator) -> CompileError {
+    CompileError::NoFeasiblePlan {
+        op: op.name().to_string(),
+        capacity: Bytes::ZERO,
     }
 }
 
@@ -262,6 +310,23 @@ mod tests {
             g.len()
         );
         assert!(cat.max_plans_per_op() > 10);
+    }
+
+    #[test]
+    fn parallel_catalog_is_thread_count_invariant() {
+        let sys = presets::ipu_pod4();
+        let dev = AnalyticDevice::of_chip(&sys.chip);
+        let p = Partitioner::new(&sys.chip, &dev);
+        let g = zoo::llama2_13b().build(Workload::decode(16, 1024), 4);
+        let seq = Catalog::build_par(&g, &p, 1).expect("sequential catalog");
+        for threads in [2, 8] {
+            let par = Catalog::build_par(&g, &p, threads).expect("parallel catalog");
+            assert_eq!(par.len(), seq.len());
+            assert_eq!(par.distinct_signatures(), seq.distinct_signatures());
+            for i in 0..seq.len() {
+                assert_eq!(par.op(OpId(i)), seq.op(OpId(i)), "op {i} diverged");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Uniform `--threads` CLI parsing for examples and bench binaries.
+
+use crate::resolve_threads;
+
+/// Result of [`parse_threads`]: the resolved worker count plus every
+/// argument that was not part of a `--threads` flag, in original order
+/// (so positional arguments keep their positions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedThreads {
+    /// Worker count: the `--threads` value, else the `ELK_THREADS`
+    /// environment variable, else the machine's available parallelism.
+    pub threads: usize,
+    /// The remaining (non-`--threads`) arguments.
+    pub rest: Vec<String>,
+}
+
+/// Extracts `--threads N` (or `--threads=N`) from an argument stream.
+///
+/// The flag may appear anywhere among positional arguments. When absent,
+/// the `ELK_THREADS` environment variable is consulted, and failing
+/// that the default is [`std::thread::available_parallelism`]. A count
+/// of `0` or a non-integer is rejected with an actionable message (the
+/// examples and bench bins print it and exit 2, mirroring their
+/// model-name handling).
+///
+/// # Errors
+///
+/// Returns a human-readable message when the value is missing,
+/// non-numeric, or zero.
+///
+/// # Examples
+///
+/// ```
+/// let p = elk_par::parse_threads(
+///     ["llama13", "--threads", "4", "2048"].map(String::from),
+/// )
+/// .unwrap();
+/// assert_eq!(p.threads, 4);
+/// assert_eq!(p.rest, vec!["llama13".to_string(), "2048".to_string()]);
+///
+/// let err = elk_par::parse_threads(["--threads", "0"].map(String::from));
+/// assert!(err.unwrap_err().contains("positive"));
+/// ```
+pub fn parse_threads(args: impl IntoIterator<Item = String>) -> Result<ParsedThreads, String> {
+    let mut rest = Vec::new();
+    let mut threads: Option<usize> = None;
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--threads" {
+            args.next()
+                .ok_or_else(|| missing_value("--threads requires a value"))?
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            v.to_string()
+        } else {
+            rest.push(arg);
+            continue;
+        };
+        threads = Some(validate(&value)?);
+    }
+    let threads = match threads {
+        Some(t) => t,
+        None => match std::env::var("ELK_THREADS") {
+            Ok(v) => validate(&v).map_err(|e| format!("ELK_THREADS: {e}"))?,
+            Err(_) => resolve_threads(0),
+        },
+    };
+    Ok(ParsedThreads { threads, rest })
+}
+
+fn validate(value: &str) -> Result<usize, String> {
+    match value.parse::<usize>() {
+        Ok(0) => Err(missing_value(
+            "invalid thread count '0': must be a positive integer",
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(missing_value(&format!(
+            "invalid thread count '{value}': expected a positive integer"
+        ))),
+    }
+}
+
+fn missing_value(what: &str) -> String {
+    format!(
+        "{what}; omit --threads to use all available cores ({})",
+        resolve_threads(0)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ParsedThreads, String> {
+        parse_threads(args.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn parses_flag_in_any_position() {
+        for args in [
+            &["--threads", "3", "llama13"][..],
+            &["llama13", "--threads", "3"],
+            &["llama13", "--threads=3"],
+        ] {
+            let p = parse(args).unwrap();
+            assert_eq!(p.threads, 3);
+            assert_eq!(p.rest, vec!["llama13".to_string()]);
+        }
+    }
+
+    #[test]
+    fn rejects_zero_and_garbage() {
+        assert!(parse(&["--threads", "0"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--threads=x"]).unwrap_err().contains("'x'"));
+        assert!(parse(&["--threads"]).unwrap_err().contains("value"));
+    }
+
+    #[test]
+    fn defaults_to_available_parallelism() {
+        // The test environment may set ELK_THREADS; both branches are
+        // deterministic, so just assert the invariant.
+        let p = parse(&["positional"]).unwrap();
+        assert!(p.threads >= 1);
+        assert_eq!(p.rest, vec!["positional".to_string()]);
+    }
+
+    #[test]
+    fn last_flag_wins() {
+        let p = parse(&["--threads", "2", "--threads", "5"]).unwrap();
+        assert_eq!(p.threads, 5);
+        assert!(p.rest.is_empty());
+    }
+}

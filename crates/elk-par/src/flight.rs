@@ -1,0 +1,133 @@
+//! Single-flight keyed exclusive sections for concurrent caches.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// A keyed exclusive section: at most one thread runs inside
+/// [`with`](SingleFlight::with) for a given key at a time; late arrivals
+/// block until the in-flight holder finishes.
+///
+/// This is the standard *single-flight* idiom for demand-filled caches:
+/// the closure re-checks the cache first, so of N concurrent misses on
+/// one key exactly one performs the expensive compute and the other
+/// N−1 find the freshly-inserted value —
+///
+/// ```
+/// use std::collections::HashMap;
+/// use std::sync::Mutex;
+///
+/// let cache: Mutex<HashMap<u32, u64>> = Mutex::new(HashMap::new());
+/// let flight: elk_par::SingleFlight<u32> = elk_par::SingleFlight::new();
+/// let computes = std::sync::atomic::AtomicU32::new(0);
+///
+/// std::thread::scope(|s| {
+///     for _ in 0..8 {
+///         s.spawn(|| {
+///             flight.with(&42, || {
+///                 if !cache.lock().unwrap().contains_key(&42) {
+///                     computes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+///                     let value = 42 * 42; // the "expensive compile"
+///                     cache.lock().unwrap().insert(42, value);
+///                 }
+///             });
+///         });
+///     }
+/// });
+/// assert_eq!(computes.load(std::sync::atomic::Ordering::Relaxed), 1);
+/// ```
+///
+/// Distinct keys never block each other. The key slot is released even
+/// if the closure panics, so waiters cannot deadlock on a dead holder.
+#[derive(Debug, Default)]
+pub struct SingleFlight<K> {
+    inflight: Mutex<HashSet<K>>,
+    done: Condvar,
+}
+
+impl<K: Eq + Hash + Clone> SingleFlight<K> {
+    /// Creates an empty flight table.
+    #[must_use]
+    pub fn new() -> Self {
+        SingleFlight {
+            inflight: Mutex::new(HashSet::new()),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Runs `f` while exclusively holding `key`; blocks while another
+    /// thread holds the same key. Returns `f`'s output.
+    pub fn with<R>(&self, key: &K, f: impl FnOnce() -> R) -> R {
+        let mut set = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+        while set.contains(key) {
+            set = self.done.wait(set).unwrap_or_else(PoisonError::into_inner);
+        }
+        set.insert(key.clone());
+        drop(set);
+        let _release = Release { flight: self, key };
+        f()
+    }
+}
+
+/// Releases the key slot (and wakes waiters) on scope exit, including
+/// unwinds out of the closure.
+struct Release<'a, K: Eq + Hash + Clone> {
+    flight: &'a SingleFlight<K>,
+    key: &'a K,
+}
+
+impl<K: Eq + Hash + Clone> Drop for Release<'_, K> {
+    fn drop(&mut self) {
+        self.flight
+            .inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(self.key);
+        self.flight.done.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn serializes_same_key_work() {
+        let flight: SingleFlight<u8> = SingleFlight::new();
+        let inside = AtomicU32::new(0);
+        let peak = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    flight.with(&1, || {
+                        let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::yield_now();
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(peak.load(Ordering::SeqCst), 1, "two holders of one key");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_block() {
+        let flight: SingleFlight<u8> = SingleFlight::new();
+        // Nested holds of different keys on one thread must not deadlock.
+        let r = flight.with(&1, || flight.with(&2, || 7));
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn panicking_holder_releases_the_key() {
+        let flight: SingleFlight<u8> = SingleFlight::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            flight.with(&1, || panic!("holder died"));
+        }));
+        assert!(caught.is_err());
+        // Slot must be free again.
+        assert_eq!(flight.with(&1, || 3), 3);
+    }
+}

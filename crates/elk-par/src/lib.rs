@@ -1,0 +1,38 @@
+//! # elk-par — minimal scoped work-pool with deterministic merging
+//!
+//! The Elk compile pipeline — per-operator plan enumeration, per-design
+//! catalog compilation, preload-order evaluation — is embarrassingly
+//! parallel, but the build environment vendors no external crates, so
+//! this crate provides the few primitives the workspace needs on top of
+//! [`std::thread::scope`] alone:
+//!
+//! * [`par_map`] / [`try_par_map`] — fan a slice across a bounded pool
+//!   of scoped worker threads. Results are merged **by input index**, so
+//!   the output is byte-identical at any thread count; a work item only
+//!   ever observes its own index and element. This is the determinism
+//!   contract every caller (partitioner, compiler, serving cache) relies
+//!   on: *parallelism never changes what is computed, only when.*
+//! * [`SingleFlight`] — a keyed exclusive section for concurrent caches:
+//!   at most one thread computes a given key at a time, so two in-flight
+//!   requests never duplicate a compile.
+//! * [`resolve_threads`] / [`parse_threads`] — the shared `threads` knob:
+//!   `0` means "use [`std::thread::available_parallelism`]", and the CLI
+//!   helper parses `--threads N` uniformly across examples and bench
+//!   binaries (rejecting `0` with an actionable error).
+//!
+//! ```
+//! let squares = elk_par::par_map(4, &[1u64, 2, 3, 4, 5], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! // Identical at any thread count — including sequential.
+//! assert_eq!(squares, elk_par::par_map(1, &[1, 2, 3, 4, 5], |_, &x| x * x));
+//! ```
+
+#![warn(missing_docs)]
+
+mod args;
+mod flight;
+mod pool;
+
+pub use args::{parse_threads, ParsedThreads};
+pub use flight::SingleFlight;
+pub use pool::{par_map, resolve_threads, try_par_map};

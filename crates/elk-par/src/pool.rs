@@ -1,0 +1,164 @@
+//! The scoped work pool: index-ordered parallel map.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Resolves a `threads` knob to a concrete worker count: `0` means
+/// [`std::thread::available_parallelism`] (falling back to 1 if the
+/// platform cannot report it), anything else is taken verbatim.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(elk_par::resolve_threads(3), 3);
+/// assert!(elk_par::resolve_threads(0) >= 1);
+/// ```
+#[must_use]
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads
+/// (`0` = all available), returning results **in input order**.
+///
+/// Work is claimed item-by-item from a shared atomic counter, so uneven
+/// item costs balance across workers; each result is written to its
+/// input's slot, so the output is byte-identical at any thread count.
+/// `f` receives `(index, &item)` and must not rely on call order.
+///
+/// With one worker (or fewer than two items) no threads are spawned and
+/// the map runs inline — the sequential and parallel paths compute the
+/// same values by construction.
+///
+/// # Panics
+///
+/// Panics if any invocation of `f` panicked (the scope joins all
+/// workers first, then re-raises).
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = resolve_threads(threads).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    // Per-item result slots: each index is claimed exactly once via the
+    // atomic counter, so the slot locks never contend (`Mutex` rather
+    // than `OnceLock` keeps the bound at `R: Send`).
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(i, item);
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+/// Fallible [`par_map`]: maps `f` over `items` in parallel and returns
+/// either every success in input order or the error of the
+/// **lowest-indexed** failing item — the same error a sequential loop
+/// would surface, regardless of which worker hit it first.
+///
+/// All items are evaluated even when an early one fails (the pool has
+/// no cancellation); callers that need short-circuiting should keep
+/// their loop sequential.
+///
+/// # Errors
+///
+/// The first error by input index, if any item fails.
+///
+/// # Examples
+///
+/// ```
+/// let r: Result<Vec<u32>, String> =
+///     elk_par::try_par_map(4, &[2u32, 0, 4, 0], |i, &x| {
+///         if x == 0 { Err(format!("item {i} is zero")) } else { Ok(x / 2) }
+///     });
+/// assert_eq!(r, Err("item 1 is zero".to_string()));
+/// ```
+pub fn try_par_map<T, R, E, F>(threads: usize, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    par_map(threads, items, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn resolves_zero_to_available() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(7), 7);
+    }
+
+    #[test]
+    fn output_order_is_input_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq = par_map(1, &items, |i, &x| x * 3 + i as u64);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(par_map(threads, &items, |i, &x| x * 3 + i as u64), seq);
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        par_map(8, &(0..100).collect::<Vec<usize>>(), |_, &i| {
+            hits[i].fetch_add(1, Ordering::Relaxed)
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(8, &[9u8], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn try_par_map_returns_lowest_index_error() {
+        let items: Vec<u32> = (0..64).collect();
+        let r: Result<Vec<u32>, usize> =
+            try_par_map(8, &items, |i, &x| if x % 10 == 3 { Err(i) } else { Ok(x) });
+        assert_eq!(r, Err(3));
+        let ok: Result<Vec<u32>, usize> = try_par_map(8, &items, |_, &x| Ok(x));
+        assert_eq!(ok.unwrap(), items);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panic_propagates() {
+        par_map(4, &[1, 2, 3, 4], |i, _| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -64,6 +64,43 @@ impl<'a> Partitioner<'a> {
         out
     }
 
+    /// Enumerates [`Partitioner::plans`] for a batch of operators,
+    /// fanning the per-operator searches across a scoped work pool of
+    /// `threads` workers (`0` = all available cores).
+    ///
+    /// Results come back **in input order** and are byte-identical at
+    /// any thread count: each operator's enumeration is independent
+    /// (the partitioner and cost model are immutable), and
+    /// [`elk_par::par_map`] merges by input index. This is the fan-out
+    /// the compiler's catalog construction builds on — callers should
+    /// deduplicate operators by signature first so identical
+    /// transformer layers are enumerated once.
+    ///
+    /// ```
+    /// use elk_cost::{AnalyticDevice, LearnedCostModel, ProfileConfig};
+    /// use elk_hw::presets;
+    /// use elk_model::{zoo, Workload};
+    /// use elk_partition::Partitioner;
+    ///
+    /// let sys = presets::ipu_pod4();
+    /// let device = AnalyticDevice::of_chip(&sys.chip);
+    /// let cost = LearnedCostModel::fit(&device, &ProfileConfig::default());
+    /// let mut cfg = zoo::llama2_13b();
+    /// cfg.layers = 1; // doctest-sized
+    /// let graph = cfg.build(Workload::decode(16, 512), 4);
+    /// let partitioner = Partitioner::new(&sys.chip, &cost);
+    ///
+    /// let ops: Vec<&elk_model::Operator> = graph.iter().collect();
+    /// let parallel = partitioner.enumerate_all_par(&ops, 4);
+    /// let sequential = partitioner.enumerate_all_par(&ops, 1);
+    /// assert_eq!(parallel, sequential); // deterministic merge
+    /// assert_eq!(parallel.len(), graph.len());
+    /// ```
+    #[must_use]
+    pub fn enumerate_all_par(&self, ops: &[&Operator], threads: usize) -> Vec<Vec<ExecutePlan>> {
+        elk_par::par_map(threads, ops, |_, op| self.plans(op))
+    }
+
     /// Split-factor combinations for the operator class (before SRAM
     /// feasibility).
     fn factor_combos(&self, op: &Operator) -> Vec<PlanFactors> {
@@ -318,8 +355,8 @@ pub fn split_candidates(dim: u64, cap: u64) -> Vec<u64> {
     v
 }
 
-/// Power-of-two replication candidates within a sharing group of `g`
-/// cores: `{1, 2, 4, …} ∪ {g}`.
+/// Replication candidates within a sharing group of `g` cores: powers
+/// of four plus full broadcast, `{1, 4, 16, …} ∪ {g}`.
 fn rep_candidates(g: u64) -> Vec<u64> {
     let mut v = Vec::new();
     let mut x = 1u64;
@@ -489,6 +526,24 @@ mod tests {
         let scores = g.iter().find(|o| o.name() == "l0.attn_scores").unwrap();
         for plan in p.plans(scores) {
             assert!(plan.factors.split_dims() <= 2, "{}", plan.factors);
+        }
+    }
+
+    #[test]
+    fn batch_enumeration_is_thread_count_invariant() {
+        let (sys, dev) = fixtures();
+        let p = Partitioner::new(&sys.chip, &dev);
+        let g = zoo::llama2_13b().build(Workload::decode(16, 1024), 4);
+        let span = g.layer_spans()[0].ops.clone();
+        let ops: Vec<&Operator> = g.ops()[span].iter().collect();
+        let seq = p.enumerate_all_par(&ops, 1);
+        assert_eq!(seq.len(), ops.len());
+        for threads in [2, 8] {
+            assert_eq!(p.enumerate_all_par(&ops, threads), seq);
+        }
+        // The fan-out computes exactly what per-op enumeration does.
+        for (op, plans) in ops.iter().zip(&seq) {
+            assert_eq!(&p.plans(op), plans);
         }
     }
 

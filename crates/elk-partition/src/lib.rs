@@ -18,6 +18,40 @@
 //!   preload time; the *data-distribution phase* at execution start gathers
 //!   the remainder from peer cores (Fig. 3(b) vs (c), §4.3 Tradeoffs 2–3).
 //!
+//! ## The enumeration grid and its invariants
+//!
+//! [`Partitioner::plans`] is exhaustive over a finite grid; these are
+//! the invariants downstream layers (frontier extraction, scheduling,
+//! allocation) rely on:
+//!
+//! 1. **Geometric split grid.** Candidate split factors per iteration
+//!    dimension come from [`split_candidates`]: a ×1.5 geometric ladder
+//!    from `1` up to `min(dim, cores)`, always containing both `1` and
+//!    the maximum feasible split. The ladder keeps the grid ≲25 points
+//!    per dimension on a 1472-core chip, so the cross-product over
+//!    `(pb, pm, pk, pn)` stays enumerable while still reaching every
+//!    memory↔time regime of Fig. 5.
+//! 2. **Replication ladder.** Within each operand's sharing group of `g`
+//!    cores, the replication factor ranges over `{1, 4, 16, …} ∪ {g}`
+//!    (powers of four plus full broadcast): `r = g` pins the whole
+//!    group slice in every core (no compute-shift traffic), `r = 1` is
+//!    the minimal 1/g rotation share, intermediates trade footprint for
+//!    shift rounds. Preload-state copies are a subset: `r_preload ≤
+//!    r_exec`, sorted by decreasing footprint, deduplicated.
+//! 3. **SRAM/core feasibility.** Every returned plan satisfies
+//!    `exec_space ≤ usable_sram_per_core()` **and** `cores() ≤
+//!    chip.cores` **and** (on 2-D meshes) splits at most two
+//!    dimensions; infeasible grid points are dropped, never clamped. A
+//!    plan list is non-empty for any operator whose minimal footprint
+//!    fits the chip at all, and plans below the chip-relative
+//!    parallelism floor are pruned unless the operator is too small to
+//!    reach it.
+//!
+//! Batch enumeration over many operators fans out across a scoped
+//! work pool ([`Partitioner::enumerate_all_par`]) with index-ordered,
+//! byte-identical merging — see the `elk-par` crate for the
+//! determinism contract.
+//!
 //! ```
 //! use elk_cost::{AnalyticDevice, LearnedCostModel, ProfileConfig};
 //! use elk_hw::presets;
@@ -31,6 +65,11 @@
 //! let partitioner = Partitioner::new(&sys.chip, &cost);
 //! let plans = partitioner.plans(&graph.ops()[1]); // attn_norm
 //! assert!(!plans.is_empty());
+//! // Invariant 3: everything returned fits the chip.
+//! for plan in &plans {
+//!     assert!(plan.exec_space <= sys.chip.usable_sram_per_core());
+//!     assert!(plan.cores_used <= sys.chip.cores);
+//! }
 //! ```
 
 #![warn(missing_docs)]

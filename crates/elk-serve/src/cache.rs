@@ -6,14 +6,29 @@
 //! step latency per signature means repeated shapes never recompile.
 //! Plan catalogs are design-independent and cached separately, so the
 //! five evaluation designs share the enumeration work too.
+//!
+//! The cache is **thread-safe and single-flight**: lookups take `&self`
+//! (replica event loops run concurrently against one shared cache), and
+//! each graph signature / plan key is guarded by an
+//! [`elk_par::SingleFlight`] slot, so of N concurrent misses on one key
+//! exactly one performs the compile and the rest wait for its result —
+//! two in-flight requests never compile the same [`PlanKey`] twice.
+//! With a multi-worker pool ([`PlanCache::with_threads`]) a miss on a
+//! fresh signature also *warms* the remaining designs concurrently:
+//! catalogs are design-independent, so compiling all five designs while
+//! the catalog is hot turns the other designs' first lookups into hits.
+//! Cached values are identical at any thread count (compilation is
+//! deterministic); threading only changes when they are computed.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use serde::{Deserialize, Serialize};
 
 use elk_baselines::{Design, DesignRunner};
 use elk_core::{Catalog, CompileError};
 use elk_model::{ModelGraph, Phase, TransformerConfig, Workload};
+use elk_par::SingleFlight;
 use elk_sim::SimOptions;
 use elk_units::Seconds;
 
@@ -60,9 +75,12 @@ impl PlanKey {
 /// Hit/miss counters, cumulative over the cache's lifetime.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
-    /// Lookups answered without compiling.
+    /// Lookups whose requested key was (or became) available without
+    /// this lookup computing it — including lookups that waited on
+    /// another thread's in-flight compile of the same key.
     pub hits: u64,
-    /// Lookups that compiled and simulated a new plan.
+    /// Lookups that computed their requested key: compiled + simulated
+    /// the design, or memoized its compile failure.
     pub misses: u64,
 }
 
@@ -92,16 +110,12 @@ impl CacheStats {
 /// `(model name, shards, phase, batch, seq bucket)`.
 type GraphKey = (String, u64, Phase, u64, u64);
 
-/// Memoizes compiled-and-simulated step latencies per [`PlanKey`].
-///
-/// The catalog layer (plan enumeration per operator) is keyed on the
-/// workload signature alone and reused across designs; the latency
-/// layer additionally keys on the design. Both layers live for the
-/// cache's lifetime, so one cache shared across designs and replicas
-/// maximizes reuse.
+/// The mutable cache maps, behind one mutex. Compiles happen *outside*
+/// the lock (guarded by the single-flight slots), so lookups of already
+/// cached keys never block behind an in-flight compile of another key.
 #[derive(Debug, Default)]
-pub struct PlanCache {
-    graphs: HashMap<GraphKey, (ModelGraph, Catalog)>,
+struct Inner {
+    graphs: HashMap<GraphKey, Arc<(ModelGraph, Catalog)>>,
     latencies: HashMap<PlanKey, Seconds>,
     /// Signatures known to have no feasible plan, so the serving layer's
     /// fallback (micro-batch splitting) does not recompile the same
@@ -111,22 +125,65 @@ pub struct PlanCache {
     stats: CacheStats,
 }
 
+/// Memoizes compiled-and-simulated step latencies per [`PlanKey`].
+///
+/// The catalog layer (plan enumeration per operator) is keyed on the
+/// workload signature alone and reused across designs; the latency
+/// layer additionally keys on the design. Both layers live for the
+/// cache's lifetime, so one cache shared across designs and replicas
+/// maximizes reuse. See the module docs for the concurrency contract.
+#[derive(Debug)]
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    graph_flight: SingleFlight<GraphKey>,
+    plan_flight: SingleFlight<PlanKey>,
+    threads: usize,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
 impl PlanCache {
-    /// An empty cache.
+    /// An empty cache with a single worker (no design warming).
     #[must_use]
     pub fn new() -> Self {
-        PlanCache::default()
+        PlanCache {
+            inner: Mutex::new(Inner::default()),
+            graph_flight: SingleFlight::new(),
+            plan_flight: SingleFlight::new(),
+            threads: 1,
+        }
+    }
+
+    /// Sets the compile worker count (`0` = all available cores). With
+    /// more than one worker, a miss on a fresh signature compiles all
+    /// five designs concurrently instead of just the requested one.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = elk_par::resolve_threads(threads);
+        self
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Simulated latency of one `wl` step under `design`, compiling on
     /// first sight of the signature. `wl` must already be bucketed —
     /// the cache keys on it verbatim.
     ///
+    /// Safe to call from concurrent replica threads: the compile for
+    /// any given key happens at most once (single-flight), and the
+    /// returned latency is independent of interleaving.
+    ///
     /// # Errors
     ///
     /// Propagates [`CompileError`] from catalog construction or planning.
     pub fn step_latency(
-        &mut self,
+        &self,
         runner: &DesignRunner,
         cfg: &TransformerConfig,
         shards: u64,
@@ -135,62 +192,161 @@ impl PlanCache {
         sim: &SimOptions,
     ) -> Result<Seconds, CompileError> {
         let key = PlanKey::new(&cfg.name, shards, design, wl);
-        if let Some(&latency) = self.latencies.get(&key) {
-            self.stats.hits += 1;
-            return Ok(latency);
-        }
         let gkey: GraphKey = (cfg.name.clone(), shards, wl.phase, wl.batch, wl.seq_len);
-        if let Some(e) = self.graph_failures.get(&gkey) {
-            self.stats.hits += 1;
-            return Err(e.clone());
+
+        // Fast path + provisional miss, under one short lock.
+        {
+            let mut inner = self.lock();
+            if let Some(&latency) = inner.latencies.get(&key) {
+                inner.stats.hits += 1;
+                return Ok(latency);
+            }
+            if let Some(e) = inner.graph_failures.get(&gkey).cloned() {
+                inner.stats.hits += 1;
+                return Err(e);
+            }
+            if let Some(e) = inner.plan_failures.get(&key).cloned() {
+                inner.stats.hits += 1;
+                return Err(e);
+            }
+            // Provisional: reclassified as a hit below if another
+            // thread's in-flight compile ends up doing all the work.
+            inner.stats.misses += 1;
         }
-        if let Some(e) = self.plan_failures.get(&key) {
-            self.stats.hits += 1;
-            return Err(e.clone());
-        }
-        self.stats.misses += 1;
-        if !self.graphs.contains_key(&gkey) {
+
+        // Catalog layer, single-flight per graph signature.
+        let mut memoized_graph_failure = false;
+        self.graph_flight.with(&gkey, || {
+            let cached = {
+                let inner = self.lock();
+                inner.graphs.contains_key(&gkey) || inner.graph_failures.contains_key(&gkey)
+            };
+            if cached {
+                return;
+            }
             let graph = cfg.build(wl, shards);
             match runner.catalog(&graph) {
                 Ok(catalog) => {
-                    self.graphs.insert(gkey.clone(), (graph, catalog));
+                    self.lock()
+                        .graphs
+                        .insert(gkey.clone(), Arc::new((graph, catalog)));
                 }
                 Err(e) => {
-                    self.graph_failures.insert(gkey, e.clone());
-                    return Err(e);
+                    memoized_graph_failure = true;
+                    self.lock().graph_failures.insert(gkey.clone(), e);
                 }
             }
-        }
-        let (graph, catalog) = &self.graphs[&gkey];
-        match runner.run(design, graph, catalog, sim) {
-            Ok(outcome) => {
-                let latency = outcome.report.total;
-                self.latencies.insert(key, latency);
-                Ok(latency)
+        });
+
+        let shared = {
+            let inner = self.lock();
+            match inner.graphs.get(&gkey) {
+                Some(s) => Arc::clone(s),
+                None => {
+                    let e = inner.graph_failures[&gkey].clone();
+                    drop(inner);
+                    return self.resolve(memoized_graph_failure, Err(e));
+                }
             }
-            Err(e) => {
-                self.plan_failures.insert(key, e.clone());
-                Err(e)
+        };
+
+        // Plan layer: the requested design, plus — with a multi-worker
+        // pool — every other not-yet-cached design (warming; catalogs
+        // are design-independent, so the enumeration work is already
+        // paid for).
+        let designs: Vec<Design> = if self.threads > 1 {
+            let inner = self.lock();
+            Design::ALL
+                .into_iter()
+                .filter(|&d| {
+                    let dk = PlanKey {
+                        design: d,
+                        ..key.clone()
+                    };
+                    d == design
+                        || !(inner.latencies.contains_key(&dk)
+                            || inner.plan_failures.contains_key(&dk))
+                })
+                .collect()
+        } else {
+            vec![design]
+        };
+        let compiled = elk_par::par_map(self.threads, &designs, |_, &d| {
+            let dkey = PlanKey {
+                design: d,
+                ..key.clone()
+            };
+            self.plan_flight.with(&dkey, || {
+                {
+                    let inner = self.lock();
+                    if inner.latencies.contains_key(&dkey)
+                        || inner.plan_failures.contains_key(&dkey)
+                    {
+                        return false;
+                    }
+                }
+                let (graph, catalog) = &*shared;
+                match runner.run(d, graph, catalog, sim) {
+                    Ok(outcome) => {
+                        self.lock()
+                            .latencies
+                            .insert(dkey.clone(), outcome.report.total);
+                    }
+                    Err(e) => {
+                        self.lock().plan_failures.insert(dkey.clone(), e);
+                    }
+                }
+                true
+            })
+        });
+        let computed_requested = designs
+            .iter()
+            .zip(&compiled)
+            .any(|(&d, &c)| d == design && c);
+
+        let result = {
+            let inner = self.lock();
+            match inner.latencies.get(&key) {
+                Some(&latency) => Ok(latency),
+                None => Err(inner.plan_failures[&key].clone()),
             }
+        };
+        self.resolve(computed_requested, result)
+    }
+
+    /// Final accounting for a slow-path lookup: if the requested key
+    /// turned out to be computed by another thread (or by an earlier
+    /// lookup's warming), the provisional miss becomes a hit — the same
+    /// count a sequential interleaving would have produced.
+    fn resolve(
+        &self,
+        worked: bool,
+        result: Result<Seconds, CompileError>,
+    ) -> Result<Seconds, CompileError> {
+        if !worked {
+            let mut inner = self.lock();
+            inner.stats.misses -= 1;
+            inner.stats.hits += 1;
         }
+        result
     }
 
     /// Cumulative hit/miss counters.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.lock().stats
     }
 
     /// Number of distinct compiled plans resident.
     #[must_use]
     pub fn plans(&self) -> usize {
-        self.latencies.len()
+        self.lock().latencies.len()
     }
 
     /// Number of distinct graph/catalog signatures resident.
     #[must_use]
     pub fn catalogs(&self) -> usize {
-        self.graphs.len()
+        self.lock().graphs.len()
     }
 }
 
@@ -210,7 +366,7 @@ mod tests {
     fn second_lookup_hits() {
         let cfg = tiny_cfg();
         let runner = DesignRunner::new(presets::ipu_pod4());
-        let mut cache = PlanCache::new();
+        let cache = PlanCache::new();
         let wl = Workload::decode(16, 512);
         let sim = SimOptions::default();
         let a = cache
@@ -228,7 +384,7 @@ mod tests {
     fn designs_share_the_catalog() {
         let cfg = tiny_cfg();
         let runner = DesignRunner::new(presets::ipu_pod4());
-        let mut cache = PlanCache::new();
+        let cache = PlanCache::new();
         let wl = Workload::decode(16, 512);
         let sim = SimOptions::default();
         for d in Design::ALL {
@@ -237,6 +393,60 @@ mod tests {
         assert_eq!(cache.catalogs(), 1, "catalog must be design-independent");
         assert_eq!(cache.plans(), 5);
         assert_eq!(cache.stats().misses, 5);
+    }
+
+    #[test]
+    fn warming_compiles_all_designs_on_first_miss() {
+        let cfg = tiny_cfg();
+        let runner = DesignRunner::new(presets::ipu_pod4());
+        let cache = PlanCache::new().with_threads(4);
+        let wl = Workload::decode(16, 512);
+        let sim = SimOptions::default();
+        let warm = cache
+            .step_latency(&runner, &cfg, 4, Design::Basic, wl, &sim)
+            .unwrap();
+        assert_eq!(cache.plans(), 5, "first miss warms every design");
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
+        // The other designs' first lookups are hits, and warmed values
+        // equal what a cold sequential compile produces.
+        let seq_cache = PlanCache::new();
+        for d in Design::ALL {
+            let a = cache.step_latency(&runner, &cfg, 4, d, wl, &sim).unwrap();
+            let b = seq_cache
+                .step_latency(&runner, &cfg, 4, d, wl, &sim)
+                .unwrap();
+            assert_eq!(a, b, "{d}: warmed latency must match sequential");
+            if d == Design::Basic {
+                assert_eq!(a, warm);
+            }
+        }
+        assert_eq!(cache.stats(), CacheStats { hits: 5, misses: 1 });
+    }
+
+    #[test]
+    fn concurrent_lookups_compile_each_key_once() {
+        let cfg = tiny_cfg();
+        let runner = DesignRunner::new(presets::ipu_pod4());
+        let cache = PlanCache::new();
+        let wl = Workload::decode(16, 512);
+        let sim = SimOptions::default();
+        let latencies: Vec<Seconds> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..6)
+                .map(|_| {
+                    s.spawn(|| {
+                        cache
+                            .step_latency(&runner, &cfg, 4, Design::ElkDyn, wl, &sim)
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(latencies.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(cache.plans(), 1, "single-flight: one compile total");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "exactly one lookup did the work");
+        assert_eq!(stats.hits, 5);
     }
 
     #[test]

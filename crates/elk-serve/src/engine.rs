@@ -35,6 +35,14 @@ pub struct ServeConfig {
     pub slo: SloConfig,
     /// Chip-simulator options used when a plan is compiled.
     pub sim: SimOptions,
+    /// Worker threads (`1` = fully sequential, `0` = all available
+    /// cores). With more than one worker, replica event loops run
+    /// concurrently against the shared plan cache and a cache miss
+    /// compiles all five designs' plans for the new signature at once
+    /// (single-flight deduplicated). Request outcomes and latencies are
+    /// identical at any setting; only wall-clock and the hit/miss split
+    /// can shift.
+    pub threads: usize,
 }
 
 impl ServeConfig {
@@ -49,6 +57,7 @@ impl ServeConfig {
             batch: BatchConfig::default(),
             slo: SloConfig::default(),
             sim: SimOptions::default(),
+            threads: 1,
         }
     }
 
@@ -61,6 +70,13 @@ impl ServeConfig {
     pub fn with_replicas(mut self, n: usize) -> Self {
         assert!(n > 0, "replica count must be > 0");
         self.replicas = n;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = all available cores).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -85,6 +101,21 @@ struct InFlight {
     generated: u64,
 }
 
+/// One replica's event-loop output, merged deterministically by
+/// [`ServingSim::run`].
+struct ReplicaRun {
+    /// `(trace index, outcome)` for every request this replica served.
+    outcomes: Vec<(usize, RequestOutcome)>,
+    /// `(time, waiting-queue depth)` samples after each step.
+    queue_depth: Vec<(Seconds, usize)>,
+    /// Prefill steps executed.
+    prefill_steps: u64,
+    /// Decode steps executed.
+    decode_steps: u64,
+    /// The replica's final clock.
+    end: Seconds,
+}
+
 impl ServingSim {
     /// Creates a simulator for `config` on `system`, fitting the
     /// runner's cost model once.
@@ -98,10 +129,15 @@ impl ServingSim {
         config.batch.validate();
         assert!(config.shards > 0, "shards must be > 0");
         assert!(config.replicas > 0, "replicas must be > 0");
+        let threads = config.threads;
+        // The serving pool already parallelizes across replicas and
+        // across designs on a cache miss; keep the nested compiler
+        // pools sequential so worker counts do not multiply
+        // (replicas × designs × candidate orders).
         ServingSim {
-            runner: DesignRunner::new(system),
+            runner: DesignRunner::new(system).with_threads(1),
             config,
-            cache: PlanCache::new(),
+            cache: PlanCache::new().with_threads(threads),
         }
     }
 
@@ -121,6 +157,13 @@ impl ServingSim {
     /// The plan cache persists across calls, so running a second design
     /// (or the same trace again) reuses catalogs and plans.
     ///
+    /// With [`ServeConfig::threads`] > 1, replica event loops run
+    /// concurrently on a scoped pool, sharing the single-flight plan
+    /// cache; per-replica results merge in replica order, so the
+    /// reported outcomes and latencies are identical at any thread
+    /// count (replicas are independent given the — deterministic —
+    /// cached step latencies).
+    ///
     /// # Errors
     ///
     /// Propagates [`CompileError`] if any step shape has no feasible
@@ -131,29 +174,31 @@ impl ServingSim {
         trace: &RequestTrace,
     ) -> Result<ServingReport, CompileError> {
         let stats_before = self.cache.stats();
+        // Round-robin request routing: replica r serves indices
+        // r, r + R, r + 2R, ... in arrival order.
+        let replicas: Vec<usize> = (0..self.config.replicas).collect();
+        let this = &*self;
+        let runs = elk_par::try_par_map(
+            this.config.threads.min(replicas.len()),
+            &replicas,
+            |_, &replica| this.run_replica(design, trace, replica),
+        )?;
+
+        // Deterministic merge in replica order (the same order the
+        // sequential loop produced).
         let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; trace.len()];
         let mut queue_depth: Vec<(Seconds, usize)> = Vec::new();
         let mut prefill_steps = 0u64;
         let mut decode_steps = 0u64;
         let mut makespan = Seconds::ZERO;
-
-        for replica in 0..self.config.replicas {
-            // Round-robin request routing: replica r serves indices
-            // r, r + R, r + 2R, ... in arrival order.
-            let assigned: Vec<usize> = (replica..trace.len())
-                .step_by(self.config.replicas)
-                .collect();
-            let end = self.run_replica(
-                design,
-                trace,
-                replica,
-                &assigned,
-                &mut outcomes,
-                &mut queue_depth,
-                &mut prefill_steps,
-                &mut decode_steps,
-            )?;
-            makespan = makespan.max(end);
+        for run in runs {
+            for (idx, outcome) in run.outcomes {
+                outcomes[idx] = Some(outcome);
+            }
+            queue_depth.extend(run.queue_depth);
+            prefill_steps += run.prefill_steps;
+            decode_steps += run.decode_steps;
+            makespan = makespan.max(run.end);
         }
 
         queue_depth.sort_by_key(|&(t, _)| t);
@@ -173,20 +218,21 @@ impl ServingSim {
         ))
     }
 
-    /// Runs one replica's event loop; returns its final clock.
-    #[allow(clippy::too_many_arguments)]
+    /// Runs one replica's event loop.
     fn run_replica(
-        &mut self,
+        &self,
         design: Design,
         trace: &RequestTrace,
         replica: usize,
-        assigned: &[usize],
-        outcomes: &mut [Option<RequestOutcome>],
-        queue_depth: &mut Vec<(Seconds, usize)>,
-        prefill_steps: &mut u64,
-        decode_steps: &mut u64,
-    ) -> Result<Seconds, CompileError> {
+    ) -> Result<ReplicaRun, CompileError> {
+        let assigned: Vec<usize> = (replica..trace.len())
+            .step_by(self.config.replicas)
+            .collect();
         let reqs = &trace.requests;
+        let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; trace.len()];
+        let mut queue_depth: Vec<(Seconds, usize)> = Vec::new();
+        let mut prefill_steps = 0u64;
+        let mut decode_steps = 0u64;
         let mut clock = Seconds::ZERO;
         let mut next = 0; // index into `assigned` not yet arrived
         let mut waiting: Vec<usize> = Vec::new(); // FIFO, trace indices
@@ -225,7 +271,7 @@ impl ServingSim {
                         longest,
                     );
                     clock += self.split_latency(design, wl)?;
-                    *prefill_steps += 1;
+                    prefill_steps += 1;
                     for idx in batch {
                         // The prefill step emits each request's first token.
                         let outcome = RequestOutcome {
@@ -256,7 +302,7 @@ impl ServingSim {
                         deepest,
                     );
                     clock += self.split_latency(design, wl)?;
-                    *decode_steps += 1;
+                    decode_steps += 1;
                     active.retain_mut(|a| {
                         a.generated += 1;
                         let outcome = outcomes[a.idx].as_mut().expect("prefilled");
@@ -272,7 +318,16 @@ impl ServingSim {
             }
             queue_depth.push((clock, waiting.len()));
         }
-        Ok(clock)
+        Ok(ReplicaRun {
+            outcomes: assigned
+                .iter()
+                .map(|&i| (i, outcomes[i].take().expect("assigned request completed")))
+                .collect(),
+            queue_depth,
+            prefill_steps,
+            decode_steps,
+            end: clock,
+        })
     }
 
     /// Latency of one `wl` step, falling back to sequential micro-batches
@@ -282,7 +337,7 @@ impl ServingSim {
     /// Splitting halves the batch until the shape compiles; a batch-1
     /// failure is a genuine error — the request cannot run on this chip.
     fn split_latency(
-        &mut self,
+        &self,
         design: Design,
         wl: elk_model::Workload,
     ) -> Result<Seconds, CompileError> {
@@ -452,6 +507,26 @@ mod tests {
         let replicas_used: std::collections::HashSet<usize> =
             r2.outcomes.iter().map(|o| o.replica).collect();
         assert_eq!(replicas_used.len(), 2);
+    }
+
+    #[test]
+    fn parallel_replicas_match_sequential_byte_for_byte() {
+        let trace = tiny_trace(16);
+        let mut seq = ServingSim::new(presets::ipu_pod4(), tiny_config().with_replicas(2));
+        let mut par = ServingSim::new(
+            presets::ipu_pod4(),
+            tiny_config().with_replicas(2).with_threads(4),
+        );
+        for design in [Design::ElkFull, Design::Basic] {
+            let mut a = seq.run(design, &trace).unwrap();
+            let mut b = par.run(design, &trace).unwrap();
+            // Outcomes and latencies are thread-count invariant; only
+            // the hit/miss split may shift (warming), so blank it for
+            // the whole-report comparison.
+            a.cache = crate::cache::CacheStats::default();
+            b.cache = crate::cache::CacheStats::default();
+            assert_eq!(a, b, "{design}: parallel run diverged");
+        }
     }
 
     #[test]

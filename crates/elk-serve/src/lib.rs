@@ -39,6 +39,7 @@
 //! | `bucket_batch` | [`BatchConfig`] | round batch shapes to powers of two |
 //! | `shards` | [`ServeConfig`] | tensor-parallel chips per replica |
 //! | `replicas` | [`ServeConfig`] | independent chip groups (round-robin routing) |
+//! | `threads` | [`ServeConfig`] | worker pool: concurrent replica loops + single-flight compile fan-out (`1` = sequential, `0` = all cores) |
 //! | `slo` | [`SloConfig`] | TTFT/TPOT bounds scored by goodput |
 //! | `sim` | [`ServeConfig`] | chip-simulator noise/trace options |
 //!

@@ -4,13 +4,20 @@
 //! architectures" claim (§4.5).
 //!
 //! ```text
-//! cargo run --release --example custom_chip
+//! cargo run --release --example custom_chip [--threads N]
 //! ```
 
 use elk::hw::{ChipConfig, HbmConfig, SramContention, SystemConfig, Topology};
 use elk::prelude::*;
 
 fn main() -> Result<(), elk::compiler::CompileError> {
+    let threads = match elk::par::parse_threads(std::env::args().skip(1)) {
+        Ok(parsed) => parsed.threads,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     // A Tenstorrent-flavoured part: fewer, beefier cores on a 2D mesh
     // with dual-ported SRAM (remote accesses overlap compute).
     let cores = 900; // 30 x 30 mesh
@@ -35,7 +42,11 @@ fn main() -> Result<(), elk::compiler::CompileError> {
 
     // DiT-XL denoising step, single chip.
     let graph = zoo::dit_xl().build(Workload::decode(8, 256), 1);
-    let plan = Compiler::new(system.clone()).compile(&graph)?;
+    let opts = CompilerOptions {
+        threads,
+        ..CompilerOptions::default()
+    };
+    let plan = Compiler::with_options(system.clone(), opts).compile(&graph)?;
 
     // Inspect a few chosen plans: the §5 "list of integers".
     println!("\nchosen plans (layer 5):");

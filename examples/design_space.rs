@@ -4,13 +4,20 @@
 //! together" insight.
 //!
 //! ```text
-//! cargo run --release --example design_space
+//! cargo run --release --example design_space [--threads N]
 //! ```
 
 use elk::baselines::{Design, DesignRunner};
 use elk::prelude::*;
 
 fn main() -> Result<(), elk::compiler::CompileError> {
+    let threads = match elk::par::parse_threads(std::env::args().skip(1)) {
+        Ok(parsed) => parsed.threads,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     let graph = zoo::llama2_70b().build(Workload::decode(32, 2048), 4);
 
     for (name, base) in [
@@ -22,7 +29,7 @@ fn main() -> Result<(), elk::compiler::CompileError> {
             "{:>10} {:>12} {:>12} {:>10}",
             "HBM TB/s", "ELK-Full", "Ideal", "NoC util"
         );
-        let runner = DesignRunner::new(base);
+        let runner = DesignRunner::new(base).with_threads(threads);
         let catalog = runner.catalog(&graph)?;
         for hbm_tbps in [4.0f64, 8.0, 12.0, 16.0] {
             let swept = runner.with_system(

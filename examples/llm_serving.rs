@@ -2,7 +2,7 @@
 //! sizes for one model, reproducing the Fig. 17 reading for one column.
 //!
 //! ```text
-//! cargo run --release --example llm_serving [model] [seq_len]
+//! cargo run --release --example llm_serving [model] [seq_len] [--threads N]
 //! # model in {llama13, llama70, gemma27, opt30}, default llama13
 //! ```
 
@@ -10,9 +10,21 @@ use elk::baselines::{Design, DesignRunner};
 use elk::prelude::*;
 
 fn main() -> Result<(), elk::compiler::CompileError> {
-    let model_arg = std::env::args().nth(1).unwrap_or_else(|| "llama13".into());
-    let seq: u64 = std::env::args()
-        .nth(2)
+    let parsed = match elk::par::parse_threads(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let model_arg = parsed
+        .rest
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "llama13".into());
+    let seq: u64 = parsed
+        .rest
+        .get(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(2048);
     let cfg = match zoo::by_name(&model_arg) {
@@ -23,7 +35,7 @@ fn main() -> Result<(), elk::compiler::CompileError> {
         }
     };
 
-    let runner = DesignRunner::new(presets::ipu_pod4());
+    let runner = DesignRunner::new(presets::ipu_pod4()).with_threads(parsed.threads);
     println!(
         "{} decode, seq_len {seq}, 4 chips, 16 TB/s pod HBM",
         cfg.name

@@ -3,12 +3,19 @@
 //! of sparse (top-2 of 8 experts) vs hypothetical dense execution.
 //!
 //! ```text
-//! cargo run --release --example moe_serving
+//! cargo run --release --example moe_serving [--threads N]
 //! ```
 
 use elk::prelude::*;
 
 fn main() -> Result<(), elk::compiler::CompileError> {
+    let threads = match elk::par::parse_threads(std::env::args().skip(1)) {
+        Ok(parsed) => parsed.threads,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     let system = presets::ipu_pod4();
     let cfg = zoo::mixtral_8x7b();
     println!(
@@ -26,7 +33,11 @@ fn main() -> Result<(), elk::compiler::CompileError> {
         graph.total_hbm_load()
     );
 
-    let plan = Compiler::new(system.clone()).compile(&graph)?;
+    let opts = CompilerOptions {
+        threads,
+        ..CompilerOptions::default()
+    };
+    let plan = Compiler::with_options(system.clone(), opts).compile(&graph)?;
     let report = simulate(&plan.program, &system, &SimOptions::default());
     println!(
         "per-token latency {} | HBM util {:.0}% | mean preload number {:.1}",

@@ -2,16 +2,24 @@
 //! the ICCA chip simulator.
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [--threads N]
 //! ```
 
 use elk::prelude::*;
 
 fn main() -> Result<(), elk::compiler::CompileError> {
+    let threads = match elk::par::parse_threads(std::env::args().skip(1)) {
+        Ok(parsed) => parsed.threads,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
     // The paper's platform: an IPU-POD4 (4 chips x 1472 cores x 624 KB)
     // with 4 TB/s of HBM per chip.
     let system = presets::ipu_pod4();
-    println!("system: {system}");
+    println!("system: {system}  ({threads} compile threads)");
 
     // One decode step of Llama-2-13B: 32 requests against a 2048-token
     // KV cache, tensor-parallel over the 4 chips.
@@ -21,7 +29,13 @@ fn main() -> Result<(), elk::compiler::CompileError> {
     // Compile: enumerate partition plans, search preload orders with the
     // inductive scheduler and the cost-aware allocator, lower to the
     // abstract device program.
-    let compiler = Compiler::new(system.clone());
+    let compiler = Compiler::with_options(
+        system.clone(),
+        CompilerOptions {
+            threads,
+            ..CompilerOptions::default()
+        },
+    );
     let plan = compiler.compile(&graph)?;
     println!(
         "compiled in {:.2}s: {} instructions, {} candidate orders, \

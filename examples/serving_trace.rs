@@ -3,7 +3,7 @@
 //! view the paper's per-batch numbers (Fig. 17) do not show.
 //!
 //! ```text
-//! cargo run --release --example serving_trace [model] [replicas]
+//! cargo run --release --example serving_trace [model] [replicas] [--threads N]
 //! # model in {llama13, llama70, gemma27, opt30}, default llama13
 //! ```
 
@@ -11,7 +11,18 @@ use elk::baselines::Design;
 use elk::prelude::*;
 
 fn main() -> Result<(), elk::compiler::CompileError> {
-    let model_arg = std::env::args().nth(1).unwrap_or_else(|| "llama13".into());
+    let parsed = match elk::par::parse_threads(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let model_arg = parsed
+        .rest
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "llama13".into());
     let model = match zoo::by_name(&model_arg) {
         Ok(m) => m,
         Err(e) => {
@@ -19,7 +30,7 @@ fn main() -> Result<(), elk::compiler::CompileError> {
             std::process::exit(2);
         }
     };
-    let replicas: usize = match std::env::args().nth(2) {
+    let replicas: usize = match parsed.rest.get(1) {
         None => 1,
         Some(s) => match s.parse() {
             Ok(n) if n > 0 => n,
@@ -50,19 +61,22 @@ fn main() -> Result<(), elk::compiler::CompileError> {
     .generate();
 
     println!(
-        "{}: {} requests over {:.3} s ({} output tokens), {} replica(s) x 4 chips",
+        "{}: {} requests over {:.3} s ({} output tokens), {} replica(s) x 4 chips, {} worker thread(s)",
         model.name,
         trace.len(),
         trace.duration().as_secs(),
         trace.total_output_tokens(),
         replicas,
+        parsed.threads,
     );
     println!();
 
     // Under a saturating burst, TTFT is queueing-dominated for every
     // design; the SLO that separates them is the decode-speed (TPOT)
     // bound.
-    let mut config = ServeConfig::new(model, 4).with_replicas(replicas);
+    let mut config = ServeConfig::new(model, 4)
+        .with_replicas(replicas)
+        .with_threads(parsed.threads);
     // Batch 32 keeps decode in the regime where every design is
     // HBM-overlappable (at batch 64 x seq 4096 even Static's tuned split
     // thrashes and the Fig. 17 ordering degenerates).

@@ -19,6 +19,7 @@
 //! | [`sim`] | `elk-sim` | event-driven chip simulator |
 //! | [`baselines`] | `elk-baselines` | Basic / Static / Elk-Dyn / Elk-Full / Ideal |
 //! | [`serve`] | `elk-serve` | request-level serving simulator (traces, batching, SLOs) |
+//! | [`par`] | `elk-par` | scoped work-pool: deterministic `par_map`, single-flight |
 //! | [`units`] | `elk-units` | typed bytes/seconds/bandwidth/FLOPs |
 //!
 //! ## Quickstart
@@ -42,8 +43,13 @@
 //! # }
 //! ```
 //!
-//! See `examples/` for runnable end-to-end scenarios and
-//! `crates/elk-bench` for the paper's tables and figures.
+//! See `examples/` for runnable end-to-end scenarios,
+//! `crates/elk-bench` for the paper's tables and figures, and
+//! [`docs/ARCHITECTURE.md`](https://example.invalid/elk/blob/main/docs/ARCHITECTURE.md)
+//! (in the repository root) for the end-to-end dataflow — model →
+//! partition → compile → simulate → serve → bench — including the
+//! determinism contract of the [`par`] work-pool that every stage's
+//! `threads` knob feeds into.
 
 #![warn(missing_docs)]
 
@@ -52,6 +58,7 @@ pub use elk_core as compiler;
 pub use elk_cost as cost;
 pub use elk_hw as hw;
 pub use elk_model as model;
+pub use elk_par as par;
 pub use elk_partition as partition;
 pub use elk_serve as serve;
 pub use elk_sim as sim;

@@ -9,6 +9,8 @@
 //! float comparisons use a tight relative tolerance that only absorbs
 //! cross-platform libm differences.
 
+use elk::compiler::Catalog;
+use elk::partition::Partitioner;
 use elk::prelude::*;
 
 /// Relative tolerance for pinned floats.
@@ -92,4 +94,62 @@ fn small_llama_decode_on_ipu_pod4_matches_pinned_report() {
         report.achieved.get(),
         3.350_737_004_746_536_3e13,
     );
+}
+
+/// Determinism suite for the `elk-par` work pool: compiling the zoo
+/// models on 1 and on 8 worker threads must produce byte-identical
+/// catalogs, plan selections, and simulator reports. Byte identity is
+/// checked on the serialized JSON, not just structural equality, so
+/// even a float that round-trips differently would be caught.
+#[test]
+fn compilation_is_thread_count_invariant_across_the_zoo() {
+    let system = presets::ipu_pod4();
+    for mut cfg in [zoo::llama2_13b(), zoo::gemma2_27b(), zoo::opt_30b()] {
+        cfg.layers = 2; // the plan space repeats per layer
+        let name = cfg.name.clone();
+        let graph = cfg.build(Workload::decode(16, 512), 4);
+
+        let opts = |threads| CompilerOptions {
+            threads,
+            ..CompilerOptions::default()
+        };
+        let seq = Compiler::with_options(system.clone(), opts(1));
+        let par = Compiler::with_options(system.clone(), opts(8));
+
+        // Catalogs: per-operator plan lists and frontiers.
+        let p_seq = Partitioner::new(&system.chip, seq.cost_model());
+        let p_par = Partitioner::new(&system.chip, par.cost_model());
+        let cat_seq = Catalog::build_par(&graph, &p_seq, 1).expect("catalog");
+        let cat_par = Catalog::build_par(&graph, &p_par, 8).expect("catalog");
+        assert_eq!(cat_seq.len(), cat_par.len());
+        for i in 0..cat_seq.len() {
+            let id = elk::model::OpId(i);
+            let a = serde_json::to_string(cat_seq.op(id)).expect("serialize");
+            let b = serde_json::to_string(cat_par.op(id)).expect("serialize");
+            assert_eq!(a, b, "{name}: catalog op {i} not byte-identical");
+        }
+
+        // Plan selection: program, schedule, and timeline estimate.
+        let plan_seq = seq.compile(&graph).expect("compile @1");
+        let plan_par = par.compile(&graph).expect("compile @8");
+        assert_eq!(
+            plan_seq.program, plan_par.program,
+            "{name}: device program diverged"
+        );
+        assert_eq!(
+            serde_json::to_string(&plan_seq.schedule).expect("serialize"),
+            serde_json::to_string(&plan_par.schedule).expect("serialize"),
+            "{name}: schedule not byte-identical"
+        );
+        assert_eq!(plan_seq.estimate, plan_par.estimate);
+
+        // Simulator reports.
+        let r_seq = simulate(&plan_seq.program, &system, &SimOptions::default());
+        let r_par = simulate(&plan_par.program, &system, &SimOptions::default());
+        assert_eq!(
+            serde_json::to_string(&r_seq).expect("serialize"),
+            serde_json::to_string(&r_par).expect("serialize"),
+            "{name}: SimReport not byte-identical"
+        );
+    }
 }

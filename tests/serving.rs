@@ -129,3 +129,29 @@ fn replicas_halve_the_queue() {
     assert!(r2.e2e.mean <= r1.e2e.mean * 1.01);
     assert!(r2.max_queue_depth <= r1.max_queue_depth);
 }
+
+#[test]
+fn serving_is_thread_count_invariant() {
+    // Concurrent replica loops + single-flight compile fan-out must
+    // reproduce the sequential run exactly: outcomes, latency
+    // percentiles, queue depths, makespan. Only the cache hit/miss
+    // split may shift (a warmed design's first lookup becomes a hit),
+    // so it is blanked before the whole-report comparison.
+    let t = trace(6);
+    let mut seq = ServingSim::new(presets::ipu_pod4(), config().with_replicas(2));
+    let mut par = ServingSim::new(
+        presets::ipu_pod4(),
+        config().with_replicas(2).with_threads(8),
+    );
+    for design in [Design::ElkFull, Design::Static, Design::Basic] {
+        let mut a = seq.run(design, &t).unwrap();
+        let mut b = par.run(design, &t).unwrap();
+        a.cache = elk::serve::CacheStats::default();
+        b.cache = elk::serve::CacheStats::default();
+        assert_eq!(
+            serde_json::to_string(&a).expect("serialize"),
+            serde_json::to_string(&b).expect("serialize"),
+            "{design}: 8-thread serving run diverged from sequential"
+        );
+    }
+}
