@@ -1,5 +1,7 @@
 //! Runs every table/figure reproduction in sequence, writing
-//! `results/<id>.{txt,json}`. Set `ELK_FULL=1` for the complete grids.
+//! `<out>/<id>.{txt,json}` (default `results/`; override with
+//! `--out DIR`). Set `ELK_FULL=1` for the complete grids and
+//! `--threads N` to bound the worker pool.
 
 use std::time::Instant;
 

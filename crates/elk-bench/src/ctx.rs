@@ -123,19 +123,50 @@ impl Ctx {
     }
 }
 
+/// Extracts `--out DIR` (or `--out=DIR`) from an argument stream,
+/// returning the directory and the remaining arguments in order — the
+/// output-path counterpart of [`elk_par::parse_threads`], shared by
+/// every fig/table/repro bench binary so none of them hardcodes
+/// `results/`.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the flag is given without a
+/// value.
+pub fn parse_out(
+    args: impl IntoIterator<Item = String>,
+) -> Result<(Option<PathBuf>, Vec<String>), String> {
+    let (values, rest) = elk_par::extract_flag("--out", args)
+        .map_err(|_| "--out requires a directory; omit it to write to results/".to_string())?;
+    Ok((values.last().map(PathBuf::from), rest))
+}
+
 /// Creates the context for a bench binary: like [`Ctx::new`] but with
 /// the thread count taken from a `--threads N` command-line flag
-/// (default: all available cores; `ELK_THREADS` is honored too).
-/// Prints a usage error and exits 2 on an invalid count — `0` included
-/// — mirroring the examples' model-name handling.
+/// (default: all available cores; `ELK_THREADS` is honored too) and
+/// the results directory from `--out DIR` (default: `results/`, or
+/// `ELK_RESULTS_DIR`). Prints a usage error and exits 2 on an invalid
+/// value — a zero thread count included — mirroring the examples'
+/// model-name handling.
 #[must_use]
 pub fn bin_ctx(id: &str) -> Ctx {
-    match elk_par::parse_threads(std::env::args().skip(1)) {
-        Ok(parsed) => Ctx::new(id).with_threads(parsed.threads),
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
+    let fail = |e: String| -> ! {
+        eprintln!("{e}");
+        std::process::exit(2);
+    };
+    let parsed = elk_par::parse_threads(std::env::args().skip(1)).unwrap_or_else(|e| fail(e));
+    let (out, rest) = parse_out(parsed.rest).unwrap_or_else(|e| fail(e));
+    // A misspelled flag must not silently run with defaults — the
+    // typo-safety rule the scenario layer enforces for its files.
+    if let Some(unknown) = rest.iter().find(|arg| arg.starts_with('-')) {
+        fail(format!(
+            "unknown flag '{unknown}': the bench binaries accept --threads N and --out DIR"
+        ));
+    }
+    let ctx = Ctx::new(id).with_threads(parsed.threads);
+    match out {
+        Some(dir) => ctx.with_results_dir(dir),
+        None => ctx,
     }
 }
 
@@ -198,5 +229,34 @@ mod tests {
     fn fixtures_cover_paper_models() {
         assert_eq!(llms().len(), 4);
         assert_eq!(default_workload().batch, 32);
+    }
+
+    #[test]
+    fn parse_out_extracts_the_flag_in_any_position() {
+        for args in [
+            &["--out", "tmp", "pos"][..],
+            &["pos", "--out", "tmp"],
+            &["pos", "--out=tmp"],
+        ] {
+            let (out, rest) = parse_out(args.iter().map(ToString::to_string)).unwrap();
+            assert_eq!(out, Some(PathBuf::from("tmp")));
+            assert_eq!(rest, vec!["pos".to_string()]);
+        }
+        let (out, rest) = parse_out(["pos".to_string()]).unwrap();
+        assert_eq!(out, None);
+        assert_eq!(rest, vec!["pos".to_string()]);
+        assert!(parse_out(["--out".to_string()])
+            .unwrap_err()
+            .contains("directory"));
+    }
+
+    #[test]
+    fn ctx_writes_into_the_overridden_results_dir() {
+        let dir = std::env::temp_dir().join(format!("elk-bench-out-{}", std::process::id()));
+        let ctx = Ctx::new("outtest").with_results_dir(&dir);
+        ctx.finish(&42u64);
+        let json = fs::read_to_string(dir.join("outtest.json")).expect("json in --out dir");
+        assert_eq!(json.trim(), "42");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

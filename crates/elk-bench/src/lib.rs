@@ -37,4 +37,4 @@
 pub mod ctx;
 pub mod experiments;
 
-pub use ctx::{bin_ctx, Ctx};
+pub use ctx::{bin_ctx, parse_out, Ctx};

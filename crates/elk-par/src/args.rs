@@ -42,32 +42,80 @@ pub struct ParsedThreads {
 /// assert!(err.unwrap_err().contains("positive"));
 /// ```
 pub fn parse_threads(args: impl IntoIterator<Item = String>) -> Result<ParsedThreads, String> {
-    let mut rest = Vec::new();
-    let mut threads: Option<usize> = None;
-    let mut args = args.into_iter();
-    while let Some(arg) = args.next() {
-        let value = if arg == "--threads" {
-            args.next()
-                .ok_or_else(|| missing_value("--threads requires a value"))?
-        } else if let Some(v) = arg.strip_prefix("--threads=") {
-            v.to_string()
-        } else {
-            rest.push(arg);
-            continue;
-        };
-        threads = Some(validate(&value)?);
+    let (values, rest) =
+        extract_flag("--threads", args).map_err(|_| missing_value("--threads requires a value"))?;
+    // Validate every occurrence (a bad value is a bad value even when a
+    // later flag overrides it); the last one wins.
+    let mut threads = None;
+    for value in &values {
+        threads = Some(validate_threads(value)?);
     }
     let threads = match threads {
         Some(t) => t,
         None => match std::env::var("ELK_THREADS") {
-            Ok(v) => validate(&v).map_err(|e| format!("ELK_THREADS: {e}"))?,
+            Ok(v) => validate_threads(&v).map_err(|e| format!("ELK_THREADS: {e}"))?,
             Err(_) => resolve_threads(0),
         },
     };
     Ok(ParsedThreads { threads, rest })
 }
 
-fn validate(value: &str) -> Result<usize, String> {
+/// Extracts `<flag> VALUE` (or `<flag>=VALUE`) from an argument
+/// stream, returning every occurrence's value in order (callers
+/// typically let the last win, after validating all) and every other
+/// argument in original order. The single token walk behind every flag
+/// the workspace's binaries accept ([`parse_threads`], `elk-bench`'s
+/// `--out`, the `elk` CLI), so the `--flag=` edge cases cannot drift
+/// between them.
+///
+/// # Errors
+///
+/// Returns `"<flag> requires a value"` when the flag is last with no
+/// value token, or given an empty `<flag>=`.
+///
+/// # Examples
+///
+/// ```
+/// let (v, rest) =
+///     elk_par::extract_flag("--out", ["a", "--out", "dir", "b"].map(String::from)).unwrap();
+/// assert_eq!(v, vec!["dir".to_string()]);
+/// assert_eq!(rest, vec!["a".to_string(), "b".to_string()]);
+/// assert!(elk_par::extract_flag("--out", ["--out=".to_string()]).is_err());
+/// ```
+pub fn extract_flag(
+    flag: &str,
+    args: impl IntoIterator<Item = String>,
+) -> Result<(Vec<String>, Vec<String>), String> {
+    let prefix = format!("{flag}=");
+    let mut rest = Vec::new();
+    let mut values = Vec::new();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let v = if arg == flag {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))?
+        } else if let Some(v) = arg.strip_prefix(&prefix) {
+            v.to_string()
+        } else {
+            rest.push(arg);
+            continue;
+        };
+        if v.is_empty() {
+            return Err(format!("{flag} requires a value"));
+        }
+        values.push(v);
+    }
+    Ok((values, rest))
+}
+
+/// Validates a `--threads` value: a positive integer, with the same
+/// actionable message everywhere the flag exists ([`parse_threads`],
+/// `ELK_THREADS`, the `elk` CLI).
+///
+/// # Errors
+///
+/// Returns a human-readable message for `0` or a non-integer.
+pub fn validate_threads(value: &str) -> Result<usize, String> {
     match value.parse::<usize>() {
         Ok(0) => Err(missing_value(
             "invalid thread count '0': must be a positive integer",
@@ -124,9 +172,14 @@ mod tests {
     }
 
     #[test]
-    fn last_flag_wins() {
+    fn last_flag_wins_but_every_occurrence_is_validated() {
         let p = parse(&["--threads", "2", "--threads", "5"]).unwrap();
         assert_eq!(p.threads, 5);
         assert!(p.rest.is_empty());
+        // An invalid earlier value is still an error even though a
+        // later flag would override it.
+        assert!(parse(&["--threads", "0", "--threads", "4"])
+            .unwrap_err()
+            .contains("positive"));
     }
 }

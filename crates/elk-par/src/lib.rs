@@ -33,6 +33,6 @@ mod args;
 mod flight;
 mod pool;
 
-pub use args::{parse_threads, ParsedThreads};
+pub use args::{extract_flag, parse_threads, validate_threads, ParsedThreads};
 pub use flight::SingleFlight;
 pub use pool::{par_map, resolve_threads, try_par_map};

@@ -1,0 +1,585 @@
+//! Conversions from spec types into the engine's configuration types,
+//! with the validation the engine constructors would otherwise enforce
+//! by panicking.
+//!
+//! Scenario files are external input, so every invariant (positive
+//! dimensions, power-of-two buckets, well-formed arrival processes) is
+//! checked here and reported as a [`SpecError::Invalid`] instead of a
+//! panic deep inside the engine.
+
+use elk_hw::{presets, ChipConfig, HbmConfig, SramContention, SystemConfig, Topology};
+use elk_model::{ModelGraph, TransformerConfig, Workload};
+use elk_serve::{ArrivalProcess, BatchConfig, LengthDist, ServeConfig, SloConfig, TraceConfig};
+use elk_sim::SimOptions;
+use elk_units::{ByteRate, Bytes, FlopRate, Seconds};
+
+use crate::spec::{
+    ChipSpec, HbmSpec, ModelSpec, ScenarioSpec, ServingSpec, SimSpec, SystemSpec, TopologySpec,
+    TraceSpec, WorkloadSpec,
+};
+use crate::SpecError;
+
+fn invalid(msg: impl Into<String>) -> SpecError {
+    SpecError::Invalid(msg.into())
+}
+
+/// Checks that `x` is a finite, strictly positive number.
+fn positive(what: &str, x: f64) -> Result<f64, SpecError> {
+    if x.is_finite() && x > 0.0 {
+        Ok(x)
+    } else {
+        Err(invalid(format!(
+            "{what} must be a positive number, got {x}"
+        )))
+    }
+}
+
+/// A preset alias paired with its constructor (mirrors
+/// [`elk_model::zoo::LlmAlias`]).
+pub type SystemPreset = (&'static str, fn() -> SystemConfig);
+
+/// The system presets a scenario can name, with their constructors.
+pub const SYSTEM_PRESETS: [SystemPreset; 3] = [
+    ("ipu_pod4", presets::ipu_pod4),
+    ("ipu_pod4_mesh", presets::ipu_pod4_mesh),
+    ("single_chip", presets::single_chip),
+];
+
+impl SystemSpec {
+    /// Builds the [`SystemConfig`] this spec describes.
+    ///
+    /// Preset scenarios resolve to the exact hardcoded preset, so
+    /// results are byte-identical to the non-spec code path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] for an unknown preset name or an
+    /// ill-formed custom description.
+    pub fn to_system(&self) -> Result<SystemConfig, SpecError> {
+        match self {
+            SystemSpec::Preset(name) => SYSTEM_PRESETS
+                .iter()
+                .find(|(alias, _)| alias == name)
+                .map(|(_, build)| build())
+                .ok_or_else(|| {
+                    let valid: Vec<&str> = SYSTEM_PRESETS.iter().map(|(a, _)| *a).collect();
+                    invalid(format!(
+                        "unknown system preset '{name}': expected one of {}",
+                        valid.join(", ")
+                    ))
+                }),
+            SystemSpec::Custom {
+                chip,
+                chips,
+                hbm,
+                inter_chip_bw_gib_s,
+            } => {
+                if *chips == 0 {
+                    return Err(invalid("system.chips must be > 0"));
+                }
+                Ok(SystemConfig {
+                    chip: chip.to_chip()?,
+                    hbm: hbm.to_hbm()?,
+                    chips: *chips,
+                    inter_chip_bw: ByteRate::gib_per_sec(positive(
+                        "system.inter_chip_bw_gib_s",
+                        *inter_chip_bw_gib_s,
+                    )?),
+                })
+            }
+        }
+    }
+}
+
+impl ChipSpec {
+    /// Builds the [`ChipConfig`] this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] for zero cores, non-positive
+    /// rates, or an unknown contention mode.
+    pub fn to_chip(&self) -> Result<ChipConfig, SpecError> {
+        if self.cores == 0 {
+            return Err(invalid("chip.cores must be > 0"));
+        }
+        if self.sram_per_core_kib == 0 {
+            return Err(invalid("chip.sram_per_core_kib must be > 0"));
+        }
+        if self.io_buffer_per_core_kib >= self.sram_per_core_kib {
+            return Err(invalid(format!(
+                "chip.io_buffer_per_core_kib ({}) must be smaller than sram_per_core_kib ({})",
+                self.io_buffer_per_core_kib, self.sram_per_core_kib
+            )));
+        }
+        let sram_contention = match self.sram_contention.as_str() {
+            "blocking" => SramContention::Blocking,
+            "concurrent" => SramContention::Concurrent,
+            other => {
+                return Err(invalid(format!(
+                    "chip.sram_contention '{other}': expected blocking or concurrent"
+                )))
+            }
+        };
+        let cores = self.cores;
+        let matmul = positive("chip.matmul_tflops", self.matmul_tflops)?;
+        let vector = positive("chip.vector_tflops", self.vector_tflops)?;
+        Ok(ChipConfig {
+            name: self.name.clone(),
+            cores,
+            sram_per_core: Bytes::kib(self.sram_per_core_kib),
+            io_buffer_per_core: Bytes::kib(self.io_buffer_per_core_kib),
+            matmul_rate_per_core: FlopRate::new(matmul * 1e12 / cores as f64),
+            vector_rate_per_core: FlopRate::new(vector * 1e12 / cores as f64),
+            sram_bw_per_core: ByteRate::new(
+                positive("chip.sram_bw_gb_s", self.sram_bw_gb_s)? * 1e9,
+            ),
+            sram_contention,
+            topology: self.topology.to_topology(cores)?,
+        })
+    }
+}
+
+impl TopologySpec {
+    /// Builds the [`Topology`] this spec describes for a `cores`-core
+    /// chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] for non-positive bandwidths.
+    pub fn to_topology(&self, cores: u64) -> Result<Topology, SpecError> {
+        match self {
+            TopologySpec::AllToAll { core_link_gib_s } => Ok(Topology::AllToAll {
+                core_link: ByteRate::gib_per_sec(positive(
+                    "topology.all_to_all.core_link_gib_s",
+                    *core_link_gib_s,
+                )?),
+            }),
+            TopologySpec::Mesh { total_gib_s } => Ok(Topology::mesh_with_total(
+                ByteRate::gib_per_sec(positive("topology.mesh.total_gib_s", *total_gib_s)?),
+                cores,
+            )),
+        }
+    }
+}
+
+impl HbmSpec {
+    /// Builds the [`HbmConfig`] this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] for zero channels or non-positive
+    /// bandwidth.
+    pub fn to_hbm(&self) -> Result<HbmConfig, SpecError> {
+        if self.channels == 0 {
+            return Err(invalid("hbm.channels must be > 0"));
+        }
+        Ok(HbmConfig::new(
+            self.channels,
+            ByteRate::gib_per_sec(positive("hbm.channel_bw_gib_s", self.channel_bw_gib_s)?),
+        ))
+    }
+}
+
+/// A resolved model: zoo lookups done and layer overrides applied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolvedModel {
+    /// Dense transformer.
+    Llm(elk_model::TransformerConfig),
+    /// Mixture of experts.
+    Moe(elk_model::moe::MoeConfig),
+    /// Diffusion transformer.
+    Dit(elk_model::dit::DitConfig),
+}
+
+impl ResolvedModel {
+    /// Model name for reports.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            ResolvedModel::Llm(cfg) => &cfg.name,
+            ResolvedModel::Moe(cfg) => &cfg.name,
+            ResolvedModel::Dit(cfg) => &cfg.name,
+        }
+    }
+
+    /// Builds the operator graph for one `workload` step on `shards`
+    /// tensor-parallel shards.
+    #[must_use]
+    pub fn build(&self, workload: Workload, shards: u64) -> ModelGraph {
+        match self {
+            ResolvedModel::Llm(cfg) => cfg.build(workload, shards),
+            ResolvedModel::Moe(cfg) => cfg.build(workload, shards),
+            ResolvedModel::Dit(cfg) => cfg.build(workload, shards),
+        }
+    }
+}
+
+impl ModelSpec {
+    /// Resolves zoo names and applies the optional layer override.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] for an unknown zoo alias, a zero
+    /// layer override, or zero dimensions in an explicit config.
+    pub fn resolve(&self) -> Result<ResolvedModel, SpecError> {
+        let model = match self {
+            ModelSpec::Zoo { zoo, layers } => {
+                let mut model = match zoo.as_str() {
+                    "mixtral" => ResolvedModel::Moe(elk_model::zoo::mixtral_8x7b()),
+                    "dit" => ResolvedModel::Dit(elk_model::zoo::dit_xl()),
+                    name => ResolvedModel::Llm(
+                        elk_model::zoo::by_name(name)
+                            .map_err(|e| invalid(format!("{e}, mixtral, dit")))?,
+                    ),
+                };
+                if let Some(layers) = *layers {
+                    if layers == 0 {
+                        return Err(invalid("model.layers override must be > 0"));
+                    }
+                    match &mut model {
+                        ResolvedModel::Llm(cfg) => cfg.layers = layers,
+                        ResolvedModel::Moe(cfg) => cfg.layers = layers,
+                        ResolvedModel::Dit(cfg) => cfg.layers = layers,
+                    }
+                }
+                model
+            }
+            ModelSpec::Transformer(cfg) => ResolvedModel::Llm(cfg.clone()),
+            ModelSpec::Moe(cfg) => ResolvedModel::Moe(cfg.clone()),
+            ModelSpec::Dit(cfg) => ResolvedModel::Dit(cfg.clone()),
+        };
+        let layers = match &model {
+            ResolvedModel::Llm(cfg) => cfg.layers,
+            ResolvedModel::Moe(cfg) => cfg.layers,
+            ResolvedModel::Dit(cfg) => cfg.layers,
+        };
+        if layers == 0 {
+            return Err(invalid("model: layer count must be > 0"));
+        }
+        Ok(model)
+    }
+
+    /// The dense-transformer config, if this model is servable by
+    /// `elk serve` (the serving engine batches dense transformers only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] for MoE and DiT models.
+    pub fn as_transformer(&self) -> Result<TransformerConfig, SpecError> {
+        match self.resolve()? {
+            ResolvedModel::Llm(cfg) => Ok(cfg),
+            other => Err(invalid(format!(
+                "serving requires a dense transformer model, got {}",
+                other.name()
+            ))),
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Builds the [`Workload`] this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] for zero batch or sequence length.
+    pub fn to_workload(&self) -> Result<Workload, SpecError> {
+        if self.batch == 0 || self.seq_len == 0 {
+            return Err(invalid(format!(
+                "workload.batch ({}) and workload.seq_len ({}) must be > 0",
+                self.batch, self.seq_len
+            )));
+        }
+        Ok(Workload {
+            batch: self.batch,
+            seq_len: self.seq_len,
+            phase: self.phase,
+        })
+    }
+
+    /// The tensor-parallel shard count, defaulting to the system's chip
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] for a zero shard override.
+    pub fn shards_for(&self, system: &SystemConfig) -> Result<u64, SpecError> {
+        match self.shards {
+            Some(0) => Err(invalid("workload.shards must be > 0")),
+            Some(n) => Ok(n),
+            None => Ok(system.chips),
+        }
+    }
+}
+
+impl SimSpec {
+    /// Builds the [`SimOptions`] this spec describes. The Ideal design
+    /// adds its dedicated-interconnect assumption itself (see
+    /// [`elk_baselines::DesignRunner::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] for a negative or non-finite
+    /// noise magnitude.
+    pub fn to_options(&self) -> Result<SimOptions, SpecError> {
+        if !self.noise_sigma.is_finite() || self.noise_sigma < 0.0 {
+            return Err(invalid(format!(
+                "sim.noise_sigma must be >= 0, got {}",
+                self.noise_sigma
+            )));
+        }
+        Ok(SimOptions {
+            noise_sigma: self.noise_sigma,
+            noise_seed: self.noise_seed,
+            dedicated_interconnects: false,
+            trace_samples: self.trace_samples,
+        })
+    }
+}
+
+impl TraceSpec {
+    /// Builds the [`TraceConfig`] this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] when the arrival process or a
+    /// length distribution violates the engine's invariants (the same
+    /// conditions [`TraceConfig::generate`] would panic on).
+    pub fn to_config(&self) -> Result<TraceConfig, SpecError> {
+        if self.requests == 0 {
+            return Err(invalid("trace.requests must be > 0"));
+        }
+        validate_arrivals(&self.arrivals)?;
+        validate_lengths("trace.prompt_len", &self.prompt_len)?;
+        validate_lengths("trace.output_len", &self.output_len)?;
+        Ok(TraceConfig {
+            seed: self.seed,
+            requests: self.requests,
+            arrivals: self.arrivals,
+            prompt_len: self.prompt_len,
+            output_len: self.output_len,
+        })
+    }
+}
+
+fn validate_arrivals(arrivals: &ArrivalProcess) -> Result<(), SpecError> {
+    match *arrivals {
+        ArrivalProcess::Poisson { rate_rps } => {
+            positive("trace.arrivals.rate_rps", rate_rps)?;
+        }
+        ArrivalProcess::Bursty {
+            rate_rps,
+            burst_factor,
+            period_s,
+            duty,
+        } => {
+            positive("trace.arrivals.rate_rps", rate_rps)?;
+            positive("trace.arrivals.period_s", period_s)?;
+            if burst_factor < 1.0 {
+                return Err(invalid("trace.arrivals.burst_factor must be >= 1"));
+            }
+            if !(duty > 0.0 && duty < 1.0) {
+                return Err(invalid("trace.arrivals.duty must be in (0, 1)"));
+            }
+            if burst_factor * duty >= 1.0 {
+                return Err(invalid(
+                    "trace.arrivals: burst_factor * duty must be < 1 \
+                     (the off-phase rate would be <= 0)",
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_lengths(what: &str, dist: &LengthDist) -> Result<(), SpecError> {
+    let ok = match *dist {
+        LengthDist::Fixed(n) => n > 0,
+        LengthDist::Uniform { lo, hi } => lo > 0 && lo <= hi,
+        LengthDist::Bimodal {
+            short,
+            long,
+            long_weight,
+        } => {
+            short.0 > 0
+                && short.0 <= short.1
+                && long.0 > 0
+                && long.0 <= long.1
+                && (0.0..=1.0).contains(&long_weight)
+        }
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(invalid(format!("{what}: ill-formed distribution {dist:?}")))
+    }
+}
+
+impl ServingSpec {
+    /// Builds the [`ServeConfig`] for `model` on `shards`-way tensor
+    /// parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] for zero caps/replicas or an
+    /// ill-formed bucket ladder (the conditions [`ServeConfig`]'s
+    /// constructors would panic on).
+    pub fn to_config(
+        &self,
+        model: TransformerConfig,
+        shards: u64,
+        sim: SimOptions,
+    ) -> Result<ServeConfig, SpecError> {
+        if self.replicas == 0 {
+            return Err(invalid("serving.replicas must be > 0"));
+        }
+        if self.max_batch == 0 || self.max_prefill_tokens == 0 {
+            return Err(invalid(
+                "serving.max_batch and serving.max_prefill_tokens must be > 0",
+            ));
+        }
+        let b = self.seq_buckets;
+        if b.min == 0 || !b.min.is_power_of_two() || b.max < b.min {
+            return Err(invalid(format!(
+                "serving.seq_buckets: min ({}) must be a power of two and <= max ({})",
+                b.min, b.max
+            )));
+        }
+        positive("serving.slo.ttft_ms", self.slo.ttft_ms)?;
+        positive("serving.slo.tpot_ms", self.slo.tpot_ms)?;
+        let mut config = ServeConfig::new(model, shards)
+            .with_replicas(self.replicas)
+            .with_threads(self.threads);
+        config.batch = BatchConfig {
+            max_batch: self.max_batch,
+            max_prefill_tokens: self.max_prefill_tokens,
+            seq_buckets: elk_model::SeqBuckets::new(b.min, b.max),
+            bucket_batch: self.bucket_batch,
+        };
+        config.slo = SloConfig {
+            ttft: Seconds::new(self.slo.ttft_ms / 1e3),
+            tpot: Seconds::new(self.slo.tpot_ms / 1e3),
+        };
+        config.sim = sim;
+        Ok(config)
+    }
+}
+
+impl ScenarioSpec {
+    /// `true` when `elk serve` can run this scenario (the model is a
+    /// dense transformer).
+    ///
+    /// Note this is also `false` when the model fails to resolve at
+    /// all; a caller that must distinguish "skip" from "broken" (the
+    /// CLI does) should match [`ModelSpec::resolve`] instead and
+    /// propagate its error.
+    #[must_use]
+    pub fn servable(&self) -> bool {
+        matches!(self.model.resolve(), Ok(ResolvedModel::Llm(_)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SeqBucketsSpec;
+
+    #[test]
+    fn preset_resolves_to_the_exact_hardcoded_system() {
+        let spec = SystemSpec::Preset("ipu_pod4".into());
+        assert_eq!(spec.to_system().unwrap(), presets::ipu_pod4());
+        let mesh = SystemSpec::Preset("ipu_pod4_mesh".into());
+        assert_eq!(mesh.to_system().unwrap(), presets::ipu_pod4_mesh());
+        let e = SystemSpec::Preset("tpu".into()).to_system().unwrap_err();
+        assert!(e.to_string().contains("ipu_pod4"), "{e}");
+    }
+
+    #[test]
+    fn custom_chip_builds_and_validates() {
+        let chip = ChipSpec {
+            name: "toy".into(),
+            cores: 64,
+            sram_per_core_kib: 256,
+            io_buffer_per_core_kib: 8,
+            matmul_tflops: 16.0,
+            vector_tflops: 2.0,
+            sram_bw_gb_s: 21.3,
+            sram_contention: "concurrent".into(),
+            topology: TopologySpec::Mesh { total_gib_s: 512.0 },
+        };
+        let cfg = chip.to_chip().unwrap();
+        assert_eq!(cfg.cores, 64);
+        assert_eq!(cfg.sram_contention, SramContention::Concurrent);
+        assert!((cfg.matmul_rate().as_tera() - 16.0).abs() < 1e-9);
+        assert!(matches!(cfg.topology, Topology::Mesh2d { .. }));
+
+        let bad = ChipSpec {
+            io_buffer_per_core_kib: 256,
+            ..chip
+        };
+        assert!(bad.to_chip().is_err());
+    }
+
+    #[test]
+    fn zoo_layer_override_applies() {
+        let spec = ModelSpec::Zoo {
+            zoo: "llama13".into(),
+            layers: Some(2),
+        };
+        let ResolvedModel::Llm(cfg) = spec.resolve().unwrap() else {
+            panic!("llama13 is dense");
+        };
+        assert_eq!(cfg.layers, 2);
+        assert_eq!(cfg.name, "Llama-2-13B");
+    }
+
+    #[test]
+    fn moe_and_dit_resolve_but_are_not_servable() {
+        for zoo in ["mixtral", "dit"] {
+            let spec = ModelSpec::Zoo {
+                zoo: zoo.into(),
+                layers: None,
+            };
+            assert!(spec.resolve().is_ok(), "{zoo} must resolve");
+            assert!(spec.as_transformer().is_err(), "{zoo} must not serve");
+        }
+        let unknown = ModelSpec::Zoo {
+            zoo: "gpt5".into(),
+            layers: None,
+        };
+        let e = unknown.resolve().unwrap_err().to_string();
+        assert!(e.contains("mixtral"), "aliases listed: {e}");
+    }
+
+    #[test]
+    fn workload_defaults_shards_to_chip_count() {
+        let spec = WorkloadSpec::default();
+        let sys = presets::ipu_pod4();
+        assert_eq!(spec.shards_for(&sys).unwrap(), 4);
+        assert_eq!(spec.to_workload().unwrap(), Workload::decode(32, 2048));
+    }
+
+    #[test]
+    fn serving_invariants_are_checked() {
+        let model = elk_model::zoo::llama2_13b();
+        let sim = SimOptions::default();
+        let mut spec = ServingSpec::default();
+        assert!(spec.to_config(model.clone(), 4, sim).is_ok());
+        spec.seq_buckets = SeqBucketsSpec { min: 3, max: 8 };
+        assert!(spec.to_config(model, 4, sim).is_err());
+    }
+
+    #[test]
+    fn overdriven_burst_is_an_error_not_a_panic() {
+        let spec = TraceSpec {
+            arrivals: ArrivalProcess::Bursty {
+                rate_rps: 10.0,
+                burst_factor: 5.0,
+                period_s: 1.0,
+                duty: 0.5,
+            },
+            ..TraceSpec::default()
+        };
+        let e = spec.to_config().unwrap_err().to_string();
+        assert!(e.contains("burst_factor"), "{e}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Machine-readable reports the scenario runners emit — the JSON the
+//! `elk` CLI writes to `results/` and CI uploads as a build artifact.
+//!
+//! Every type here is `Serialize` over the vendored serde shim, so the
+//! emitted files are deterministic (struct-declaration field order) and
+//! round-trip through `serde_json` — the CI artifact step asserts this.
+
+use serde::{Serialize, Value};
+
+use elk_baselines::Design;
+use elk_core::CompileStats;
+use elk_model::Workload;
+use elk_serve::ServingReport;
+use elk_sim::{SimReport, TimeBuckets};
+
+/// The deterministic subset of [`CompileStats`]: everything except the
+/// wall-clock compile time, which would break the byte-identity
+/// guarantee of emitted reports (`elk sweep` at `--threads 1` vs `8`
+/// must produce identical bytes).
+#[derive(Debug, Clone, Serialize)]
+pub struct PlanSearchStats {
+    /// Preload orders generated (post pruning).
+    pub orders_considered: usize,
+    /// Orders that scheduled successfully.
+    pub orders_feasible: usize,
+    /// Edit distance of the winning order.
+    pub chosen_edit_distance: usize,
+    /// Distinct operator signatures (plan sets actually enumerated).
+    pub distinct_signatures: usize,
+    /// `P`: maximum feasible plans over all operators.
+    pub max_plans_per_op: usize,
+    /// Maximum simultaneously-resident operators observed.
+    pub peak_resident_ops: usize,
+    /// Mean preload number across operators.
+    pub avg_preload_number: f64,
+}
+
+impl From<&CompileStats> for PlanSearchStats {
+    fn from(s: &CompileStats) -> Self {
+        PlanSearchStats {
+            orders_considered: s.orders_considered,
+            orders_feasible: s.orders_feasible,
+            chosen_edit_distance: s.chosen_edit_distance,
+            distinct_signatures: s.distinct_signatures,
+            max_plans_per_op: s.max_plans_per_op,
+            peak_resident_ops: s.peak_resident_ops,
+            avg_preload_number: s.avg_preload_number,
+        }
+    }
+}
+
+/// Output of `elk compile`: per-design compiled-plan artifacts plus the
+/// simulator measurement of each program.
+#[derive(Debug, Clone, Serialize)]
+pub struct CompileReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Chip name of the target system.
+    pub system: String,
+    /// Chips in the pod.
+    pub chips: u64,
+    /// Model name.
+    pub model: String,
+    /// The compiled workload step.
+    pub workload: Workload,
+    /// Tensor-parallel shard count.
+    pub shards: u64,
+    /// One entry per design, in spec order.
+    ///
+    /// The worker-thread knob is deliberately *not* recorded: results
+    /// are identical at any setting, and recording it would break the
+    /// reports' byte-identity across `--threads` values.
+    pub designs: Vec<DesignCompileReport>,
+}
+
+/// One design's compile outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct DesignCompileReport {
+    /// The design.
+    pub design: Design,
+    /// Operators in the lowered device program.
+    pub ops: usize,
+    /// Device instructions emitted.
+    pub instrs: usize,
+    /// Compiler-side forward-timeline estimate of the makespan, ms.
+    pub estimate_total_ms: f64,
+    /// Elk plan-search statistics (`None` for the hand-built
+    /// baselines).
+    pub compile: Option<PlanSearchStats>,
+    /// Simulator measurement of the compiled program.
+    pub report: SimReport,
+}
+
+/// Output of `elk simulate`: the §6 design comparison on one workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimulateReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Chip name of the target system.
+    pub system: String,
+    /// Model name.
+    pub model: String,
+    /// The simulated workload step.
+    pub workload: Workload,
+    /// Tensor-parallel shard count.
+    pub shards: u64,
+    /// One row per design, in spec order.
+    pub designs: Vec<DesignSimRow>,
+}
+
+/// One design's simulator measurement, in comparison-table form.
+#[derive(Debug, Clone, Serialize)]
+pub struct DesignSimRow {
+    /// The design.
+    pub design: Design,
+    /// Step makespan, ms.
+    pub total_ms: f64,
+    /// Basic's makespan over this design's (1.0 for Basic itself;
+    /// `None` when Basic is not in the design list).
+    pub speedup_vs_basic: Option<f64>,
+    /// Makespan decomposition (Fig. 18/20 buckets).
+    pub buckets: TimeBuckets,
+    /// Mean HBM bandwidth utilization.
+    pub hbm_util: f64,
+    /// Mean interconnect utilization.
+    pub noc_util: f64,
+    /// Achieved compute throughput per chip, TFLOPS.
+    pub achieved_tflops: f64,
+    /// Fraction of the makespan with preload/execute overlapped.
+    pub overlap_fraction: f64,
+    /// Residency events exceeding per-core SRAM (0 for sound plans).
+    pub capacity_violations: usize,
+}
+
+/// Output of `elk serve`: request-level serving metrics per design.
+///
+/// Byte-identical run-to-run at a fixed worker count. Across
+/// `--threads` settings every field is invariant *except* each
+/// design's `cache` hit/miss split — a concurrent cache miss warms all
+/// designs at once, shifting hits to misses (see
+/// `elk_serve::ServeConfig::threads`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Model name.
+    pub model: String,
+    /// Requests in the generated trace.
+    pub requests: usize,
+    /// Replica count.
+    pub replicas: usize,
+    /// Tensor-parallel shard count per replica.
+    pub shards: u64,
+    /// One full serving report per design, in spec order.
+    pub designs: Vec<ServingReport>,
+}
+
+/// Output of `elk sweep`: one report per grid point, in grid order.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepReport {
+    /// Base scenario name.
+    pub scenario: String,
+    /// The per-point runner (`compile`, `simulate`, `serve`).
+    pub command: String,
+    /// Swept paths, in axis order (last axis varies fastest).
+    pub axes: Vec<String>,
+    /// Grid points, row-major over the axes.
+    pub points: Vec<SweepPoint>,
+}
+
+/// One sweep grid point.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// Point name: the base name plus the overrides applied.
+    pub name: String,
+    /// The path → value overrides of this point, as a JSON object.
+    pub overrides: Value,
+    /// The point's full report (a [`CompileReport`], [`SimulateReport`],
+    /// or [`ServeReport`] as a JSON value, matching `command`).
+    pub report: Value,
+}

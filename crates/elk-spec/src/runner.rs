@@ -1,0 +1,187 @@
+//! Scenario runners: one function per `elk` CLI subcommand, shared by
+//! the CLI, the sweep fan-out, and the test suite.
+//!
+//! Every runner goes through the exact engine entry points the
+//! hardcoded-preset paths use ([`DesignRunner`], [`ServingSim`]), so a
+//! scenario that names a preset produces byte-identical reports to the
+//! equivalent non-spec run — the golden tests pin this.
+
+use elk_baselines::DesignRunner;
+use elk_serve::ServingSim;
+
+use crate::report::{
+    CompileReport, DesignCompileReport, DesignSimRow, ServeReport, SimulateReport,
+};
+use crate::spec::ScenarioSpec;
+use crate::SpecError;
+
+/// Compiles the scenario's designs and simulates each compiled program.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Invalid`] for an ill-formed spec and
+/// [`SpecError::Compile`] when a design has no feasible plan.
+pub fn run_compile(spec: &ScenarioSpec) -> Result<CompileReport, SpecError> {
+    let system = spec.system.to_system()?;
+    let model = spec.model.resolve()?;
+    let workload = spec.workload.to_workload()?;
+    let shards = spec.workload.shards_for(&system)?;
+    let sim = spec.sim.to_options()?;
+    let graph = model.build(workload, shards);
+
+    let runner = DesignRunner::new(system.clone()).with_threads(spec.compiler.threads);
+    let catalog = runner.catalog(&graph)?;
+    let designs = spec
+        .compiler
+        .design
+        .iter()
+        .map(|&design| {
+            let out = runner.run(design, &graph, &catalog, &sim)?;
+            Ok(DesignCompileReport {
+                design,
+                ops: out.program.op_count(),
+                instrs: out.program.instrs.len(),
+                estimate_total_ms: out.estimate.total.as_millis(),
+                compile: out.stats.as_ref().map(Into::into),
+                report: out.report,
+            })
+        })
+        .collect::<Result<Vec<_>, SpecError>>()?;
+
+    Ok(CompileReport {
+        scenario: spec.name.clone(),
+        system: system.chip.name.clone(),
+        chips: system.chips,
+        model: model.name().to_string(),
+        workload,
+        shards,
+        designs,
+    })
+}
+
+/// Runs the scenario's designs through the chip simulator and reports
+/// the comparison table (the §6 figures' view).
+///
+/// # Errors
+///
+/// Same as [`run_compile`].
+pub fn run_simulate(spec: &ScenarioSpec) -> Result<SimulateReport, SpecError> {
+    let compiled = run_compile(spec)?;
+    let basic_total = compiled
+        .designs
+        .iter()
+        .find(|d| d.design == elk_baselines::Design::Basic)
+        .map(|d| d.report.total);
+    let designs = compiled
+        .designs
+        .iter()
+        .map(|d| DesignSimRow {
+            design: d.design,
+            total_ms: d.report.total.as_millis(),
+            speedup_vs_basic: basic_total.map(|b| b / d.report.total),
+            buckets: d.report.buckets,
+            hbm_util: d.report.hbm_util,
+            noc_util: d.report.noc_util,
+            achieved_tflops: d.report.achieved.as_tera(),
+            overlap_fraction: d.report.overlap_fraction(),
+            capacity_violations: d.report.capacity_violations,
+        })
+        .collect();
+    Ok(SimulateReport {
+        scenario: compiled.scenario,
+        system: compiled.system,
+        model: compiled.model,
+        workload: compiled.workload,
+        shards: compiled.shards,
+        designs,
+    })
+}
+
+/// Replays the scenario's request trace against each design.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Invalid`] when the model is not a dense
+/// transformer (check [`ScenarioSpec::servable`] first to skip
+/// gracefully), the spec is ill-formed, or a step shape has no
+/// feasible plan.
+pub fn run_serve(spec: &ScenarioSpec) -> Result<ServeReport, SpecError> {
+    let system = spec.system.to_system()?;
+    let model = spec.model.as_transformer()?;
+    let shards = spec.workload.shards_for(&system)?;
+    let sim_opts = spec.sim.to_options()?;
+    let config = spec.serving.to_config(model.clone(), shards, sim_opts)?;
+    let trace = spec.serving.trace.to_config()?.generate();
+
+    let mut sim = ServingSim::new(system, config);
+    let designs = spec
+        .compiler
+        .design
+        .iter()
+        .map(|&design| Ok(sim.run(design, &trace)?))
+        .collect::<Result<Vec<_>, SpecError>>()?;
+
+    Ok(ServeReport {
+        scenario: spec.name.clone(),
+        model: model.name,
+        requests: trace.len(),
+        replicas: spec.serving.replicas,
+        shards,
+        designs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elk_baselines::Design;
+
+    fn tiny(extra: &str) -> ScenarioSpec {
+        ScenarioSpec::from_json(&format!(
+            r#"{{"name": "tiny", "model": {{"zoo": "llama13", "layers": 2}},
+                "workload": {{"batch": 16, "seq_len": 512}}{extra}}}"#
+        ))
+        .expect("valid test scenario")
+    }
+
+    #[test]
+    fn compile_runs_the_default_design() {
+        let report = run_compile(&tiny("")).unwrap();
+        assert_eq!(report.designs.len(), 1);
+        let d = &report.designs[0];
+        assert_eq!(d.design, Design::ElkFull);
+        assert!(d.compile.is_some(), "Elk designs report compile stats");
+        assert_eq!(d.report.capacity_violations, 0);
+        assert!(d.report.total.as_millis() > 0.0);
+        assert_eq!(report.shards, 4, "defaults to the pod's chip count");
+    }
+
+    #[test]
+    fn simulate_reports_speedups_relative_to_basic() {
+        let spec = tiny(r#", "compiler": {"design": ["basic", "elk_full"]}"#);
+        let report = run_simulate(&spec).unwrap();
+        assert_eq!(report.designs.len(), 2);
+        let basic = &report.designs[0];
+        let full = &report.designs[1];
+        assert!((basic.speedup_vs_basic.unwrap() - 1.0).abs() < 1e-12);
+        assert!(full.speedup_vs_basic.unwrap() >= 1.0, "Elk-Full >= Basic");
+    }
+
+    #[test]
+    fn serve_completes_every_request() {
+        let spec = tiny(r#", "serving": {"trace": {"requests": 6}}"#);
+        let report = run_serve(&spec).unwrap();
+        assert_eq!(report.requests, 6);
+        assert_eq!(report.designs[0].completed, 6);
+    }
+
+    #[test]
+    fn serve_rejects_non_transformer_models() {
+        let spec =
+            ScenarioSpec::from_json(r#"{"name": "moe", "model": {"zoo": "mixtral", "layers": 2}}"#)
+                .unwrap();
+        assert!(!spec.servable());
+        let e = run_serve(&spec).unwrap_err().to_string();
+        assert!(e.contains("dense transformer"), "{e}");
+    }
+}

@@ -1,0 +1,1248 @@
+//! The scenario schema: serde-backed spec types mirroring the engine's
+//! configuration surface in hand-authorable JSON.
+//!
+//! Every section except `name` and `model` is optional and defaults to
+//! the paper's evaluation setup (§6.1), so the smallest valid scenario
+//! is:
+//!
+//! ```json
+//! { "name": "smallest", "model": { "zoo": "llama13" } }
+//! ```
+//!
+//! Unknown keys anywhere in the spec are parse errors (see the
+//! crate-private `de` module's `MapReader`), so a typo'd knob never
+//! silently runs with defaults.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+use elk_baselines::Design;
+use elk_model::Phase;
+use elk_serve::{ArrivalProcess, LengthDist};
+
+use crate::de::MapReader;
+use crate::SpecError;
+
+/// One fully-described experiment: chip, model, workload, compiler,
+/// simulator, and serving configuration, plus an optional sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name — the stem of every report file it produces.
+    pub name: String,
+    /// Target system (preset or custom chip description).
+    pub system: SystemSpec,
+    /// Model under test.
+    pub model: ModelSpec,
+    /// Steady-state workload for `compile` / `simulate`.
+    pub workload: WorkloadSpec,
+    /// Compiler options: designs to run and worker threads.
+    pub compiler: CompilerSpec,
+    /// Chip-simulator options.
+    pub sim: SimSpec,
+    /// Request-level serving configuration for `serve`.
+    pub serving: ServingSpec,
+    /// Optional sweep grid for `elk sweep`.
+    pub sweep: Option<SweepSpec>,
+}
+
+impl ScenarioSpec {
+    /// Parses a scenario from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Parse`] on malformed JSON, a missing
+    /// required field, an unknown key, or a type mismatch.
+    pub fn from_json(json: &str) -> Result<Self, SpecError> {
+        serde_json::from_str(json).map_err(SpecError::from)
+    }
+
+    /// Renders the spec as canonical pretty JSON (all fields explicit).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serialization is infallible")
+    }
+}
+
+impl Deserialize for ScenarioSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let mut r = MapReader::new("scenario", v)?;
+        let name: String = r.req("name")?;
+        if name.trim().is_empty() {
+            return Err(Error::msg(
+                "scenario: `name` must be non-empty (it is the report-file stem)",
+            ));
+        }
+        let spec = ScenarioSpec {
+            name,
+            system: r.or_else("system", SystemSpec::default)?,
+            model: r.req("model")?,
+            workload: r.or_else("workload", WorkloadSpec::default)?,
+            compiler: r.or_else("compiler", CompilerSpec::default)?,
+            sim: r.or_else("sim", SimSpec::default)?,
+            serving: r.or_else("serving", ServingSpec::default)?,
+            sweep: r.opt("sweep")?,
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for ScenarioSpec {
+    fn to_value(&self) -> Value {
+        let mut m = vec![
+            ("name".into(), self.name.to_value()),
+            ("system".into(), self.system.to_value()),
+            ("model".into(), self.model.to_value()),
+            ("workload".into(), self.workload.to_value()),
+            ("compiler".into(), self.compiler.to_value()),
+            ("sim".into(), self.sim.to_value()),
+            ("serving".into(), self.serving.to_value()),
+        ];
+        if let Some(sweep) = &self.sweep {
+            m.push(("sweep".into(), sweep.to_value()));
+        }
+        Value::Map(m)
+    }
+}
+
+// ---- system ----
+
+/// Target system: a named preset or an explicit chip/pod description.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemSpec {
+    /// One of the paper's evaluation platforms by name
+    /// (`ipu_pod4`, `ipu_pod4_mesh`, `single_chip`).
+    Preset(String),
+    /// A custom design point — the design-space-exploration path.
+    Custom {
+        /// Chip description.
+        chip: ChipSpec,
+        /// Chips in the pod.
+        chips: u64,
+        /// Per-chip HBM.
+        hbm: HbmSpec,
+        /// Aggregate inter-chip bandwidth in GiB/s.
+        inter_chip_bw_gib_s: f64,
+    },
+}
+
+impl Default for SystemSpec {
+    /// The paper's default platform, `ipu_pod4`.
+    fn default() -> Self {
+        SystemSpec::Preset("ipu_pod4".into())
+    }
+}
+
+impl Deserialize for SystemSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let mut r = MapReader::new("system", v)?;
+        let spec = if r.has("preset") {
+            SystemSpec::Preset(r.req("preset")?)
+        } else {
+            SystemSpec::Custom {
+                chip: r.req("chip")?,
+                chips: r.or("chips", 4)?,
+                hbm: r.or_else("hbm", HbmSpec::default)?,
+                inter_chip_bw_gib_s: r.or("inter_chip_bw_gib_s", 640.0)?,
+            }
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for SystemSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            SystemSpec::Preset(name) => Value::Map(vec![("preset".into(), name.to_value())]),
+            SystemSpec::Custom {
+                chip,
+                chips,
+                hbm,
+                inter_chip_bw_gib_s,
+            } => Value::Map(vec![
+                ("chip".into(), chip.to_value()),
+                ("chips".into(), chips.to_value()),
+                ("hbm".into(), hbm.to_value()),
+                ("inter_chip_bw_gib_s".into(), inter_chip_bw_gib_s.to_value()),
+            ]),
+        }
+    }
+}
+
+/// One custom ICCA chip. Compute rates are whole-chip numbers (the
+/// paper quotes per-chip TFLOPS); per-core rates are derived by
+/// dividing by `cores`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipSpec {
+    /// Chip name for reports.
+    pub name: String,
+    /// Core count.
+    pub cores: u64,
+    /// Scratchpad SRAM per core, in KiB.
+    pub sram_per_core_kib: u64,
+    /// Reserved inter-core transfer buffer per core, in KiB.
+    pub io_buffer_per_core_kib: u64,
+    /// Whole-chip peak MatMul throughput, in TFLOPS.
+    pub matmul_tflops: f64,
+    /// Whole-chip peak vector throughput, in TFLOPS.
+    pub vector_tflops: f64,
+    /// Local SRAM port bandwidth per core, in decimal GB/s.
+    pub sram_bw_gb_s: f64,
+    /// `"blocking"` (IPU-style) or `"concurrent"` SRAM arbitration.
+    pub sram_contention: String,
+    /// On-chip interconnect.
+    pub topology: TopologySpec,
+}
+
+impl Deserialize for ChipSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let mut r = MapReader::new("chip", v)?;
+        let spec = ChipSpec {
+            name: r.or_else("name", || "custom".to_string())?,
+            cores: r.req("cores")?,
+            sram_per_core_kib: r.or("sram_per_core_kib", 624)?,
+            io_buffer_per_core_kib: r.or("io_buffer_per_core_kib", 8)?,
+            matmul_tflops: r.req("matmul_tflops")?,
+            vector_tflops: r.req("vector_tflops")?,
+            sram_bw_gb_s: r.or("sram_bw_gb_s", 21.3)?,
+            sram_contention: r.or_else("sram_contention", || "blocking".to_string())?,
+            topology: r.or_else("topology", TopologySpec::default)?,
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for ChipSpec {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("name".into(), self.name.to_value()),
+            ("cores".into(), self.cores.to_value()),
+            (
+                "sram_per_core_kib".into(),
+                self.sram_per_core_kib.to_value(),
+            ),
+            (
+                "io_buffer_per_core_kib".into(),
+                self.io_buffer_per_core_kib.to_value(),
+            ),
+            ("matmul_tflops".into(), self.matmul_tflops.to_value()),
+            ("vector_tflops".into(), self.vector_tflops.to_value()),
+            ("sram_bw_gb_s".into(), self.sram_bw_gb_s.to_value()),
+            ("sram_contention".into(), self.sram_contention.to_value()),
+            ("topology".into(), self.topology.to_value()),
+        ])
+    }
+}
+
+/// On-chip interconnect spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologySpec {
+    /// Non-blocking all-to-all exchange with the given per-core link
+    /// bandwidth in GiB/s (IPU MK2: 5.5).
+    AllToAll {
+        /// Per-core link bandwidth in GiB/s.
+        core_link_gib_s: f64,
+    },
+    /// Near-square 2D mesh provisioned to the given aggregate bandwidth
+    /// in GiB/s.
+    Mesh {
+        /// Aggregate interconnect bandwidth in GiB/s.
+        total_gib_s: f64,
+    },
+}
+
+impl Default for TopologySpec {
+    /// IPU MK2's 5.5 GiB/s per-core all-to-all exchange.
+    fn default() -> Self {
+        TopologySpec::AllToAll {
+            core_link_gib_s: 5.5,
+        }
+    }
+}
+
+impl Deserialize for TopologySpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let mut r = MapReader::new("topology", v)?;
+        let spec = if r.has("all_to_all") {
+            let body = r.raw("all_to_all").expect("checked by has");
+            let mut b = MapReader::new("topology.all_to_all", body)?;
+            let t = TopologySpec::AllToAll {
+                core_link_gib_s: b.or("core_link_gib_s", 5.5)?,
+            };
+            b.finish()?;
+            t
+        } else if r.has("mesh") {
+            let body = r.raw("mesh").expect("checked by has");
+            let mut b = MapReader::new("topology.mesh", body)?;
+            let t = TopologySpec::Mesh {
+                total_gib_s: b.req("total_gib_s")?,
+            };
+            b.finish()?;
+            t
+        } else {
+            return Err(Error::msg(
+                "topology: expected an `all_to_all` or `mesh` object",
+            ));
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for TopologySpec {
+    fn to_value(&self) -> Value {
+        match self {
+            TopologySpec::AllToAll { core_link_gib_s } => Value::Map(vec![(
+                "all_to_all".into(),
+                Value::Map(vec![("core_link_gib_s".into(), core_link_gib_s.to_value())]),
+            )]),
+            TopologySpec::Mesh { total_gib_s } => Value::Map(vec![(
+                "mesh".into(),
+                Value::Map(vec![("total_gib_s".into(), total_gib_s.to_value())]),
+            )]),
+        }
+    }
+}
+
+/// Per-chip HBM spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HbmSpec {
+    /// HBM channels (controller nodes) per chip.
+    pub channels: u64,
+    /// Sustained bandwidth per channel in GiB/s.
+    pub channel_bw_gib_s: f64,
+}
+
+impl Default for HbmSpec {
+    /// The paper's emulated platform: 4 HBM3E channels at 1 TiB/s each.
+    fn default() -> Self {
+        HbmSpec {
+            channels: 4,
+            channel_bw_gib_s: 1024.0,
+        }
+    }
+}
+
+impl Deserialize for HbmSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let mut r = MapReader::new("hbm", v)?;
+        let spec = HbmSpec {
+            channels: r.or("channels", 4)?,
+            channel_bw_gib_s: r.or("channel_bw_gib_s", 1024.0)?,
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for HbmSpec {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("channels".into(), self.channels.to_value()),
+            ("channel_bw_gib_s".into(), self.channel_bw_gib_s.to_value()),
+        ])
+    }
+}
+
+// ---- model ----
+
+/// Model under test: a zoo name (with an optional depth override for
+/// quick runs) or explicit architecture hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelSpec {
+    /// A model from [`elk_model::zoo`] by CLI alias (`llama13`,
+    /// `gemma27`, `opt30`, `llama70`, `mixtral`, `dit`).
+    Zoo {
+        /// The alias.
+        zoo: String,
+        /// Optional layer-count override (doctest-sized runs).
+        layers: Option<u32>,
+    },
+    /// Explicit dense-transformer hyper-parameters.
+    Transformer(elk_model::TransformerConfig),
+    /// Explicit mixture-of-experts hyper-parameters.
+    Moe(elk_model::moe::MoeConfig),
+    /// Explicit diffusion-transformer hyper-parameters.
+    Dit(elk_model::dit::DitConfig),
+}
+
+/// Strict reader for an explicit transformer body: the derive shim's
+/// `Deserialize` would silently ignore unknown keys, so the spec layer
+/// reads every engine config field by hand and rejects the rest.
+fn parse_transformer(v: &Value) -> Result<elk_model::TransformerConfig, Error> {
+    let mut r = MapReader::new("model.transformer", v)?;
+    let cfg = elk_model::TransformerConfig {
+        name: r.req("name")?,
+        layers: r.req("layers")?,
+        hidden: r.req("hidden")?,
+        heads: r.req("heads")?,
+        kv_heads: r.req("kv_heads")?,
+        head_dim: r.req("head_dim")?,
+        intermediate: r.req("intermediate")?,
+        vocab: r.req("vocab")?,
+        glu: r.req("glu")?,
+        norm: r.req("norm")?,
+        rope: r.req("rope")?,
+        post_norms: r.req("post_norms")?,
+    };
+    r.finish()?;
+    Ok(cfg)
+}
+
+/// Strict reader for an explicit MoE body (see [`parse_transformer`]).
+fn parse_moe(v: &Value) -> Result<elk_model::moe::MoeConfig, Error> {
+    let mut r = MapReader::new("model.moe", v)?;
+    let cfg = elk_model::moe::MoeConfig {
+        name: r.req("name")?,
+        layers: r.req("layers")?,
+        hidden: r.req("hidden")?,
+        heads: r.req("heads")?,
+        kv_heads: r.req("kv_heads")?,
+        head_dim: r.req("head_dim")?,
+        expert_intermediate: r.req("expert_intermediate")?,
+        experts: r.req("experts")?,
+        experts_per_token: r.req("experts_per_token")?,
+        vocab: r.req("vocab")?,
+    };
+    r.finish()?;
+    Ok(cfg)
+}
+
+/// Strict reader for an explicit DiT body (see [`parse_transformer`]).
+fn parse_dit(v: &Value) -> Result<elk_model::dit::DitConfig, Error> {
+    let mut r = MapReader::new("model.dit", v)?;
+    let cfg = elk_model::dit::DitConfig {
+        name: r.req("name")?,
+        layers: r.req("layers")?,
+        hidden: r.req("hidden")?,
+        heads: r.req("heads")?,
+        head_dim: r.req("head_dim")?,
+        mlp_ratio: r.req("mlp_ratio")?,
+        tokens: r.req("tokens")?,
+    };
+    r.finish()?;
+    Ok(cfg)
+}
+
+impl Deserialize for ModelSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let mut r = MapReader::new("model", v)?;
+        let spec = if r.has("zoo") {
+            ModelSpec::Zoo {
+                zoo: r.req("zoo")?,
+                layers: r.opt("layers")?,
+            }
+        } else if let Some(body) = r.raw("transformer") {
+            ModelSpec::Transformer(parse_transformer(body)?)
+        } else if let Some(body) = r.raw("moe") {
+            ModelSpec::Moe(parse_moe(body)?)
+        } else if let Some(body) = r.raw("dit") {
+            ModelSpec::Dit(parse_dit(body)?)
+        } else {
+            return Err(Error::msg(
+                "model: expected one of `zoo`, `transformer`, `moe`, `dit`",
+            ));
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for ModelSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            ModelSpec::Zoo { zoo, layers } => {
+                let mut m = vec![("zoo".into(), zoo.to_value())];
+                if let Some(layers) = layers {
+                    m.push(("layers".into(), layers.to_value()));
+                }
+                Value::Map(m)
+            }
+            ModelSpec::Transformer(cfg) => Value::Map(vec![("transformer".into(), cfg.to_value())]),
+            ModelSpec::Moe(cfg) => Value::Map(vec![("moe".into(), cfg.to_value())]),
+            ModelSpec::Dit(cfg) => Value::Map(vec![("dit".into(), cfg.to_value())]),
+        }
+    }
+}
+
+// ---- workload ----
+
+/// Steady-state workload for `compile` / `simulate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// `"decode"`, `"prefill"`, or `"training_forward"`.
+    pub phase: Phase,
+    /// Requests per batch.
+    pub batch: u64,
+    /// Context length.
+    pub seq_len: u64,
+    /// Tensor-parallel shard count; defaults to the system's chip count.
+    pub shards: Option<u64>,
+}
+
+impl Default for WorkloadSpec {
+    /// The paper's default serving workload: decode, batch 32, seq 2048.
+    fn default() -> Self {
+        WorkloadSpec {
+            phase: Phase::Decode,
+            batch: 32,
+            seq_len: 2048,
+            shards: None,
+        }
+    }
+}
+
+/// Parses a lowercase phase name.
+fn parse_phase(name: &str) -> Result<Phase, Error> {
+    match name {
+        "decode" => Ok(Phase::Decode),
+        "prefill" => Ok(Phase::Prefill),
+        "training_forward" => Ok(Phase::TrainingForward),
+        other => Err(Error::msg(format!(
+            "unknown phase '{other}': expected decode, prefill, training_forward"
+        ))),
+    }
+}
+
+/// Canonical lowercase phase name.
+#[must_use]
+pub fn phase_name(phase: Phase) -> &'static str {
+    match phase {
+        Phase::Decode => "decode",
+        Phase::Prefill => "prefill",
+        Phase::TrainingForward => "training_forward",
+    }
+}
+
+impl Deserialize for WorkloadSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let mut r = MapReader::new("workload", v)?;
+        let phase = match r.opt::<String>("phase")? {
+            Some(name) => parse_phase(&name)?,
+            None => Phase::Decode,
+        };
+        let spec = WorkloadSpec {
+            phase,
+            batch: r.or("batch", 32)?,
+            seq_len: r.or("seq_len", 2048)?,
+            shards: r.opt("shards")?,
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for WorkloadSpec {
+    fn to_value(&self) -> Value {
+        let mut m = vec![
+            ("phase".into(), phase_name(self.phase).to_value()),
+            ("batch".into(), self.batch.to_value()),
+            ("seq_len".into(), self.seq_len.to_value()),
+        ];
+        if let Some(shards) = self.shards {
+            m.push(("shards".into(), shards.to_value()));
+        }
+        Value::Map(m)
+    }
+}
+
+// ---- compiler ----
+
+/// Compiler options: designs to run and worker threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompilerSpec {
+    /// Designs to compile, in run order. The JSON accepts a single
+    /// name, `"all"`, or an array of names.
+    pub design: Vec<Design>,
+    /// Worker threads for catalog construction and order search
+    /// (`0` = all available cores). Outputs are byte-identical at any
+    /// setting.
+    pub threads: usize,
+}
+
+impl Default for CompilerSpec {
+    /// Full Elk on one worker thread.
+    fn default() -> Self {
+        CompilerSpec {
+            design: vec![Design::ElkFull],
+            threads: 1,
+        }
+    }
+}
+
+/// Parses a lowercase design name.
+fn parse_design(name: &str) -> Result<Design, Error> {
+    match name {
+        "basic" => Ok(Design::Basic),
+        "static" => Ok(Design::Static),
+        "elk_dyn" => Ok(Design::ElkDyn),
+        "elk_full" => Ok(Design::ElkFull),
+        "ideal" => Ok(Design::Ideal),
+        other => Err(Error::msg(format!(
+            "unknown design '{other}': expected basic, static, elk_dyn, elk_full, ideal, or all"
+        ))),
+    }
+}
+
+/// Canonical lowercase design name.
+#[must_use]
+pub fn design_name(design: Design) -> &'static str {
+    match design {
+        Design::Basic => "basic",
+        Design::Static => "static",
+        Design::ElkDyn => "elk_dyn",
+        Design::ElkFull => "elk_full",
+        Design::Ideal => "ideal",
+    }
+}
+
+/// Parses the `design` key: one name, `"all"`, or an array of names.
+fn parse_designs(v: &Value) -> Result<Vec<Design>, Error> {
+    let names: Vec<String> = match v {
+        Value::Str(s) if s == "all" => return Ok(Design::ALL.to_vec()),
+        Value::Str(s) => vec![s.clone()],
+        Value::Seq(_) => Vec::<String>::from_value(v)?,
+        other => {
+            return Err(Error::msg(format!(
+                "design: expected a name or an array of names, found {}",
+                other.kind()
+            )))
+        }
+    };
+    if names.is_empty() {
+        return Err(Error::msg("design: the list must not be empty"));
+    }
+    names.iter().map(|n| parse_design(n)).collect()
+}
+
+impl Deserialize for CompilerSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let mut r = MapReader::new("compiler", v)?;
+        let design = match r.raw("design") {
+            Some(v) => parse_designs(v).map_err(|e| Error::msg(format!("compiler.{e}")))?,
+            None => vec![Design::ElkFull],
+        };
+        let spec = CompilerSpec {
+            design,
+            threads: r.or("threads", 1)?,
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for CompilerSpec {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (
+                "design".into(),
+                Value::Seq(
+                    self.design
+                        .iter()
+                        .map(|&d| design_name(d).to_value())
+                        .collect(),
+                ),
+            ),
+            ("threads".into(), self.threads.to_value()),
+        ])
+    }
+}
+
+// ---- simulator ----
+
+/// Chip-simulator options (mirrors [`elk_sim::SimOptions`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSpec {
+    /// Relative magnitude of the deterministic timing noise.
+    pub noise_sigma: f64,
+    /// Timing-noise seed.
+    pub noise_seed: u64,
+    /// Bandwidth-trace samples (0 = no trace).
+    pub trace_samples: usize,
+}
+
+impl Default for SimSpec {
+    fn default() -> Self {
+        let d = elk_sim::SimOptions::default();
+        SimSpec {
+            noise_sigma: d.noise_sigma,
+            noise_seed: d.noise_seed,
+            trace_samples: d.trace_samples,
+        }
+    }
+}
+
+impl Deserialize for SimSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let d = SimSpec::default();
+        let mut r = MapReader::new("sim", v)?;
+        let spec = SimSpec {
+            noise_sigma: r.or("noise_sigma", d.noise_sigma)?,
+            noise_seed: r.or("noise_seed", d.noise_seed)?,
+            trace_samples: r.or("trace_samples", d.trace_samples)?,
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for SimSpec {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("noise_sigma".into(), self.noise_sigma.to_value()),
+            ("noise_seed".into(), self.noise_seed.to_value()),
+            ("trace_samples".into(), self.trace_samples.to_value()),
+        ])
+    }
+}
+
+// ---- serving ----
+
+/// Request-level serving configuration for `elk serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingSpec {
+    /// Synthetic trace recipe.
+    pub trace: TraceSpec,
+    /// Independent chip-group replicas (round-robin routing).
+    pub replicas: usize,
+    /// Concurrent requests per replica.
+    pub max_batch: u64,
+    /// Prompt-token budget per prefill step.
+    pub max_prefill_tokens: u64,
+    /// Sequence-length bucket ladder `[min, max]` for plan-cache keys.
+    pub seq_buckets: SeqBucketsSpec,
+    /// Round step batch sizes up to powers of two.
+    pub bucket_batch: bool,
+    /// Latency SLO scored by goodput.
+    pub slo: SloSpec,
+    /// Worker threads for the serving pool (`0` = all cores).
+    pub threads: usize,
+}
+
+impl Default for ServingSpec {
+    /// A small smoke-sized serving setup: 16 requests, one replica,
+    /// batch cap 32.
+    fn default() -> Self {
+        ServingSpec {
+            trace: TraceSpec::default(),
+            replicas: 1,
+            max_batch: 32,
+            max_prefill_tokens: 8192,
+            seq_buckets: SeqBucketsSpec::default(),
+            bucket_batch: true,
+            slo: SloSpec::default(),
+            threads: 1,
+        }
+    }
+}
+
+impl Deserialize for ServingSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let d = ServingSpec::default();
+        let mut r = MapReader::new("serving", v)?;
+        let spec = ServingSpec {
+            trace: r.or_else("trace", TraceSpec::default)?,
+            replicas: r.or("replicas", d.replicas)?,
+            max_batch: r.or("max_batch", d.max_batch)?,
+            max_prefill_tokens: r.or("max_prefill_tokens", d.max_prefill_tokens)?,
+            seq_buckets: r.or("seq_buckets", d.seq_buckets)?,
+            bucket_batch: r.or("bucket_batch", d.bucket_batch)?,
+            slo: r.or("slo", d.slo)?,
+            threads: r.or("threads", d.threads)?,
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for ServingSpec {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("trace".into(), self.trace.to_value()),
+            ("replicas".into(), self.replicas.to_value()),
+            ("max_batch".into(), self.max_batch.to_value()),
+            (
+                "max_prefill_tokens".into(),
+                self.max_prefill_tokens.to_value(),
+            ),
+            ("seq_buckets".into(), self.seq_buckets.to_value()),
+            ("bucket_batch".into(), self.bucket_batch.to_value()),
+            ("slo".into(), self.slo.to_value()),
+            ("threads".into(), self.threads.to_value()),
+        ])
+    }
+}
+
+/// Synthetic request-trace recipe (mirrors [`elk_serve::TraceConfig`]).
+///
+/// The `arrivals`, `prompt_len`, and `output_len` fields reuse the
+/// engine enums' serde form directly — externally tagged with the Rust
+/// variant name, e.g. `{"Poisson": {"rate_rps": 100.0}}` or
+/// `{"Uniform": {"lo": 128, "hi": 512}}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpec {
+    /// RNG seed.
+    pub seed: u64,
+    /// Requests to generate.
+    pub requests: usize,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Prompt-length distribution.
+    pub prompt_len: LengthDist,
+    /// Output-length distribution.
+    pub output_len: LengthDist,
+}
+
+impl Default for TraceSpec {
+    /// 16 Poisson arrivals at 100 req/s with short prompts and outputs —
+    /// sized so a scenario smoke run stays fast.
+    fn default() -> Self {
+        TraceSpec {
+            seed: 0x5eed,
+            requests: 16,
+            arrivals: ArrivalProcess::Poisson { rate_rps: 100.0 },
+            prompt_len: LengthDist::Uniform { lo: 128, hi: 512 },
+            output_len: LengthDist::Uniform { lo: 4, hi: 16 },
+        }
+    }
+}
+
+/// Strict reader for the externally-tagged [`ArrivalProcess`] form
+/// (`{"Poisson": {...}}` / `{"Bursty": {...}}`): same JSON shape as
+/// the derived impl, but an unknown variant or stray knob — e.g.
+/// `burst_factor` inside a `Poisson` body — is an error instead of
+/// silently ignored.
+fn parse_arrivals(v: &Value) -> Result<ArrivalProcess, Error> {
+    let mut r = MapReader::new("arrivals", v)?;
+    let arrivals = if let Some(body) = r.raw("Poisson") {
+        let mut b = MapReader::new("arrivals.Poisson", body)?;
+        let a = ArrivalProcess::Poisson {
+            rate_rps: b.req("rate_rps")?,
+        };
+        b.finish()?;
+        a
+    } else if let Some(body) = r.raw("Bursty") {
+        let mut b = MapReader::new("arrivals.Bursty", body)?;
+        let a = ArrivalProcess::Bursty {
+            rate_rps: b.req("rate_rps")?,
+            burst_factor: b.req("burst_factor")?,
+            period_s: b.req("period_s")?,
+            duty: b.req("duty")?,
+        };
+        b.finish()?;
+        a
+    } else {
+        return Err(Error::msg(
+            "arrivals: expected a `Poisson` or `Bursty` object",
+        ));
+    };
+    r.finish()?;
+    Ok(arrivals)
+}
+
+/// Strict reader for the externally-tagged [`LengthDist`] form
+/// (`{"Fixed": n}` / `{"Uniform": {...}}` / `{"Bimodal": {...}}`); see
+/// [`parse_arrivals`] for why the derived impl is not enough.
+fn parse_lengths(what: &'static str, v: &Value) -> Result<LengthDist, Error> {
+    let mut r = MapReader::new(what, v)?;
+    let dist = if let Some(body) = r.raw("Fixed") {
+        LengthDist::Fixed(
+            u64::from_value(body).map_err(|e| Error::msg(format!("{what}.Fixed: {e}")))?,
+        )
+    } else if let Some(body) = r.raw("Uniform") {
+        let mut b = MapReader::new("Uniform", body)?;
+        let d = LengthDist::Uniform {
+            lo: b.req("lo")?,
+            hi: b.req("hi")?,
+        };
+        b.finish()?;
+        d
+    } else if let Some(body) = r.raw("Bimodal") {
+        let mut b = MapReader::new("Bimodal", body)?;
+        let d = LengthDist::Bimodal {
+            short: b.req("short")?,
+            long: b.req("long")?,
+            long_weight: b.req("long_weight")?,
+        };
+        b.finish()?;
+        d
+    } else {
+        return Err(Error::msg(format!(
+            "{what}: expected a `Fixed`, `Uniform`, or `Bimodal` object"
+        )));
+    };
+    r.finish()?;
+    Ok(dist)
+}
+
+impl Deserialize for TraceSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let d = TraceSpec::default();
+        let mut r = MapReader::new("trace", v)?;
+        let arrivals = match r.raw("arrivals") {
+            None | Some(Value::Null) => d.arrivals,
+            Some(body) => parse_arrivals(body)?,
+        };
+        let prompt_len = match r.raw("prompt_len") {
+            None | Some(Value::Null) => d.prompt_len,
+            Some(body) => parse_lengths("prompt_len", body)?,
+        };
+        let output_len = match r.raw("output_len") {
+            None | Some(Value::Null) => d.output_len,
+            Some(body) => parse_lengths("output_len", body)?,
+        };
+        let spec = TraceSpec {
+            seed: r.or("seed", d.seed)?,
+            requests: r.or("requests", d.requests)?,
+            arrivals,
+            prompt_len,
+            output_len,
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for TraceSpec {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("seed".into(), self.seed.to_value()),
+            ("requests".into(), self.requests.to_value()),
+            ("arrivals".into(), self.arrivals.to_value()),
+            ("prompt_len".into(), self.prompt_len.to_value()),
+            ("output_len".into(), self.output_len.to_value()),
+        ])
+    }
+}
+
+/// Sequence-length bucket ladder (mirrors [`elk_model::SeqBuckets`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqBucketsSpec {
+    /// Smallest bucket (must be a power of two).
+    pub min: u64,
+    /// Largest bucket.
+    pub max: u64,
+}
+
+impl Default for SeqBucketsSpec {
+    fn default() -> Self {
+        let d = elk_model::SeqBuckets::default();
+        SeqBucketsSpec {
+            min: d.min,
+            max: d.max,
+        }
+    }
+}
+
+impl Deserialize for SeqBucketsSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let d = SeqBucketsSpec::default();
+        let mut r = MapReader::new("seq_buckets", v)?;
+        let spec = SeqBucketsSpec {
+            min: r.or("min", d.min)?,
+            max: r.or("max", d.max)?,
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for SeqBucketsSpec {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("min".into(), self.min.to_value()),
+            ("max".into(), self.max.to_value()),
+        ])
+    }
+}
+
+/// Latency SLO in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// Time-to-first-token bound, ms.
+    pub ttft_ms: f64,
+    /// Mean time-per-output-token bound, ms.
+    pub tpot_ms: f64,
+}
+
+impl Default for SloSpec {
+    /// The serving layer's interactive-chat default: 2 s TTFT, 60 ms
+    /// TPOT.
+    fn default() -> Self {
+        SloSpec {
+            ttft_ms: 2000.0,
+            tpot_ms: 60.0,
+        }
+    }
+}
+
+impl Deserialize for SloSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let d = SloSpec::default();
+        let mut r = MapReader::new("slo", v)?;
+        let spec = SloSpec {
+            ttft_ms: r.or("ttft_ms", d.ttft_ms)?,
+            tpot_ms: r.or("tpot_ms", d.tpot_ms)?,
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for SloSpec {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("ttft_ms".into(), self.ttft_ms.to_value()),
+            ("tpot_ms".into(), self.tpot_ms.to_value()),
+        ])
+    }
+}
+
+// ---- sweep ----
+
+/// A grid sweep over arbitrary spec fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Which runner each grid point goes through.
+    pub command: SweepCommand,
+    /// Sweep axes; the grid is their cartesian product in file order
+    /// (last axis fastest).
+    pub axes: Vec<SweepAxis>,
+}
+
+impl Deserialize for SweepSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let mut r = MapReader::new("sweep", v)?;
+        let command = match r.opt::<String>("command")? {
+            Some(name) => SweepCommand::parse(&name)?,
+            None => SweepCommand::Compile,
+        };
+        let axes: Vec<SweepAxis> = r.req("axes")?;
+        if axes.is_empty() {
+            return Err(Error::msg("sweep.axes: must contain at least one axis"));
+        }
+        let spec = SweepSpec { command, axes };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for SweepSpec {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("command".into(), self.command.name().to_value()),
+            (
+                "axes".into(),
+                Value::Seq(self.axes.iter().map(Serialize::to_value).collect()),
+            ),
+        ])
+    }
+}
+
+/// The runner a sweep fans its grid points through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepCommand {
+    /// `elk compile` per point.
+    Compile,
+    /// `elk simulate` per point.
+    Simulate,
+    /// `elk serve` per point.
+    Serve,
+}
+
+impl SweepCommand {
+    /// Parses a lowercase command name.
+    ///
+    /// # Errors
+    ///
+    /// Errors on anything but `compile`, `simulate`, `serve`.
+    pub fn parse(name: &str) -> Result<Self, Error> {
+        match name {
+            "compile" => Ok(SweepCommand::Compile),
+            "simulate" => Ok(SweepCommand::Simulate),
+            "serve" => Ok(SweepCommand::Serve),
+            other => Err(Error::msg(format!(
+                "unknown sweep command '{other}': expected compile, simulate, serve"
+            ))),
+        }
+    }
+
+    /// Canonical lowercase name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepCommand::Compile => "compile",
+            SweepCommand::Simulate => "simulate",
+            SweepCommand::Serve => "serve",
+        }
+    }
+}
+
+/// One sweep axis: a dotted path into the scenario document and the
+/// values it takes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAxis {
+    /// Dotted path, e.g. `"workload.batch"` or `"system.chip.cores"`.
+    pub path: String,
+    /// Values substituted at `path`, one grid column per value.
+    pub values: Vec<Value>,
+}
+
+impl Deserialize for SweepAxis {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let mut r = MapReader::new("sweep axis", v)?;
+        let spec = SweepAxis {
+            path: r.req("path")?,
+            values: r.req("values")?,
+        };
+        if spec.path.is_empty() || spec.path.split('.').any(str::is_empty) {
+            return Err(Error::msg(format!(
+                "sweep axis: malformed path {:?}",
+                spec.path
+            )));
+        }
+        if spec.values.is_empty() {
+            return Err(Error::msg(format!(
+                "sweep axis `{}`: needs at least one value",
+                spec.path
+            )));
+        }
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for SweepAxis {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("path".into(), self.path.to_value()),
+            ("values".into(), Value::Seq(self.values.clone())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_scenario_parses_with_defaults() {
+        let s = ScenarioSpec::from_json(r#"{"name": "t", "model": {"zoo": "llama13"}}"#).unwrap();
+        assert_eq!(s.name, "t");
+        assert_eq!(s.system, SystemSpec::Preset("ipu_pod4".into()));
+        assert_eq!(s.workload.batch, 32);
+        assert_eq!(s.compiler.design, vec![Design::ElkFull]);
+        assert!(s.sweep.is_none());
+    }
+
+    #[test]
+    fn empty_name_is_rejected() {
+        for name in ["", "  "] {
+            let e = ScenarioSpec::from_json(&format!(
+                r#"{{"name": "{name}", "model": {{"zoo": "llama13"}}}}"#
+            ))
+            .unwrap_err();
+            assert!(e.to_string().contains("non-empty"), "{e}");
+        }
+    }
+
+    #[test]
+    fn unknown_top_level_key_is_an_error() {
+        let e = ScenarioSpec::from_json(
+            r#"{"name": "t", "model": {"zoo": "llama13"}, "wrokload": {}}"#,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("wrokload"), "{e}");
+    }
+
+    #[test]
+    fn design_accepts_string_all_and_array() {
+        let one: CompilerSpec = serde_json::from_str(r#"{"design": "basic"}"#).unwrap();
+        assert_eq!(one.design, vec![Design::Basic]);
+        let all: CompilerSpec = serde_json::from_str(r#"{"design": "all"}"#).unwrap();
+        assert_eq!(all.design, Design::ALL.to_vec());
+        let arr: CompilerSpec =
+            serde_json::from_str(r#"{"design": ["ideal", "elk_dyn"]}"#).unwrap();
+        assert_eq!(arr.design, vec![Design::Ideal, Design::ElkDyn]);
+        let err: Result<CompilerSpec, _> = serde_json::from_str(r#"{"design": "elkful"}"#);
+        assert!(err.unwrap_err().to_string().contains("elkful"));
+    }
+
+    #[test]
+    fn canonical_serialization_round_trips() {
+        let s = ScenarioSpec::from_json(
+            r#"{
+              "name": "rt",
+              "model": {"zoo": "gemma27", "layers": 3},
+              "system": {"chip": {"cores": 64, "matmul_tflops": 10.0, "vector_tflops": 1.0,
+                                  "topology": {"mesh": {"total_gib_s": 512.0}}},
+                         "chips": 2},
+              "workload": {"phase": "prefill", "batch": 4, "seq_len": 256, "shards": 2},
+              "compiler": {"design": "all", "threads": 2},
+              "serving": {"trace": {"requests": 5, "output_len": {"Fixed": 8}}},
+              "sweep": {"command": "simulate",
+                        "axes": [{"path": "workload.batch", "values": [4, 8]}]}
+            }"#,
+        )
+        .unwrap();
+        let back = ScenarioSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn nested_engine_sections_reject_unknown_keys() {
+        // Typo inside an explicit transformer body.
+        let e = ScenarioSpec::from_json(
+            r#"{"name": "t", "model": {"transformer": {
+                "name": "x", "layers": 2, "hidden": 1024, "heads": 8, "kv_heads": 8,
+                "head_dim": 128, "intermediate": 3072, "vocab": 32000, "glu": true,
+                "norm": "Rms", "rope": true, "post_norms": false, "tpyo_knob": 99}}}"#,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("tpyo_knob"), "{e}");
+
+        // A Bursty-only knob smuggled into a Poisson arrivals body.
+        let e = ScenarioSpec::from_json(
+            r#"{"name": "t", "model": {"zoo": "llama13"},
+                "serving": {"trace": {"arrivals":
+                  {"Poisson": {"rate_rps": 10.0, "burst_factor": 3.0}}}}}"#,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("burst_factor"), "{e}");
+
+        // Stray field in a length distribution.
+        let e = ScenarioSpec::from_json(
+            r#"{"name": "t", "model": {"zoo": "llama13"},
+                "serving": {"trace": {"prompt_len":
+                  {"Uniform": {"lo": 1, "hi": 2, "mean": 3}}}}}"#,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("mean"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_keys_anywhere_are_parse_errors() {
+        let e = ScenarioSpec::from_json(
+            r#"{"name": "t", "model": {"zoo": "llama13"},
+                "workload": {"batch": 16, "batch": 32}}"#,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("duplicate key `batch`"), "{e}");
+    }
+
+    #[test]
+    fn phase_names_round_trip() {
+        for phase in [Phase::Decode, Phase::Prefill, Phase::TrainingForward] {
+            assert_eq!(parse_phase(phase_name(phase)).unwrap(), phase);
+        }
+        assert!(parse_phase("Decode").is_err(), "names are lowercase");
+    }
+
+    #[test]
+    fn design_names_round_trip() {
+        for design in Design::ALL {
+            assert_eq!(parse_design(design_name(design)).unwrap(), design);
+        }
+    }
+}

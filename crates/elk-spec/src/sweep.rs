@@ -1,0 +1,255 @@
+//! Grid sweeps over scenario fields: the design-space-exploration
+//! driver behind `elk sweep`.
+//!
+//! A sweep works on the scenario's *JSON document*, not its parsed
+//! struct: each axis names a dotted path (`"workload.batch"`,
+//! `"system.chip.cores"`, `"compiler.design"`), and every grid point
+//! clones the document, substitutes one value per axis, and re-parses.
+//! Strict parsing then rejects typo'd paths that landed on unknown
+//! keys, and any spec field — including ones the base file left to
+//! defaults — is sweepable.
+//!
+//! Points fan out over an [`elk_par`] work pool and merge in grid
+//! order, so the report is byte-identical at any `--threads` setting.
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::report::{SweepPoint, SweepReport};
+use crate::spec::{ScenarioSpec, SweepCommand};
+use crate::{runner, SpecError};
+
+/// Substitutes `new` at dotted `path` inside `root`, creating missing
+/// intermediate objects (strict re-parsing catches paths that create
+/// keys the schema does not know).
+///
+/// # Errors
+///
+/// Returns [`SpecError::Invalid`] when a path segment lands on a
+/// non-object value (e.g. `"name.x"`).
+pub fn set_path(root: &mut Value, path: &str, new: Value) -> Result<(), SpecError> {
+    let mut cur = root;
+    let mut segments = path.split('.').peekable();
+    while let Some(seg) = segments.next() {
+        let Value::Map(entries) = cur else {
+            return Err(SpecError::Invalid(format!(
+                "sweep path `{path}`: segment `{seg}` lands inside a non-object value"
+            )));
+        };
+        let idx = match entries.iter().position(|(k, _)| k == seg) {
+            Some(idx) => idx,
+            None => {
+                entries.push((seg.to_string(), Value::Map(Vec::new())));
+                entries.len() - 1
+            }
+        };
+        if segments.peek().is_none() {
+            entries[idx].1 = new;
+            return Ok(());
+        }
+        cur = &mut entries[idx].1;
+    }
+    unreachable!("split('.') yields at least one segment")
+}
+
+/// One grid point's overrides: `(path, value)` per axis, in axis order.
+type Overrides = Vec<(String, Value)>;
+
+/// Expands the axes' cartesian product in row-major order (the last
+/// axis varies fastest).
+fn grid(axes: &[crate::spec::SweepAxis]) -> Vec<Overrides> {
+    let mut points: Vec<Overrides> = vec![Vec::new()];
+    for axis in axes {
+        points = points
+            .into_iter()
+            .flat_map(|point| {
+                axis.values.iter().map(move |v| {
+                    let mut next = point.clone();
+                    next.push((axis.path.clone(), v.clone()));
+                    next
+                })
+            })
+            .collect();
+    }
+    points
+}
+
+/// Runs the sweep described by the scenario document `doc`, fanning
+/// grid points across `threads` workers (`0` = all available cores).
+/// The merged report is in grid order and byte-identical at any thread
+/// count.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Invalid`] when the document has no `sweep`
+/// section or an override produces an ill-formed scenario, and
+/// propagates the first failing point's error (in grid order).
+pub fn run_sweep(doc: &Value, threads: usize) -> Result<SweepReport, SpecError> {
+    let spec = ScenarioSpec::from_value(doc).map_err(SpecError::from)?;
+    let Some(sweep) = spec.sweep else {
+        return Err(SpecError::Invalid(format!(
+            "scenario `{}` has no `sweep` section",
+            spec.name
+        )));
+    };
+
+    // The base document is the scenario without its sweep section, so a
+    // point's overrides re-parse as a plain (sweepless) scenario.
+    let Value::Map(entries) = doc else {
+        unreachable!("from_value above only accepts objects");
+    };
+    let base = Value::Map(
+        entries
+            .iter()
+            .filter(|(k, _)| k != "sweep")
+            .cloned()
+            .collect(),
+    );
+
+    let points = grid(&sweep.axes);
+    let results = elk_par::try_par_map(threads, &points, |_, overrides| {
+        run_point(&base, &spec.name, sweep.command, overrides)
+    })?;
+
+    Ok(SweepReport {
+        scenario: spec.name,
+        command: sweep.command.name().to_string(),
+        axes: sweep.axes.iter().map(|a| a.path.clone()).collect(),
+        points: results,
+    })
+}
+
+/// Applies one point's overrides and runs it through `command`.
+fn run_point(
+    base: &Value,
+    base_name: &str,
+    command: SweepCommand,
+    overrides: &Overrides,
+) -> Result<SweepPoint, SpecError> {
+    let mut doc = base.clone();
+    for (path, value) in overrides {
+        set_path(&mut doc, path, value.clone())?;
+    }
+    let mut point_spec = ScenarioSpec::from_value(&doc)
+        .map_err(|e| SpecError::Invalid(format!("sweep point {}: {e}", describe(overrides))))?;
+    point_spec.name = format!("{base_name}[{}]", describe(overrides));
+
+    let report = match command {
+        SweepCommand::Compile => runner::run_compile(&point_spec)?.to_value(),
+        SweepCommand::Simulate => runner::run_simulate(&point_spec)?.to_value(),
+        SweepCommand::Serve => runner::run_serve(&point_spec)?.to_value(),
+    };
+    Ok(SweepPoint {
+        name: point_spec.name,
+        overrides: Value::Map(
+            overrides
+                .iter()
+                .map(|(path, v)| (path.clone(), v.clone()))
+                .collect(),
+        ),
+        report,
+    })
+}
+
+/// `path=value` pairs, comma-joined — the point's display name.
+fn describe(overrides: &Overrides) -> String {
+    overrides
+        .iter()
+        .map(|(path, v)| {
+            format!(
+                "{path}={}",
+                serde_json::to_string(v).expect("value serialization is infallible")
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(json: &str) -> Value {
+        serde_json::from_str(json).expect("valid test JSON")
+    }
+
+    #[test]
+    fn set_path_replaces_and_creates() {
+        let mut v = doc(r#"{"workload": {"batch": 32}}"#);
+        set_path(&mut v, "workload.batch", Value::U64(8)).unwrap();
+        assert_eq!(
+            v.get("workload").unwrap().get("batch"),
+            Some(&Value::U64(8))
+        );
+        // Creating a section the base omitted.
+        set_path(&mut v, "compiler.threads", Value::U64(2)).unwrap();
+        assert_eq!(
+            v.get("compiler").unwrap().get("threads"),
+            Some(&Value::U64(2))
+        );
+        // Descending into a scalar is an error.
+        let e = set_path(&mut v, "workload.batch.x", Value::U64(1)).unwrap_err();
+        assert!(e.to_string().contains("non-object"), "{e}");
+    }
+
+    #[test]
+    fn grid_is_row_major_with_last_axis_fastest() {
+        let axes = vec![
+            crate::spec::SweepAxis {
+                path: "a".into(),
+                values: vec![Value::U64(1), Value::U64(2)],
+            },
+            crate::spec::SweepAxis {
+                path: "b".into(),
+                values: vec![Value::U64(10), Value::U64(20)],
+            },
+        ];
+        let points = grid(&axes);
+        let flat: Vec<(u64, u64)> = points
+            .iter()
+            .map(|p| {
+                let a = u64::from_value(&p[0].1).unwrap();
+                let b = u64::from_value(&p[1].1).unwrap();
+                (a, b)
+            })
+            .collect();
+        assert_eq!(flat, vec![(1, 10), (1, 20), (2, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn sweep_runs_and_merges_deterministically() {
+        let scenario = doc(r#"{
+              "name": "s",
+              "model": {"zoo": "llama13", "layers": 2},
+              "workload": {"batch": 16, "seq_len": 512},
+              "sweep": {"command": "compile",
+                        "axes": [{"path": "workload.batch", "values": [8, 16]}]}
+            }"#);
+        let seq = run_sweep(&scenario, 1).unwrap();
+        let par = run_sweep(&scenario, 8).unwrap();
+        assert_eq!(seq.points.len(), 2);
+        assert_eq!(seq.points[0].name, r#"s[workload.batch=8]"#);
+        assert_eq!(
+            serde_json::to_string(&seq).unwrap(),
+            serde_json::to_string(&par).unwrap(),
+            "sweep must be byte-identical at any thread count"
+        );
+    }
+
+    #[test]
+    fn sweep_without_section_is_an_error() {
+        let scenario = doc(r#"{"name": "s", "model": {"zoo": "llama13"}}"#);
+        let e = run_sweep(&scenario, 1).unwrap_err();
+        assert!(e.to_string().contains("no `sweep` section"), "{e}");
+    }
+
+    #[test]
+    fn typo_in_a_swept_path_fails_the_point() {
+        let scenario = doc(r#"{
+              "name": "s",
+              "model": {"zoo": "llama13", "layers": 2},
+              "sweep": {"axes": [{"path": "workload.bach", "values": [8]}]}
+            }"#);
+        let e = run_sweep(&scenario, 1).unwrap_err();
+        assert!(e.to_string().contains("bach"), "{e}");
+    }
+}

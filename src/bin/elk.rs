@@ -1,0 +1,321 @@
+//! `elk` — the scenario CLI: run declarative JSON scenario files
+//! through the compiler, simulator, and serving stack without touching
+//! Rust code.
+//!
+//! ```text
+//! elk compile  <scenario.json> [--out DIR] [--threads N]   compile + measure each design
+//! elk simulate <scenario.json> [--out DIR] [--threads N]   design comparison table
+//! elk serve    <scenario.json> [--out DIR] [--threads N]   request-level serving replay
+//! elk sweep    <scenario.json> [--out DIR] [--threads N]   grid over the file's sweep axes
+//! elk validate <dir-or-file>...                            round-trip emitted JSON reports
+//! ```
+//!
+//! Every run writes a machine-readable report to
+//! `<out>/<name>.<command>.json` (default `results/`). Reports contain
+//! no wall-clock fields, so reruns are byte-identical, as is any
+//! command at any `--threads` count — except `serve`, whose plan-cache
+//! hit/miss split legitimately shifts with the worker count
+//! (concurrent warming); everything else in a serve report is
+//! thread-count invariant.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use elk::spec::{runner, ScenarioSpec, SpecError};
+use serde::{Serialize, Value};
+
+const USAGE: &str = "\
+usage: elk <command> ...
+
+commands:
+  compile  <scenario.json> [--out DIR] [--threads N]  compile the scenario's designs and
+                                                      simulate each compiled program
+  simulate <scenario.json> [--out DIR] [--threads N]  per-design comparison table
+  serve    <scenario.json> [--out DIR] [--threads N]  replay the scenario's request trace
+  sweep    <scenario.json> [--out DIR] [--threads N]  run the file's sweep grid
+  validate <dir-or-file>...                           check emitted JSON round-trips
+
+Reports are written to <out>/<name>.<command>.json (default: results/).
+--threads overrides the spec's worker-thread count (sweep: the fan-out
+width across grid points); results are byte-identical at any setting,
+except the serve report's cache hit/miss split (worker-count warming).";
+
+/// A fatal CLI error: message plus exit code (2 = usage/parse, 1 = run).
+struct Fail {
+    code: u8,
+    msg: String,
+}
+
+impl Fail {
+    fn usage(msg: impl Into<String>) -> Self {
+        Fail {
+            code: 2,
+            msg: msg.into(),
+        }
+    }
+
+    fn run(msg: impl Into<String>) -> Self {
+        Fail {
+            code: 1,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl From<SpecError> for Fail {
+    fn from(e: SpecError) -> Self {
+        match e {
+            SpecError::Parse(_) | SpecError::Invalid(_) => Fail::usage(e.to_string()),
+            SpecError::Compile(_) => Fail::run(e.to_string()),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(fail) => {
+            eprintln!("elk: {}", fail.msg);
+            ExitCode::from(fail.code)
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), Fail> {
+    let Some(command) = args.first() else {
+        return Err(Fail::usage(USAGE));
+    };
+    match command.as_str() {
+        "compile" | "simulate" | "serve" | "sweep" => {
+            let opts = ScenarioArgs::parse(command, &args[1..])?;
+            run_scenario(command, &opts)
+        }
+        "validate" => validate(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(Fail::usage(format!("unknown command '{other}'\n\n{USAGE}"))),
+    }
+}
+
+/// Parsed arguments of the scenario-running commands.
+struct ScenarioArgs {
+    file: PathBuf,
+    out: PathBuf,
+    threads: Option<usize>,
+}
+
+impl ScenarioArgs {
+    fn parse(command: &str, args: &[String]) -> Result<Self, Fail> {
+        // Same shared flag walk as elk-par's --threads and elk-bench's
+        // --out, so the three surfaces cannot drift.
+        let (outs, rest) = elk::par::extract_flag("--out", args.to_vec()).map_err(Fail::usage)?;
+        let (threads_values, rest) =
+            elk::par::extract_flag("--threads", rest).map_err(Fail::usage)?;
+        // Validate every occurrence; the last one wins.
+        let mut threads = None;
+        for v in &threads_values {
+            threads = Some(elk::par::validate_threads(v).map_err(Fail::usage)?);
+        }
+        let mut file = None;
+        for arg in rest {
+            if arg.starts_with('-') {
+                return Err(Fail::usage(format!(
+                    "unknown flag '{arg}' for `elk {command}`"
+                )));
+            }
+            if file.is_some() {
+                return Err(Fail::usage(format!(
+                    "`elk {command}` takes exactly one scenario file"
+                )));
+            }
+            file = Some(PathBuf::from(arg));
+        }
+        let file = file.ok_or_else(|| {
+            Fail::usage(format!("`elk {command}` needs a scenario file\n\n{USAGE}"))
+        })?;
+        Ok(ScenarioArgs {
+            file,
+            out: outs
+                .last()
+                .map_or_else(|| PathBuf::from("results"), PathBuf::from),
+            threads,
+        })
+    }
+}
+
+fn run_scenario(command: &str, opts: &ScenarioArgs) -> Result<(), Fail> {
+    let text = fs::read_to_string(&opts.file)
+        .map_err(|e| Fail::usage(format!("{}: {e}", opts.file.display())))?;
+    // One parse: the document tree feeds `sweep` (which rewrites it per
+    // grid point) and the spec everything else.
+    let doc: Value = serde_json::from_str(&text)
+        .map_err(|e| Fail::usage(format!("{}: {e}", opts.file.display())))?;
+    let mut spec = <ScenarioSpec as serde::Deserialize>::from_value(&doc)
+        .map_err(|e| Fail::usage(format!("{}: {e}", opts.file.display())))?;
+
+    // --threads overrides the section the command actually uses. For
+    // `sweep` it is the fan-out width across grid points instead (each
+    // point keeps its file's own worker setting), so the spec is left
+    // untouched there.
+    if command != "sweep" {
+        if let Some(threads) = opts.threads {
+            spec.compiler.threads = threads;
+            spec.serving.threads = threads;
+        }
+    }
+
+    let report: Value = match command {
+        "compile" => {
+            let r = runner::run_compile(&spec)?;
+            for d in &r.designs {
+                println!(
+                    "{}: {} on {}: {} ops, {:.3} ms simulated ({} violations)",
+                    spec.name,
+                    elk::spec::design_name(d.design),
+                    r.system,
+                    d.ops,
+                    d.report.total.as_millis(),
+                    d.report.capacity_violations,
+                );
+            }
+            r.to_value()
+        }
+        "simulate" => {
+            let r = runner::run_simulate(&spec)?;
+            for d in &r.designs {
+                let speedup = d
+                    .speedup_vs_basic
+                    .map_or_else(String::new, |s| format!(" ({s:.2}x vs basic)"));
+                println!(
+                    "{}: {}: {:.3} ms{speedup}, hbm {:.0}%, noc {:.0}%",
+                    spec.name,
+                    elk::spec::design_name(d.design),
+                    d.total_ms,
+                    d.hbm_util * 100.0,
+                    d.noc_util * 100.0,
+                );
+            }
+            r.to_value()
+        }
+        "serve" => {
+            // A broken model spec (typo'd alias, zero layers) must fail
+            // like every other command; only a *valid* model the serving
+            // engine cannot batch (MoE, DiT) is a documented no-op —
+            // scenario smoke runs `elk serve` over every file.
+            match spec.model.resolve().map_err(Fail::from)? {
+                elk::spec::ResolvedModel::Llm(_) => {}
+                _ => {
+                    println!(
+                        "{}: serving skipped — the serving engine batches dense transformers only",
+                        spec.name
+                    );
+                    return Ok(());
+                }
+            }
+            let r = runner::run_serve(&spec)?;
+            for d in &r.designs {
+                println!(
+                    "{}: {}: {} reqs, ttft p99 {:.2} ms, tpot mean {:.2} ms, goodput {:.1} req/s",
+                    spec.name,
+                    elk::spec::design_name(d.design),
+                    d.completed,
+                    d.ttft.p99.as_millis(),
+                    d.tpot.mean.as_millis(),
+                    d.goodput_rps,
+                );
+            }
+            r.to_value()
+        }
+        "sweep" => {
+            let threads = opts.threads.unwrap_or(0);
+            let r = elk::spec::run_sweep(&doc, threads)?;
+            println!(
+                "{}: swept {} over {} point(s): {}",
+                r.scenario,
+                r.axes.join(" x "),
+                r.points.len(),
+                r.command,
+            );
+            for p in &r.points {
+                println!("  {}", p.name);
+            }
+            r.to_value()
+        }
+        _ => unreachable!("dispatch only routes known commands"),
+    };
+
+    let path = write_report(&opts.out, &spec.name, command, &report)?;
+    println!("report: {}", path.display());
+    Ok(())
+}
+
+/// Writes `report` to `<out>/<name>.<command>.json` and returns the
+/// path.
+fn write_report(out: &Path, name: &str, command: &str, report: &Value) -> Result<PathBuf, Fail> {
+    fs::create_dir_all(out).map_err(|e| Fail::run(format!("{}: {e}", out.display())))?;
+    let stem: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let path = out.join(format!("{stem}.{command}.json"));
+    let json = serde_json::to_string_pretty(report).expect("report serialization is infallible");
+    fs::write(&path, json + "\n").map_err(|e| Fail::run(format!("{}: {e}", path.display())))?;
+    Ok(path)
+}
+
+/// `elk validate`: every given JSON file (or every `*.json` in a given
+/// directory) must parse and survive a serialize → parse round-trip
+/// unchanged.
+fn validate(args: &[String]) -> Result<(), Fail> {
+    if args.is_empty() {
+        return Err(Fail::usage(
+            "`elk validate` needs at least one file or directory",
+        ));
+    }
+    let mut files = Vec::new();
+    for arg in args {
+        let path = PathBuf::from(arg);
+        if path.is_dir() {
+            let mut entries: Vec<PathBuf> = fs::read_dir(&path)
+                .map_err(|e| Fail::usage(format!("{arg}: {e}")))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+                .collect();
+            entries.sort();
+            files.extend(entries);
+        } else {
+            files.push(path);
+        }
+    }
+    if files.is_empty() {
+        return Err(Fail::run("no JSON files found to validate"));
+    }
+    for file in &files {
+        let text =
+            fs::read_to_string(file).map_err(|e| Fail::run(format!("{}: {e}", file.display())))?;
+        let parsed: Value = serde_json::from_str(&text)
+            .map_err(|e| Fail::run(format!("{}: parse error: {e}", file.display())))?;
+        let reemitted = serde_json::to_string(&parsed).expect("value serialization is infallible");
+        let reparsed: Value = serde_json::from_str(&reemitted)
+            .map_err(|e| Fail::run(format!("{}: re-parse error: {e}", file.display())))?;
+        if parsed != reparsed {
+            return Err(Fail::run(format!(
+                "{}: JSON does not round-trip through serde_json",
+                file.display()
+            )));
+        }
+        println!("{}: ok", file.display());
+    }
+    println!("{} file(s) round-trip clean", files.len());
+    Ok(())
+}

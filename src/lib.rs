@@ -19,6 +19,7 @@
 //! | [`sim`] | `elk-sim` | event-driven chip simulator |
 //! | [`baselines`] | `elk-baselines` | Basic / Static / Elk-Dyn / Elk-Full / Ideal |
 //! | [`serve`] | `elk-serve` | request-level serving simulator (traces, batching, SLOs) |
+//! | [`spec`] | `elk-spec` | declarative JSON scenario specs, runners, and sweeps |
 //! | [`par`] | `elk-par` | scoped work-pool: deterministic `par_map`, single-flight |
 //! | [`units`] | `elk-units` | typed bytes/seconds/bandwidth/FLOPs |
 //!
@@ -62,6 +63,7 @@ pub use elk_par as par;
 pub use elk_partition as partition;
 pub use elk_serve as serve;
 pub use elk_sim as sim;
+pub use elk_spec as spec;
 pub use elk_units as units;
 
 /// The common imports for application code.
@@ -75,5 +77,6 @@ pub mod prelude {
         ServingSim, SloConfig, TraceConfig,
     };
     pub use elk_sim::{simulate, SimOptions, SimReport};
+    pub use elk_spec::{ScenarioSpec, SpecError};
     pub use elk_units::{ByteRate, Bytes, FlopRate, Flops, Seconds};
 }

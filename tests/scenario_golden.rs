@@ -1,0 +1,149 @@
+//! Golden guarantees of the scenario layer:
+//!
+//! 1. every file in `scenarios/` parses under the strict schema;
+//! 2. `scenarios/paper_default.json` resolves to the *exact* hardcoded
+//!    paper setup (preset system, zoo model, default workload) — the
+//!    spec layer adds no drift;
+//! 3. compiling through the spec path produces a byte-identical
+//!    `SimReport` to the equivalent preset-path run, and its total
+//!    matches the constant pinned in `golden_report.rs`;
+//! 4. `elk sweep` output is byte-identical at `--threads 1` vs `8`.
+
+use elk::baselines::{Design, DesignRunner};
+use elk::prelude::*;
+use elk::spec::spec::SystemSpec;
+use elk::spec::sweep::set_path;
+use elk::spec::{run_sweep, runner, ScenarioSpec};
+
+fn read_scenario(name: &str) -> String {
+    let path = format!("{}/scenarios/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+#[test]
+fn every_checked_in_scenario_parses() {
+    let dir = format!("{}/scenarios", env!("CARGO_MANIFEST_DIR"));
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("scenarios/ exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().is_none_or(|ext| ext != "json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable scenario");
+        let spec =
+            ScenarioSpec::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(!spec.name.is_empty());
+        // Every scenario must build its system and model — a file that
+        // parses but names an unknown preset/alias is still broken.
+        spec.system.to_system().expect("system builds");
+        spec.model.resolve().expect("model resolves");
+        seen += 1;
+    }
+    assert!(
+        seen >= 7,
+        "expected the checked-in scenario set, saw {seen}"
+    );
+}
+
+#[test]
+fn paper_default_matches_the_hardcoded_paper_setup() {
+    let spec = ScenarioSpec::from_json(&read_scenario("paper_default.json")).expect("parses");
+    assert_eq!(spec.system, SystemSpec::Preset("ipu_pod4".into()));
+    assert_eq!(spec.system.to_system().unwrap(), presets::ipu_pod4());
+
+    let elk::spec::ResolvedModel::Llm(model) = spec.model.resolve().unwrap() else {
+        panic!("paper default serves a dense LLM");
+    };
+    assert_eq!(model, zoo::llama2_13b());
+
+    assert_eq!(
+        spec.workload.to_workload().unwrap(),
+        Workload::decode(32, 2048)
+    );
+    assert_eq!(
+        spec.workload.shards_for(&presets::ipu_pod4()).unwrap(),
+        4,
+        "defaults to one shard per chip"
+    );
+    assert_eq!(spec.compiler.design, vec![Design::ElkFull]);
+}
+
+/// The byte-identity acceptance check, doctest-sized: the paper-default
+/// scenario with the model cut to 2 layers and the workload shrunk to
+/// the golden-report shape must compile to the byte-identical
+/// `SimReport` the preset path produces — and that report's total is
+/// the constant `golden_report.rs` pins, so scenario path ≡ preset
+/// path ≡ pinned history.
+#[test]
+fn paper_default_compiles_byte_identical_to_the_preset_path() {
+    // Shrink via the sweep override machinery, which is exactly what
+    // `elk sweep` does to a grid point.
+    let mut doc: serde::Value =
+        serde_json::from_str(&read_scenario("paper_default.json")).expect("valid JSON");
+    set_path(&mut doc, "model.layers", serde::Value::U64(2)).unwrap();
+    set_path(&mut doc, "workload.batch", serde::Value::U64(16)).unwrap();
+    set_path(&mut doc, "workload.seq_len", serde::Value::U64(512)).unwrap();
+    let spec: ScenarioSpec = serde::Deserialize::from_value(&doc).expect("still a valid scenario");
+
+    // Spec path.
+    let report = runner::run_compile(&spec).expect("spec path compiles");
+    assert_eq!(report.designs.len(), 1);
+    let spec_sim = &report.designs[0].report;
+
+    // Preset path: the same engine calls, written out by hand.
+    let mut cfg = zoo::llama2_13b();
+    cfg.layers = 2;
+    let graph = cfg.build(Workload::decode(16, 512), 4);
+    let runner_hw = DesignRunner::new(presets::ipu_pod4()).with_threads(1);
+    let catalog = runner_hw.catalog(&graph).expect("catalog");
+    let outcome = runner_hw
+        .run(Design::ElkFull, &graph, &catalog, &SimOptions::default())
+        .expect("preset path compiles");
+
+    assert_eq!(
+        serde_json::to_string(spec_sim).expect("serialize"),
+        serde_json::to_string(&outcome.report).expect("serialize"),
+        "spec-path SimReport must be byte-identical to the preset path"
+    );
+
+    // Tie to the pinned golden constant (same tolerance as
+    // golden_report.rs).
+    let want = 1.931_976_061_036_663_2e-4;
+    let got = spec_sim.total.as_secs();
+    assert!(
+        (got - want).abs() <= 1e-9 * want,
+        "scenario-path total {got:?} drifted from the pinned golden value {want:?}"
+    );
+}
+
+/// `elk sweep --threads 1` vs `--threads 8` on the checked-in sweep
+/// scenario (grid shrunk to stay debug-test-sized) must emit identical
+/// bytes.
+#[test]
+fn sweep_scenario_is_thread_count_invariant() {
+    let mut doc: serde::Value =
+        serde_json::from_str(&read_scenario("sweep_batch.json")).expect("valid JSON");
+    set_path(&mut doc, "workload.seq_len", serde::Value::U64(512)).unwrap();
+    set_path(
+        &mut doc,
+        "sweep.axes",
+        serde_json::from_str(r#"[{"path": "workload.batch", "values": [8, 16]}]"#).unwrap(),
+    )
+    .unwrap();
+
+    let seq = run_sweep(&doc, 1).expect("sweep @1");
+    let par = run_sweep(&doc, 8).expect("sweep @8");
+    assert_eq!(seq.points.len(), 2);
+    assert_eq!(
+        serde_json::to_string(&seq).expect("serialize"),
+        serde_json::to_string(&par).expect("serialize"),
+        "sweep report must be byte-identical at any thread count"
+    );
+    // And each point really did run both designs of the base scenario.
+    let point = &seq.points[0];
+    let designs = point.report.get("designs").expect("compile report");
+    let serde::Value::Seq(designs) = designs else {
+        panic!("designs is an array");
+    };
+    assert_eq!(designs.len(), 2, "basic + elk_full from the base file");
+}

@@ -1,0 +1,272 @@
+//! Property tests for the scenario-spec serde layer: any spec the
+//! strategies can produce must survive struct → JSON → struct
+//! unchanged, through both the compact and the pretty emitter.
+//!
+//! The spec types hand-write both `Serialize` and `Deserialize` (the
+//! derive shim cannot express defaults or unknown-key rejection), so
+//! the two directions can silently drift apart — a renamed key on one
+//! side only, a forgotten field — and this suite is what pins them
+//! together.
+
+use proptest::prelude::*;
+
+use elk::baselines::Design;
+use elk::model::Phase;
+use elk::serve::{ArrivalProcess, LengthDist};
+use elk::spec::spec::{
+    ChipSpec, CompilerSpec, HbmSpec, ModelSpec, ScenarioSpec, SeqBucketsSpec, ServingSpec, SimSpec,
+    SloSpec, SweepAxis, SweepSpec, SystemSpec, TopologySpec, TraceSpec, WorkloadSpec,
+};
+use elk::spec::SweepCommand;
+
+fn arb_system() -> impl Strategy<Value = SystemSpec> {
+    (
+        0usize..4,
+        prop::sample::select(vec!["ipu_pod4", "ipu_pod4_mesh", "single_chip"]),
+        (16u64..=2048, 1u64..=8, 1.0f64..900.0),
+        any::<bool>(),
+    )
+        .prop_map(|(variant, preset, (cores, chips, bw), mesh)| {
+            if variant == 0 {
+                SystemSpec::Preset(preset.to_string())
+            } else {
+                SystemSpec::Custom {
+                    chip: ChipSpec {
+                        name: "prop-chip".into(),
+                        cores,
+                        sram_per_core_kib: 624,
+                        io_buffer_per_core_kib: 8,
+                        matmul_tflops: bw,
+                        vector_tflops: bw / 10.0,
+                        sram_bw_gb_s: 21.3,
+                        sram_contention: if mesh { "blocking" } else { "concurrent" }.into(),
+                        topology: if mesh {
+                            TopologySpec::Mesh {
+                                total_gib_s: bw * 8.0,
+                            }
+                        } else {
+                            TopologySpec::AllToAll {
+                                core_link_gib_s: bw / 100.0,
+                            }
+                        },
+                    },
+                    chips,
+                    hbm: HbmSpec {
+                        channels: chips,
+                        channel_bw_gib_s: bw,
+                    },
+                    inter_chip_bw_gib_s: bw * 2.0,
+                }
+            }
+        })
+}
+
+fn arb_model() -> impl Strategy<Value = ModelSpec> {
+    (
+        0usize..4,
+        prop::sample::select(vec![
+            "llama13", "gemma27", "opt30", "llama70", "mixtral", "dit",
+        ]),
+        1u32..=4,
+        any::<bool>(),
+    )
+        .prop_map(|(variant, zoo, layers, with_layers)| match variant {
+            0 => ModelSpec::Zoo {
+                zoo: zoo.to_string(),
+                layers: with_layers.then_some(layers),
+            },
+            1 => {
+                let mut cfg = elk::model::zoo::llama2_13b();
+                cfg.layers = layers;
+                ModelSpec::Transformer(cfg)
+            }
+            2 => {
+                let mut cfg = elk::model::zoo::mixtral_8x7b();
+                cfg.layers = layers;
+                ModelSpec::Moe(cfg)
+            }
+            _ => {
+                let mut cfg = elk::model::zoo::dit_xl();
+                cfg.layers = layers;
+                ModelSpec::Dit(cfg)
+            }
+        })
+}
+
+fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        prop::sample::select(vec![Phase::Decode, Phase::Prefill, Phase::TrainingForward]),
+        1u64..=64,
+        1u64..=8192,
+        any::<bool>(),
+        1u64..=8,
+    )
+        .prop_map(
+            |(phase, batch, seq_len, with_shards, shards)| WorkloadSpec {
+                phase,
+                batch,
+                seq_len,
+                shards: with_shards.then_some(shards),
+            },
+        )
+}
+
+fn arb_compiler() -> impl Strategy<Value = CompilerSpec> {
+    (0usize..5, 1usize..=5, 0usize..=8).prop_map(|(first, count, threads)| CompilerSpec {
+        design: (0..count)
+            .map(|i| Design::ALL[(first + i) % Design::ALL.len()])
+            .collect(),
+        threads,
+    })
+}
+
+fn arb_serving() -> impl Strategy<Value = ServingSpec> {
+    (
+        (0u64..=1 << 48, 1usize..=64, 0.5f64..2000.0),
+        (0usize..3, 1u64..=512, 1u64..=64),
+        (1usize..=4, 1u64..=64, 1u64..=16384),
+        (0u32..=4, 1u64..=4096),
+        any::<bool>(),
+        (0.1f64..10_000.0, 0.1f64..500.0),
+    )
+        .prop_map(
+            |(
+                (seed, requests, rate),
+                (dist, lo, span),
+                (replicas, max_batch, max_prefill_tokens),
+                (bucket_pow, bucket_span),
+                bucket_batch,
+                (ttft_ms, tpot_ms),
+            )| {
+                let prompt_len = match dist {
+                    0 => LengthDist::Fixed(lo),
+                    1 => LengthDist::Uniform { lo, hi: lo + span },
+                    _ => LengthDist::Bimodal {
+                        short: (lo, lo + span),
+                        long: (lo * 10, lo * 10 + span),
+                        long_weight: 0.25,
+                    },
+                };
+                let arrivals = if dist == 2 {
+                    ArrivalProcess::Bursty {
+                        rate_rps: rate,
+                        burst_factor: 3.0,
+                        period_s: 0.5,
+                        duty: 0.2,
+                    }
+                } else {
+                    ArrivalProcess::Poisson { rate_rps: rate }
+                };
+                let min = 1u64 << bucket_pow;
+                ServingSpec {
+                    trace: TraceSpec {
+                        seed,
+                        requests,
+                        arrivals,
+                        prompt_len,
+                        output_len: LengthDist::Fixed(lo),
+                    },
+                    replicas,
+                    max_batch,
+                    max_prefill_tokens,
+                    seq_buckets: SeqBucketsSpec {
+                        min,
+                        max: min + bucket_span,
+                    },
+                    bucket_batch,
+                    slo: SloSpec { ttft_ms, tpot_ms },
+                    threads: replicas,
+                }
+            },
+        )
+}
+
+fn arb_sweep() -> impl Strategy<Value = Option<SweepSpec>> {
+    (
+        0usize..3,
+        prop::sample::select(vec![
+            SweepCommand::Compile,
+            SweepCommand::Simulate,
+            SweepCommand::Serve,
+        ]),
+        1u64..=64,
+    )
+        .prop_map(|(axes, command, v)| {
+            if axes == 0 {
+                return None;
+            }
+            let axis = |path: &str, scale: u64| SweepAxis {
+                path: path.to_string(),
+                values: (1..=axes as u64)
+                    .map(|i| serde::Value::U64(i * scale * v))
+                    .collect(),
+            };
+            let mut all = vec![axis("workload.batch", 1)];
+            if axes > 1 {
+                all.push(axis("system.chip.cores", 16));
+            }
+            Some(SweepSpec { command, axes: all })
+        })
+}
+
+fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        (arb_system(), arb_model(), arb_workload()),
+        (arb_compiler(), arb_serving(), arb_sweep()),
+        (0.0f64..0.5, 0u64..=1 << 40, 0usize..=64),
+    )
+        .prop_map(
+            |(
+                (system, model, workload),
+                (compiler, serving, sweep),
+                (noise_sigma, noise_seed, trace_samples),
+            )| ScenarioSpec {
+                name: format!("prop-{noise_seed}"),
+                system,
+                model,
+                workload,
+                compiler,
+                sim: SimSpec {
+                    noise_sigma,
+                    noise_seed,
+                    trace_samples,
+                },
+                serving,
+                sweep,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn scenario_specs_round_trip_through_json(spec in arb_scenario()) {
+        // Pretty emitter (what `ScenarioSpec::to_json` and the CLI use).
+        let pretty = spec.to_json();
+        let back = ScenarioSpec::from_json(&pretty).expect("pretty round-trip parses");
+        prop_assert_eq!(&back, &spec);
+
+        // Compact emitter.
+        let compact = serde_json::to_string(&spec).expect("serialize");
+        let back: ScenarioSpec = serde_json::from_str(&compact).expect("compact round-trip parses");
+        prop_assert_eq!(&back, &spec);
+
+        // Serialization is deterministic: same spec, same bytes.
+        prop_assert_eq!(spec.to_json(), pretty);
+    }
+
+    #[test]
+    fn workload_and_compiler_sections_round_trip_alone(
+        workload in arb_workload(),
+        compiler in arb_compiler(),
+    ) {
+        let json = serde_json::to_string(&workload).expect("serialize");
+        let back: WorkloadSpec = serde_json::from_str(&json).expect("parse");
+        prop_assert_eq!(back, workload);
+
+        let json = serde_json::to_string(&compiler).expect("serialize");
+        let back: CompilerSpec = serde_json::from_str(&json).expect("parse");
+        prop_assert_eq!(back, compiler);
+    }
+}
