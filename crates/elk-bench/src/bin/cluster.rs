@@ -1,0 +1,6 @@
+//! `cluster` binary: the pod-level (tp, pp, dp) auto-parallelism
+//! search (see `experiments::cluster`).
+
+fn main() {
+    elk_bench::experiments::cluster::run(&mut elk_bench::bin_ctx("cluster"));
+}

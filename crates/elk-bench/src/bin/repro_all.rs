@@ -2,8 +2,17 @@
 //! `<out>/<id>.{txt,json}` (default `results/`; override with
 //! `--out DIR`). Set `ELK_FULL=1` for the complete grids and
 //! `--threads N` to bound the worker pool.
+//!
+//! After the individual experiments, the per-experiment headline
+//! metrics (recorded via `Ctx::metric` — simulated quantities only,
+//! never wall-clock) are consolidated into `<out>/BENCH.json`, one
+//! object per experiment, so successive PRs can diff performance
+//! machine-readably.
 
+use std::path::PathBuf;
 use std::time::Instant;
+
+use serde::{Serialize, Value};
 
 type Experiment = (&'static str, fn(&mut elk_bench::Ctx));
 
@@ -25,13 +34,39 @@ fn main() {
         ("fig23", elk_bench::experiments::fig23::run),
         ("fig24", elk_bench::experiments::fig24::run),
         ("serving", elk_bench::experiments::serving::run),
+        ("cluster", elk_bench::experiments::cluster::run),
     ];
     let t0 = Instant::now();
+    let mut consolidated: Vec<(String, Value)> = Vec::new();
+    let mut out: Option<PathBuf> = None;
     for (id, run) in experiments {
         let mut ctx = elk_bench::bin_ctx(id);
         let t = Instant::now();
         run(&mut ctx);
+        consolidated.push((
+            id.to_string(),
+            Value::Map(
+                ctx.metrics()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_value()))
+                    .collect(),
+            ),
+        ));
+        // Every ctx resolves the same --out/ELK_RESULTS_DIR policy;
+        // reuse it so BENCH.json lands next to the per-experiment files.
+        out.get_or_insert_with(|| ctx.results_dir().to_path_buf());
         println!("[{id} done in {:.1}s]\n", t.elapsed().as_secs_f64());
     }
+
+    // One consolidated machine-readable snapshot. No wall-clock fields:
+    // re-running the suite on the same commit reproduces it byte for
+    // byte, so PR-to-PR diffs show performance drift only.
+    let out = out.expect("at least one experiment ran");
+    std::fs::create_dir_all(&out).expect("create results dir");
+    let bench = Value::Map(vec![("experiments".into(), Value::Map(consolidated))]);
+    let path = out.join("BENCH.json");
+    let json = serde_json::to_string_pretty(&bench).expect("metrics serialize");
+    std::fs::write(&path, json + "\n").expect("write BENCH.json");
+    println!("consolidated metrics: {}", path.display());
     println!("all experiments done in {:.1}s", t0.elapsed().as_secs_f64());
 }

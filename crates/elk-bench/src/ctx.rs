@@ -25,6 +25,10 @@ pub struct Ctx {
     /// bench binaries override it from `--threads` via [`bin_ctx`].
     /// Experiment outputs are byte-identical at any setting.
     pub threads: usize,
+    /// Headline metrics recorded via [`Ctx::metric`], in insertion
+    /// order. `repro_all` consolidates them into `results/BENCH.json`
+    /// so successive PRs can diff performance machine-readably.
+    metrics: Vec<(String, f64)>,
 }
 
 impl Ctx {
@@ -52,6 +56,7 @@ impl Ctx {
             results_dir,
             full: std::env::var_os("ELK_FULL").is_some(),
             threads,
+            metrics: Vec::new(),
         }
     }
 
@@ -69,6 +74,33 @@ impl Ctx {
     pub fn with_results_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.results_dir = dir.into();
         self
+    }
+
+    /// Records one headline metric (a simulated/derived quantity —
+    /// never wall-clock, so consolidated files stay byte-identical
+    /// run to run). Duplicate keys keep the last value.
+    pub fn metric(&mut self, key: impl Into<String>, value: f64) {
+        let key = key.into();
+        if let Some(slot) = self.metrics.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.metrics.push((key, value));
+        }
+    }
+
+    /// The metrics recorded so far, in insertion order.
+    #[must_use]
+    pub fn metrics(&self) -> &[(String, f64)] {
+        &self.metrics
+    }
+
+    /// The resolved results directory this context writes into — the
+    /// single source of the `--out` / `ELK_RESULTS_DIR` policy, so
+    /// consolidators (`repro_all`'s `BENCH.json`) land next to the
+    /// per-experiment files by construction.
+    #[must_use]
+    pub fn results_dir(&self) -> &std::path::Path {
+        &self.results_dir
     }
 
     /// Prints a line to stdout and the captured transcript.

@@ -62,5 +62,11 @@ pub fn run(ctx: &mut Ctx) {
     ctx.line("");
     ctx.line("Expected shape (paper): each operator's faster plans require more execution");
     ctx.line("space; spanning roughly 10..500 KB and 10..100+ us.");
+    for s in &all {
+        ctx.metric(
+            format!("{}.{}.frontier_points", s.model, s.op),
+            s.points.len() as f64,
+        );
+    }
     ctx.finish(&all);
 }

@@ -74,6 +74,12 @@ pub fn run(ctx: &mut Ctx) {
     ctx.line("");
     ctx.line("Expected shape (paper): larger preload spaces smooth the demand (lower CV)");
     ctx.line("and raise the sustained rate.");
+    for s in &all {
+        ctx.metric(
+            format!("{}.preload{}kib.cv", s.model, s.preload_space_kib),
+            s.cv,
+        );
+    }
     ctx.finish(&all);
 }
 

@@ -79,5 +79,8 @@ pub fn run(ctx: &mut Ctx) {
     ctx.line("");
     ctx.line("Expected shape (paper): MaxPreload's inter-core demand is a fraction of");
     ctx.line("MinPreload's (broadcasting replaces execution-time gathering).");
+    for s in &all {
+        ctx.metric(format!("{}.{}.mean_gbps", s.model, s.mode), s.mean_gbps);
+    }
     ctx.finish(&all);
 }

@@ -58,5 +58,8 @@ pub fn run(ctx: &mut Ctx) {
     ctx.line("");
     ctx.line("Expected shape (paper): MinPreload fluctuates sharply; MaxPreload spreads");
     ctx.line("traffic across preload and execution, lowering the variation.");
+    for s in &all {
+        ctx.metric(format!("{}.{}.cv", s.model, s.mode), s.cv);
+    }
     ctx.finish(&all);
 }

@@ -74,5 +74,9 @@ pub fn run(ctx: &mut Ctx) {
     ctx.line("");
     ctx.line("Expected shape (paper): points hug the diagonal over 3-4 decades for every");
     ctx.line("panel (tight log-log scatter).");
+    for p in &panels {
+        ctx.metric(format!("{}.mape", p.subject), p.mape);
+        ctx.metric(format!("{}.r2_log", p.subject), p.r2_log);
+    }
     ctx.finish(&panels);
 }

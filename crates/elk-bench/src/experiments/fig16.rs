@@ -70,5 +70,13 @@ pub fn run(ctx: &mut Ctx) {
     ctx.line("time grows mildly with batch size and model size (sub-linear search space).");
     ctx.line("This reproduction is faster end-to-end because identical layers share one");
     ctx.line("enumerated plan set (catalog deduplication).");
+    // Deterministic search-effort metrics only; wall-clock stays out of
+    // the consolidated snapshot.
+    for r in &rows {
+        ctx.metric(
+            format!("{}.b{}.orders_considered", r.model, r.batch),
+            r.orders_considered as f64,
+        );
+    }
     ctx.finish(&rows);
 }

@@ -77,5 +77,14 @@ pub fn run(ctx: &mut Ctx) {
         "ELK-Full vs Basic: {speedup_basic:.2}x (paper 1.87x) | vs Static: {speedup_static:.2}x (paper 1.37x) | of Ideal: {:.1}% (paper 94.8%)",
         of_ideal * 100.0
     ));
+    ctx.metric("speedup_vs_basic_gm", speedup_basic);
+    ctx.metric("speedup_vs_static_gm", speedup_static);
+    ctx.metric("fraction_of_ideal_gm", of_ideal);
+    for r in &rows {
+        ctx.metric(
+            format!("{}.s{}.b{}.elk_full_ms", r.model, r.seq_len, r.batch),
+            r.latency_ms[3],
+        );
+    }
     ctx.finish(&rows);
 }

@@ -93,5 +93,9 @@ pub fn run(ctx: &mut Ctx) {
     ctx.line("Expected shape (paper, b32 s2048): HBM util Basic~35% Static~46% ELK-Dyn~52%");
     ctx.line("ELK-Full~62% Ideal~64%; ELK-Full eliminates nearly all non-overlapped preload;");
     ctx.line("ELK-Full ~81 TFLOPS (bandwidth-bound, far below the 1000 TFLOPS peak).");
+    for r in &rows {
+        ctx.metric(format!("{}.{}.hbm_util", r.model, r.design), r.hbm_util);
+        ctx.metric(format!("{}.{}.pod_tflops", r.model, r.design), r.pod_tflops);
+    }
     ctx.finish(&rows);
 }

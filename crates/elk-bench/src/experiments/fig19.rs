@@ -100,5 +100,14 @@ pub fn run(ctx: &mut Ctx) {
     ctx.line("Expected shape (paper): all designs HBM-bound at low bandwidth; benefits");
     ctx.line("diminish as interconnect/execution bind; mesh trails all-to-all and ELK-Full");
     ctx.line("has a harder time matching Ideal on mesh for the non-GQA (KV-heavy) models.");
+    for r in &rows {
+        ctx.metric(
+            format!(
+                "{}.{}.hbm{:.0}.elk_full_ms",
+                r.topology, r.model, r.hbm_tbps
+            ),
+            r.latency_ms[3],
+        );
+    }
     ctx.finish(&rows);
 }

@@ -94,5 +94,11 @@ pub fn run(ctx: &mut Ctx) {
     ctx.line("");
     ctx.line("Expected shape (paper): Basic/Static/ELK-Dyn interconnect contention grows");
     ctx.line("with HBM bandwidth; ELK-Full's reordering suppresses it.");
+    for r in &rows {
+        ctx.metric(
+            format!("hbm{:.0}.{}.total_ms", r.hbm_tbps, r.design),
+            r.total_ms,
+        );
+    }
     ctx.finish(&rows);
 }

@@ -54,5 +54,14 @@ pub fn run(ctx: &mut Ctx) {
     ctx.line("Expected shape (paper): mesh chips always show higher link utilization than");
     ctx.line("all-to-all at the same HBM bandwidth (multi-hop delivery); ELK-Full utilizes");
     ctx.line("the fabric best.");
+    for r in &rows {
+        ctx.metric(
+            format!(
+                "{}.{}.hbm{:.0}.elk_full_noc_util",
+                r.topology, r.model, r.hbm_tbps
+            ),
+            r.noc_util[3],
+        );
+    }
     ctx.finish(&rows);
 }

@@ -94,5 +94,14 @@ pub fn run(ctx: &mut Ctx) {
     ctx.line("Expected shape (paper): at low HBM bandwidth, extra NoC bandwidth does not");
     ctx.line("help (HBM-bound); at high HBM bandwidth, latency scales with NoC bandwidth —");
     ctx.line("and mesh is the more NoC-sensitive topology.");
+    for r in &rows {
+        ctx.metric(
+            format!(
+                "{}.noc{:.0}.hbm{:.0}.elk_full_ms",
+                r.topology, r.noc_tbps, r.hbm_tbps
+            ),
+            r.latency_ms[3],
+        );
+    }
     ctx.finish(&rows);
 }

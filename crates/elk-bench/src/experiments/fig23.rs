@@ -87,6 +87,12 @@ pub fn run(ctx: &mut Ctx) {
     ctx.line("Expected shape (paper): ELK-Full wins at every core count (avg 1.71x over");
     ctx.line("Basic, 1.36x over Static); DiT-XL is compute-bound so the gap is smaller but");
     ctx.line("ELK-Full still tracks Ideal.");
+    for r in &rows {
+        ctx.metric(
+            format!("{}.c{}.elk_full_ms", r.model, r.cores),
+            r.latency_ms[3],
+        );
+    }
     ctx.finish(&rows);
 }
 

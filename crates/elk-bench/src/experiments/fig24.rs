@@ -109,5 +109,14 @@ pub fn run(ctx: &mut Ctx) {
     ctx.line("Expected shape (paper): training is compute-bound — achieved TFLOPS scales");
     ctx.line("with available compute, a few hundred GB/s of off-chip bandwidth suffices,");
     ctx.line("and achieved stays below peak (imperfect MatMul shapes).");
+    for r in &rows {
+        ctx.metric(
+            format!(
+                "{}.noc{:.0}.hbm{:.0}.elk_full_tflops",
+                r.topology, r.noc_tbps, r.hbm_gbps
+            ),
+            r.achieved[1],
+        );
+    }
     ctx.finish(&rows);
 }

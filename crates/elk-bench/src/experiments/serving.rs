@@ -122,5 +122,15 @@ pub fn run(ctx: &mut Ctx) {
     ctx.line("");
     ctx.line("Expected: ELK-Full tracks Ideal on TPOT and goodput; Basic pays the");
     ctx.line("widest tail. Cache misses stay flat across designs (shared catalogs).");
+    for r in &rows {
+        ctx.metric(
+            format!("{}.x{}.goodput_rps", r.design, r.replicas),
+            r.goodput_rps,
+        );
+        ctx.metric(
+            format!("{}.x{}.tpot_mean_ms", r.design, r.replicas),
+            r.tpot_mean_ms,
+        );
+    }
     ctx.finish(&rows);
 }

@@ -121,5 +121,9 @@ pub fn run(ctx: &mut Ctx) {
     ctx.line("");
     ctx.line("Paper (IPU-POD4): Llama2-13B C=6 H=6 P=66 K=88 N=1928; Gemma2-27B 6/6/206/128/2216;");
     ctx.line("OPT-30B 5/6/58/46/2269; Llama2-70B 6/6/168/86/3808; DiT-XL 4/4/123/136/1521.");
+    for r in &rows {
+        ctx.metric(format!("{}.plans_per_op", r.model), r.p as f64);
+        ctx.metric(format!("{}.ops_per_shard", r.model), r.n as f64);
+    }
     ctx.finish(&rows);
 }

@@ -1,0 +1,255 @@
+//! Topology-aware inter-chip collective cost model.
+//!
+//! Multi-chip plans pay for three kinds of communication: tensor-parallel
+//! reductions (all-reduce / reduce-scatter / all-gather) and pipeline
+//! stage-to-stage activations (point-to-point). This module prices all of
+//! them on either of the pod-level link arrangements the emulated systems
+//! support, replacing the lone ring formula that used to live inside
+//! [`SystemConfig::allreduce_time`](crate::SystemConfig::allreduce_time) —
+//! every caller (the scheduler, the simulator, the cluster planner) now
+//! shares one model, so they can never disagree on collective cost.
+//!
+//! The ring all-reduce is **bit-identical** to the historical formula:
+//! `2·(n-1)/n` of the volume over each chip's share of the links plus a
+//! `(n-1)`-hop pipeline-fill latency. The fully-connected arrangement
+//! moves the same bytes but pays only constant hop latency.
+//!
+//! # Examples
+//!
+//! ```
+//! use elk_hw::{presets, CollectiveModel, InterChipTopology};
+//! use elk_units::Bytes;
+//!
+//! let sys = presets::ipu_pod4();
+//! let ring = sys.collective_on(InterChipTopology::Ring);
+//! let fc = sys.collective_on(InterChipTopology::FullyConnected);
+//! let v = Bytes::mib(4);
+//! // Same bytes on the wire, fewer serialized hops.
+//! assert!(fc.all_reduce(v) <= ring.all_reduce(v));
+//! // The ring model is exactly the legacy SystemConfig formula.
+//! assert_eq!(ring.all_reduce(v), sys.allreduce_time(v));
+//! ```
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use elk_units::{ByteRate, Bytes, Seconds};
+
+/// Per-hop serialization latency of the inter-chip links (switch +
+/// SerDes traversal; the constant the legacy ring formula used).
+#[must_use]
+pub fn inter_chip_hop() -> Seconds {
+    Seconds::new(1e-6)
+}
+
+/// How the pod's chips are wired together.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterChipTopology {
+    /// Chips form a ring (IPU-Link style); collectives pay one hop of
+    /// latency per participant they pipeline through.
+    #[default]
+    Ring,
+    /// Every chip pair has a direct link; collectives pay a constant
+    /// number of hops regardless of pod size.
+    FullyConnected,
+}
+
+impl InterChipTopology {
+    /// Canonical lowercase name (`ring`, `fully_connected`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            InterChipTopology::Ring => "ring",
+            InterChipTopology::FullyConnected => "fully_connected",
+        }
+    }
+}
+
+impl fmt::Display for InterChipTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Prices inter-chip collectives for one group of `participants` chips.
+///
+/// Volumes are **per-chip** (each participant holds `volume` bytes of
+/// the tensor being reduced or gathered), matching how the model
+/// builders record all-reduce volumes on row-parallel operators.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveModel {
+    /// Chips taking part in the collective.
+    pub participants: u64,
+    /// Link bandwidth available to each participant.
+    pub per_chip_bw: ByteRate,
+    /// Serialization latency per link hop.
+    pub hop_latency: Seconds,
+    /// Link arrangement.
+    pub topology: InterChipTopology,
+}
+
+impl CollectiveModel {
+    /// A model for `participants` chips with `per_chip_bw` of link
+    /// bandwidth each, using the default [`inter_chip_hop`] latency.
+    #[must_use]
+    pub fn new(participants: u64, per_chip_bw: ByteRate, topology: InterChipTopology) -> Self {
+        CollectiveModel {
+            participants,
+            per_chip_bw,
+            hop_latency: inter_chip_hop(),
+            topology,
+        }
+    }
+
+    /// `true` when the group is trivial (one chip): every collective is
+    /// free.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.participants <= 1
+    }
+
+    /// Hop count a collective serializes through: `steps` ring hops, or
+    /// `flat` direct hops on a fully-connected pod.
+    fn hops(&self, steps: u64, flat: u64) -> Seconds {
+        let hops = match self.topology {
+            InterChipTopology::Ring => steps,
+            InterChipTopology::FullyConnected => flat,
+        };
+        self.hop_latency * hops as f64
+    }
+
+    /// Time to all-reduce `volume` bytes held by every participant.
+    ///
+    /// Both topologies move `2·(n-1)/n` of the volume through each
+    /// chip's links (the bandwidth-optimal schedule); the ring
+    /// additionally serializes `n-1` hops of latency where the
+    /// fully-connected pod pays two (reduce-scatter + all-gather
+    /// phases). The ring path reproduces the historical
+    /// `SystemConfig::allreduce_time` bit for bit.
+    #[must_use]
+    pub fn all_reduce(&self, volume: Bytes) -> Seconds {
+        if self.is_trivial() || volume.is_zero() {
+            return Seconds::ZERO;
+        }
+        let n = self.participants;
+        let factor = 2.0 * (n - 1) as f64 / n as f64;
+        self.per_chip_bw.transfer_time(volume.scale(factor)) + self.hops(n - 1, 2)
+    }
+
+    /// Time to reduce-scatter `volume` bytes: afterwards each chip holds
+    /// its `1/n` reduced shard.
+    #[must_use]
+    pub fn reduce_scatter(&self, volume: Bytes) -> Seconds {
+        self.half_collective(volume)
+    }
+
+    /// Time to all-gather shards totalling `volume` bytes onto every
+    /// chip.
+    #[must_use]
+    pub fn all_gather(&self, volume: Bytes) -> Seconds {
+        self.half_collective(volume)
+    }
+
+    /// Shared cost of the two all-reduce halves: `(n-1)/n` of the volume
+    /// per chip, one latency phase.
+    fn half_collective(&self, volume: Bytes) -> Seconds {
+        if self.is_trivial() || volume.is_zero() {
+            return Seconds::ZERO;
+        }
+        let n = self.participants;
+        let factor = (n - 1) as f64 / n as f64;
+        self.per_chip_bw.transfer_time(volume.scale(factor)) + self.hops(n - 1, 1)
+    }
+
+    /// Time for one chip to send `volume` bytes to a peer (pipeline
+    /// stage-to-stage activations). Adjacent placement is assumed, so
+    /// both topologies pay a single hop.
+    #[must_use]
+    pub fn p2p(&self, volume: Bytes) -> Seconds {
+        if volume.is_zero() {
+            return Seconds::ZERO;
+        }
+        self.per_chip_bw.transfer_time(volume) + self.hop_latency
+    }
+}
+
+impl fmt::Display for CollectiveModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} x {} ({})",
+            self.participants, self.per_chip_bw, self.topology
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn pod_model(topology: InterChipTopology) -> CollectiveModel {
+        presets::ipu_pod4().collective_on(topology)
+    }
+
+    #[test]
+    fn ring_all_reduce_is_bit_identical_to_the_legacy_formula() {
+        let sys = presets::ipu_pod4();
+        let model = pod_model(InterChipTopology::Ring);
+        for volume in [Bytes::new(1), Bytes::kib(320), Bytes::mib(64)] {
+            // The legacy arithmetic, written out verbatim.
+            let per_chip_bw = sys.inter_chip_bw / sys.chips;
+            let factor = 2.0 * (sys.chips - 1) as f64 / sys.chips as f64;
+            let hop_latency = Seconds::new(1e-6) * (sys.chips - 1) as f64;
+            let legacy = per_chip_bw.transfer_time(volume.scale(factor)) + hop_latency;
+            assert_eq!(model.all_reduce(volume), legacy, "{volume}");
+        }
+    }
+
+    #[test]
+    fn trivial_group_is_free() {
+        let m = CollectiveModel::new(1, ByteRate::gib_per_sec(100.0), InterChipTopology::Ring);
+        assert_eq!(m.all_reduce(Bytes::mib(1)), Seconds::ZERO);
+        assert_eq!(m.all_gather(Bytes::mib(1)), Seconds::ZERO);
+        assert_eq!(m.reduce_scatter(Bytes::mib(1)), Seconds::ZERO);
+        let p = pod_model(InterChipTopology::Ring);
+        assert_eq!(p.all_reduce(Bytes::ZERO), Seconds::ZERO);
+    }
+
+    #[test]
+    fn fully_connected_beats_ring_on_latency_only() {
+        let ring = pod_model(InterChipTopology::Ring);
+        let fc = pod_model(InterChipTopology::FullyConnected);
+        let v = Bytes::kib(320);
+        // Same bandwidth term; 2 hops vs n-1 = 3 hops.
+        let diff = ring.all_reduce(v) - fc.all_reduce(v);
+        assert!((diff.as_secs() - 1e-6).abs() < 1e-12, "{diff:?}");
+    }
+
+    #[test]
+    fn halves_compose_to_at_least_the_all_reduce_bandwidth_term() {
+        let m = pod_model(InterChipTopology::FullyConnected);
+        let v = Bytes::mib(8);
+        let halves = m.reduce_scatter(v) + m.all_gather(v);
+        // Two half-collectives move the same bytes as one all-reduce and
+        // pay the same number of fully-connected hops.
+        assert!((halves.as_secs() - m.all_reduce(v).as_secs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p2p_is_one_hop_plus_serialization() {
+        let m = pod_model(InterChipTopology::Ring);
+        let v = Bytes::mib(1);
+        let expect = m.per_chip_bw.transfer_time(v) + inter_chip_hop();
+        assert_eq!(m.p2p(v), expect);
+        assert_eq!(m.p2p(Bytes::ZERO), Seconds::ZERO);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(InterChipTopology::Ring.name(), "ring");
+        assert_eq!(InterChipTopology::FullyConnected.name(), "fully_connected");
+        assert_eq!(InterChipTopology::default(), InterChipTopology::Ring);
+    }
+}

@@ -31,10 +31,15 @@ pub struct HbmConfig {
     pub channel_bw: ByteRate,
     /// First-word access latency (row activation + controller queueing).
     pub access_latency: Seconds,
+    /// Total per-chip HBM capacity (weights + KV cache must fit; the
+    /// cluster planner's HBM-feasibility check). Defaults to 96 GiB —
+    /// an eight-high HBM3E stack per channel group.
+    pub capacity: Bytes,
 }
 
 impl HbmConfig {
-    /// Creates an HBM configuration with the default 120 ns access latency.
+    /// Creates an HBM configuration with the default 120 ns access
+    /// latency and 96 GiB capacity.
     ///
     /// # Panics
     ///
@@ -46,7 +51,15 @@ impl HbmConfig {
             channels,
             channel_bw,
             access_latency: Seconds::new(120e-9),
+            capacity: Bytes::gib(96),
         }
+    }
+
+    /// Re-provisions the per-chip capacity.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: Bytes) -> Self {
+        self.capacity = capacity;
+        self
     }
 
     /// Total sustained bandwidth of the stack.
@@ -112,6 +125,16 @@ mod tests {
         let big = hbm.with_total_bandwidth(ByteRate::tib_per_sec(8.0));
         assert_eq!(big.channels, 4);
         assert!((big.total_bandwidth() / ByteRate::tib_per_sec(8.0) - 1.0).abs() < 1e-12);
+        assert_eq!(big.capacity, hbm.capacity, "resize keeps capacity");
+    }
+
+    #[test]
+    fn capacity_defaults_and_overrides() {
+        let hbm = HbmConfig::new(4, ByteRate::tib_per_sec(1.0));
+        assert_eq!(hbm.capacity, Bytes::gib(96));
+        let small = hbm.with_capacity(Bytes::gib(16));
+        assert_eq!(small.capacity, Bytes::gib(16));
+        assert_eq!(small.channels, hbm.channels);
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //!
 //! * [`ChipConfig`] — cores, per-core SRAM, compute rates, SRAM port
 //!   behaviour, and the interconnect [`Topology`] (all-to-all or 2D mesh);
-//! * [`HbmConfig`] — off-chip memory channels;
+//! * [`HbmConfig`] — off-chip memory channels and capacity;
 //! * [`SystemConfig`] — a multi-chip pod with inter-chip links, plus the
-//!   sweep helpers the design-space-exploration figures (Figs. 19–24) use.
+//!   sweep helpers the design-space-exploration figures (Figs. 19–24) use;
+//! * [`CollectiveModel`] — topology-aware inter-chip collective costs
+//!   (all-reduce / all-gather / reduce-scatter / p2p on ring or
+//!   fully-connected links), shared by the compiler, the simulator, and
+//!   the cluster planner.
 //!
 //! ```
 //! use elk_hw::presets;
@@ -25,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod chip;
+mod collective;
 mod hbm;
 mod system;
 mod topology;
@@ -32,6 +37,7 @@ mod topology;
 pub mod presets;
 
 pub use chip::{ChipConfig, SramContention};
+pub use collective::{inter_chip_hop, CollectiveModel, InterChipTopology};
 pub use hbm::HbmConfig;
 pub use system::SystemConfig;
 pub use topology::Topology;

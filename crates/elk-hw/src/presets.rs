@@ -36,6 +36,7 @@ pub fn ipu_pod4() -> SystemConfig {
         hbm: HbmConfig::new(4, ByteRate::tib_per_sec(1.0)),
         chips: 4,
         inter_chip_bw: ByteRate::gib_per_sec(640.0),
+        inter_chip_topology: crate::InterChipTopology::Ring,
     }
 }
 

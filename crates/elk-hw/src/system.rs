@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use elk_units::{ByteRate, Bytes, FlopRate, Seconds};
 
-use crate::{ChipConfig, HbmConfig};
+use crate::{ChipConfig, CollectiveModel, HbmConfig, InterChipTopology};
 
 /// A pod of identical ICCA chips with per-chip HBM and inter-chip links,
 /// running tensor-parallel model execution (§5 emulation framework).
@@ -30,6 +30,9 @@ pub struct SystemConfig {
     pub chips: u64,
     /// Aggregate inter-chip bandwidth of the pod.
     pub inter_chip_bw: ByteRate,
+    /// Inter-chip link arrangement the collectives are priced on
+    /// (ring by default — the historical behaviour).
+    pub inter_chip_topology: InterChipTopology,
 }
 
 impl SystemConfig {
@@ -57,21 +60,65 @@ impl SystemConfig {
         self.chip.total_sram() * self.chips
     }
 
-    /// Time for one ring all-reduce of `volume` (already per-chip sharded)
-    /// across the pod. With model parallelism the reduced activations are
-    /// small, so a bandwidth term with a per-step latency suffices
-    /// (§5: "little inter-chip communication overhead").
+    /// The collective cost model for this pod on its own link
+    /// arrangement: each chip gets an even share of the aggregate
+    /// inter-chip bandwidth.
+    #[must_use]
+    pub fn collective(&self) -> CollectiveModel {
+        self.collective_on(self.inter_chip_topology)
+    }
+
+    /// The collective cost model for this pod under an explicit
+    /// `topology` (what-if pricing without rebuilding the system).
+    #[must_use]
+    pub fn collective_on(&self, topology: InterChipTopology) -> CollectiveModel {
+        CollectiveModel::new(self.chips, self.inter_chip_bw / self.chips, topology)
+    }
+
+    /// Time for one all-reduce of `volume` (already per-chip sharded)
+    /// across the pod. With model parallelism the reduced activations
+    /// are small, so a bandwidth term with a per-step latency suffices
+    /// (§5: "little inter-chip communication overhead"). Delegates to
+    /// [`CollectiveModel`] so the compiler, simulator, and cluster
+    /// planner always agree on collective cost.
     #[must_use]
     pub fn allreduce_time(&self, volume: Bytes) -> Seconds {
-        if self.chips <= 1 || volume.is_zero() {
-            return Seconds::ZERO;
+        self.collective().all_reduce(volume)
+    }
+
+    /// This pod rewired with `topology` inter-chip links (same chips
+    /// and bandwidth).
+    #[must_use]
+    pub fn with_inter_chip_topology(&self, topology: InterChipTopology) -> SystemConfig {
+        SystemConfig {
+            inter_chip_topology: topology,
+            ..self.clone()
         }
-        // Ring all-reduce moves 2·(chips-1)/chips of the volume per chip
-        // over its share of the inter-chip links.
-        let per_chip_bw = self.inter_chip_bw / self.chips;
-        let factor = 2.0 * (self.chips - 1) as f64 / self.chips as f64;
-        let hop_latency = Seconds::new(1e-6) * (self.chips - 1) as f64;
-        per_chip_bw.transfer_time(volume.scale(factor)) + hop_latency
+    }
+
+    /// A chip group carved out of this pod: `chips` of the same chips
+    /// with a proportional share of the aggregate inter-chip bandwidth.
+    /// Carving the whole pod returns it unchanged (bit-identical
+    /// bandwidth, no rescaling round-trip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is zero or exceeds the pod size.
+    #[must_use]
+    pub fn subpod(&self, chips: u64) -> SystemConfig {
+        assert!(
+            chips >= 1 && chips <= self.chips,
+            "subpod of {chips} chips from a {}-chip pod",
+            self.chips
+        );
+        if chips == self.chips {
+            return self.clone();
+        }
+        SystemConfig {
+            chips,
+            inter_chip_bw: self.inter_chip_bw / self.chips * chips,
+            ..self.clone()
+        }
     }
 
     /// Re-provisions pod HBM to `total` aggregate bandwidth split evenly
@@ -136,6 +183,24 @@ mod tests {
         assert!(large > small);
         // Decode activations (~320 KB) must reduce in well under 100 us.
         assert!(sys.allreduce_time(Bytes::kib(320)) < Seconds::from_micros(100.0));
+    }
+
+    #[test]
+    fn subpod_shares_bandwidth_proportionally() {
+        let sys = presets::ipu_pod4();
+        let half = sys.subpod(2);
+        assert_eq!(half.chips, 2);
+        assert_eq!(half.chip, sys.chip);
+        let per_chip = sys.inter_chip_bw / sys.chips;
+        assert_eq!(half.inter_chip_bw, per_chip * 2u64);
+        // Whole-pod carve is the pod, bit for bit.
+        assert_eq!(sys.subpod(4), sys);
+    }
+
+    #[test]
+    #[should_panic(expected = "subpod")]
+    fn oversized_subpod_rejected() {
+        let _ = presets::ipu_pod4().subpod(5);
     }
 
     #[test]

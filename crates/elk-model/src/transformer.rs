@@ -128,6 +128,68 @@ impl TransformerConfig {
         b.head();
         b.finish(self.name.clone())
     }
+
+    /// Builds the operator graph of **one pipeline stage**: the layers in
+    /// `layers` (absolute indices), tensor-parallel over `shards` chips,
+    /// with the embedding prologue when `embed` is set and the final
+    /// norm + LM head when `head` is set. Concatenating every stage of a
+    /// partition reproduces [`build`](Self::build) operator for operator
+    /// — the invariant the cluster planner's tests pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same shard-divisibility violations as
+    /// [`build`](Self::build), on an out-of-range layer window, or on an
+    /// empty stage (no layers, no embedding, no head).
+    #[must_use]
+    pub fn build_stage(
+        &self,
+        workload: Workload,
+        shards: u64,
+        layers: std::ops::Range<u32>,
+        embed: bool,
+        head: bool,
+    ) -> ModelGraph {
+        assert!(shards > 0, "shard count must be > 0");
+        assert!(
+            self.heads.is_multiple_of(shards),
+            "heads ({}) must divide by shards ({shards})",
+            self.heads
+        );
+        assert!(
+            self.intermediate.is_multiple_of(shards),
+            "intermediate ({}) must divide by shards ({shards})",
+            self.intermediate
+        );
+        assert!(
+            layers.end <= self.layers && layers.start <= layers.end,
+            "stage layers {layers:?} out of range for a {}-layer model",
+            self.layers
+        );
+        assert!(
+            embed || head || !layers.is_empty(),
+            "a pipeline stage must contain at least one operator"
+        );
+
+        let mut b = GraphBuilder::new(self, workload, shards);
+        if embed {
+            b.embed();
+        }
+        for layer in layers.clone() {
+            b.layer(layer);
+        }
+        if head {
+            b.head();
+        }
+        b.finish(format!(
+            "{}[l{}..{}{}{}]",
+            self.name,
+            layers.start,
+            layers.end,
+            if embed { "+embed" } else { "" },
+            if head { "+head" } else { "" },
+        ))
+    }
 }
 
 /// Incremental graph assembly shared by the LLM and DiT builders.
@@ -581,6 +643,65 @@ mod tests {
         let trn = cfg.build(Workload::training_forward(4, 2048), 4);
         let intensity = |g: &ModelGraph| g.total_flops().get() / g.total_hbm_load().as_f64();
         assert!(intensity(&trn) > 20.0 * intensity(&dec));
+    }
+
+    #[test]
+    fn stage_concatenation_reproduces_the_full_graph() {
+        let cfg = {
+            let mut c = zoo::llama2_13b();
+            c.layers = 5;
+            c
+        };
+        let wl = Workload::decode(8, 512);
+        let full = cfg.build(wl, 4);
+        // A 2-stage split: layers 0..3 with the embedding, 3..5 with the
+        // head.
+        let s0 = cfg.build_stage(wl, 4, 0..3, true, false);
+        let s1 = cfg.build_stage(wl, 4, 3..5, false, true);
+        assert_eq!(s0.len() + s1.len(), full.len());
+        let concat: Vec<_> = s0.ops().iter().chain(s1.ops()).collect();
+        for (a, b) in concat.iter().zip(full.ops()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.kind(), b.kind());
+            assert_eq!(a.stationary_bytes(), b.stationary_bytes());
+            assert_eq!(a.allreduce(), b.allreduce());
+        }
+        assert_eq!(s0.layer_spans().len(), 3);
+        assert_eq!(s1.layer_spans().len(), 2);
+        assert_eq!(s1.layer_spans()[0].layer, 3, "absolute layer indices");
+        assert!(s0.name().contains("+embed"));
+        assert!(s1.name().contains("+head"));
+    }
+
+    #[test]
+    fn equal_shaped_interior_stages_are_identical_graphs_up_to_names() {
+        let cfg = {
+            let mut c = zoo::llama2_13b();
+            c.layers = 6;
+            c
+        };
+        let wl = Workload::decode(8, 512);
+        let a = cfg.build_stage(wl, 4, 2..4, false, false);
+        let b = cfg.build_stage(wl, 4, 2..4, false, false);
+        assert_eq!(a, b, "stage building is deterministic");
+        let c = cfg.build_stage(wl, 4, 4..6, false, false);
+        assert_eq!(a.len(), c.len());
+        assert_eq!(a.weight_bytes(), c.weight_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operator")]
+    fn empty_stage_rejected() {
+        let cfg = zoo::llama2_13b();
+        let _ = cfg.build_stage(Workload::decode(1, 16), 4, 2..2, false, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_stage_rejected() {
+        let mut cfg = zoo::llama2_13b();
+        cfg.layers = 2;
+        let _ = cfg.build_stage(Workload::decode(1, 16), 4, 1..3, false, false);
     }
 
     #[test]

@@ -56,9 +56,11 @@ impl BatchConfig {
     }
 
     /// The bucketed step workload for `n` requests at raw sequence
-    /// length `seq` (the longest context in the batch).
+    /// length `seq` (the longest context in the batch) — the shape the
+    /// plan cache is keyed on. Public so cluster-level serving engines
+    /// bucket exactly like the single-pod batcher.
     #[must_use]
-    pub(crate) fn step_workload(&self, phase: Phase, n: u64, seq: u64) -> Workload {
+    pub fn step_workload(&self, phase: Phase, n: u64, seq: u64) -> Workload {
         let mut wl = Workload {
             batch: n,
             seq_len: seq,

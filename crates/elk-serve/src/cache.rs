@@ -191,8 +191,46 @@ impl PlanCache {
         wl: Workload,
         sim: &SimOptions,
     ) -> Result<Seconds, CompileError> {
-        let key = PlanKey::new(&cfg.name, shards, design, wl);
-        let gkey: GraphKey = (cfg.name.clone(), shards, wl.phase, wl.batch, wl.seq_len);
+        self.step_latency_for(runner, &cfg.name, shards, design, wl, sim, |w, s| {
+            cfg.build(w, s)
+        })
+    }
+
+    /// [`step_latency`](Self::step_latency) with an explicit graph
+    /// builder — the entry point for callers whose unit of compilation
+    /// is not a whole [`TransformerConfig`] (the cluster planner caches
+    /// per **pipeline stage**, building each stage's sub-graph here).
+    ///
+    /// `model_key` must uniquely identify the architecture `build`
+    /// produces, exactly as [`PlanKey`]'s docs require of model names;
+    /// equal keys share cached plans, so two structurally identical
+    /// stages with the same key compile once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from catalog construction or planning.
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_latency_for<F>(
+        &self,
+        runner: &DesignRunner,
+        model_key: &str,
+        shards: u64,
+        design: Design,
+        wl: Workload,
+        sim: &SimOptions,
+        build: F,
+    ) -> Result<Seconds, CompileError>
+    where
+        F: FnOnce(Workload, u64) -> ModelGraph,
+    {
+        let key = PlanKey::new(model_key, shards, design, wl);
+        let gkey: GraphKey = (
+            model_key.to_string(),
+            shards,
+            wl.phase,
+            wl.batch,
+            wl.seq_len,
+        );
 
         // Fast path + provisional miss, under one short lock.
         {
@@ -224,7 +262,7 @@ impl PlanCache {
             if cached {
                 return;
             }
-            let graph = cfg.build(wl, shards);
+            let graph = build(wl, shards);
             match runner.catalog(&graph) {
                 Ok(catalog) => {
                     self.lock()
@@ -447,6 +485,55 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1, "exactly one lookup did the work");
         assert_eq!(stats.hits, 5);
+    }
+
+    #[test]
+    fn custom_builders_share_plans_per_model_key() {
+        let cfg = tiny_cfg();
+        let runner = DesignRunner::new(presets::ipu_pod4());
+        let cache = PlanCache::new();
+        let wl = Workload::decode(16, 512);
+        let sim = SimOptions::default();
+        // Two structurally identical "stages" under one key: one compile.
+        let a = cache
+            .step_latency_for(
+                &runner,
+                "stage[0..1]",
+                4,
+                Design::Basic,
+                wl,
+                &sim,
+                |w, s| cfg.build_stage(w, s, 0..1, false, false),
+            )
+            .unwrap();
+        let b = cache
+            .step_latency_for(
+                &runner,
+                "stage[0..1]",
+                4,
+                Design::Basic,
+                wl,
+                &sim,
+                |w, s| cfg.build_stage(w, s, 1..2, false, false),
+            )
+            .unwrap();
+        assert_eq!(a, b, "same key, same cached latency");
+        assert_eq!(cache.plans(), 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        // A different key compiles separately.
+        let c = cache
+            .step_latency_for(
+                &runner,
+                "stage[+head]",
+                4,
+                Design::Basic,
+                wl,
+                &sim,
+                |w, s| cfg.build_stage(w, s, 1..2, false, true),
+            )
+            .unwrap();
+        assert!(c > b, "the head stage does strictly more work");
+        assert_eq!(cache.plans(), 2);
     }
 
     #[test]

@@ -79,6 +79,7 @@ mod cache;
 mod engine;
 mod metrics;
 mod report;
+mod router;
 mod trace;
 
 pub use batcher::{next_step, BatchConfig, StepPlan};
@@ -86,4 +87,5 @@ pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use engine::{ServeConfig, ServingSim};
 pub use metrics::{percentile, LatencyStats, RequestOutcome, SloConfig};
 pub use report::ServingReport;
+pub use router::{Router, RouterPolicy};
 pub use trace::{ArrivalProcess, LengthDist, Request, RequestTrace, TraceConfig};

@@ -7,15 +7,18 @@
 //! checked here and reported as a [`SpecError::Invalid`] instead of a
 //! panic deep inside the engine.
 
-use elk_hw::{presets, ChipConfig, HbmConfig, SramContention, SystemConfig, Topology};
+use elk_cluster::{ClusterOptions, ParallelismPlan};
+use elk_hw::{
+    presets, ChipConfig, HbmConfig, InterChipTopology, SramContention, SystemConfig, Topology,
+};
 use elk_model::{ModelGraph, TransformerConfig, Workload};
 use elk_serve::{ArrivalProcess, BatchConfig, LengthDist, ServeConfig, SloConfig, TraceConfig};
 use elk_sim::SimOptions;
 use elk_units::{ByteRate, Bytes, FlopRate, Seconds};
 
 use crate::spec::{
-    ChipSpec, HbmSpec, ModelSpec, ScenarioSpec, ServingSpec, SimSpec, SystemSpec, TopologySpec,
-    TraceSpec, WorkloadSpec,
+    ChipSpec, ClusterSpec, HbmSpec, ModelSpec, ScenarioSpec, ServingSpec, SimSpec, SystemSpec,
+    TopologySpec, TraceSpec, WorkloadSpec,
 };
 use crate::SpecError;
 
@@ -85,6 +88,7 @@ impl SystemSpec {
                         "system.inter_chip_bw_gib_s",
                         *inter_chip_bw_gib_s,
                     )?),
+                    inter_chip_topology: elk_hw::InterChipTopology::Ring,
                 })
             }
         }
@@ -173,10 +177,14 @@ impl HbmSpec {
         if self.channels == 0 {
             return Err(invalid("hbm.channels must be > 0"));
         }
+        if self.capacity_gib == 0 {
+            return Err(invalid("hbm.capacity_gib must be > 0"));
+        }
         Ok(HbmConfig::new(
             self.channels,
             ByteRate::gib_per_sec(positive("hbm.channel_bw_gib_s", self.channel_bw_gib_s)?),
-        ))
+        )
+        .with_capacity(Bytes::gib(self.capacity_gib)))
     }
 }
 
@@ -461,6 +469,53 @@ impl ServingSpec {
         };
         config.sim = sim;
         Ok(config)
+    }
+}
+
+impl ClusterSpec {
+    /// The inter-chip link arrangement this spec names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] for an unknown name.
+    pub fn to_interconnect(&self) -> Result<InterChipTopology, SpecError> {
+        match self.interconnect.as_str() {
+            "ring" => Ok(InterChipTopology::Ring),
+            "fully_connected" => Ok(InterChipTopology::FullyConnected),
+            other => Err(invalid(format!(
+                "cluster.interconnect '{other}': expected ring or fully_connected"
+            ))),
+        }
+    }
+
+    /// The estimator options this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] for a zero microbatch count or an
+    /// ill-formed fixed plan.
+    pub fn to_options(&self) -> Result<ClusterOptions, SpecError> {
+        if self.microbatches == Some(0) {
+            return Err(invalid("cluster.microbatches must be > 0"));
+        }
+        if let Some(p) = &self.plan {
+            if p.tp == 0 || p.pp == 0 || p.dp == 0 {
+                return Err(invalid("cluster.plan: tp, pp, dp must all be >= 1"));
+            }
+        }
+        Ok(ClusterOptions {
+            microbatches: self.microbatches,
+            baseline: true,
+            threads: self.threads,
+        })
+    }
+
+    /// The fixed plan, if one is pinned (`None` = auto-search).
+    #[must_use]
+    pub fn to_plan(&self) -> Option<ParallelismPlan> {
+        self.plan
+            .as_ref()
+            .map(|p| ParallelismPlan::new(p.tp, p.pp, p.dp))
     }
 }
 

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod de;
+mod schema;
 
 pub mod convert;
 pub mod report;

@@ -8,6 +8,7 @@
 use serde::{Serialize, Value};
 
 use elk_baselines::Design;
+use elk_cluster::{ClusterReport, ClusterServingReport, PlanCandidate};
 use elk_core::CompileStats;
 use elk_model::Workload;
 use elk_serve::ServingReport;
@@ -153,6 +154,38 @@ pub struct ServeReport {
     pub shards: u64,
     /// One full serving report per design, in spec order.
     pub designs: Vec<ServingReport>,
+}
+
+/// Output of `elk cluster`: the (searched or pinned) parallelism plan's
+/// estimate, plus the routed serving comparison when enabled.
+///
+/// Byte-identical across `--threads` settings: the search merges in
+/// grid order, the serving event loop is sequential, and no cache
+/// hit/miss counters are recorded.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterRunReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Chip name of the target system.
+    pub system: String,
+    /// Chips in the pod.
+    pub chips: u64,
+    /// Model name.
+    pub model: String,
+    /// Design the plan was compiled with (first of the spec's list).
+    pub design: Design,
+    /// Inter-chip link arrangement collectives were priced on.
+    pub interconnect: String,
+    /// `true` when the plan came from the auto-parallelism search.
+    pub auto: bool,
+    /// Every `(tp, pp, dp)` candidate in grid order (auto mode only).
+    pub candidates: Option<Vec<PlanCandidate>>,
+    /// The chosen plan's full estimate: per-stage timeline, bubble
+    /// fraction, scaling efficiency.
+    pub estimate: ClusterReport,
+    /// Routed serving comparison, one row per design × router policy
+    /// (when the scenario's `cluster.serve` is on).
+    pub serving: Option<Vec<ClusterServingReport>>,
 }
 
 /// Output of `elk sweep`: one report per grid point, in grid order.

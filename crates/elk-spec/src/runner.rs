@@ -7,13 +7,23 @@
 //! equivalent non-spec run — the golden tests pin this.
 
 use elk_baselines::DesignRunner;
+use elk_cluster::{ClusterError, ClusterEstimator, ClusterServeConfig, ClusterServingSim};
 use elk_serve::ServingSim;
 
 use crate::report::{
-    CompileReport, DesignCompileReport, DesignSimRow, ServeReport, SimulateReport,
+    ClusterRunReport, CompileReport, DesignCompileReport, DesignSimRow, ServeReport, SimulateReport,
 };
-use crate::spec::ScenarioSpec;
+use crate::spec::{ClusterSpec, ScenarioSpec};
 use crate::SpecError;
+
+impl From<ClusterError> for SpecError {
+    fn from(e: ClusterError) -> Self {
+        match e {
+            ClusterError::Invalid(msg) => SpecError::Invalid(msg),
+            ClusterError::Compile { source, .. } => SpecError::Compile(source),
+        }
+    }
+}
 
 /// Compiles the scenario's designs and simulates each compiled program.
 ///
@@ -131,6 +141,107 @@ pub fn run_serve(spec: &ScenarioSpec) -> Result<ServeReport, SpecError> {
     })
 }
 
+/// Plans (or auto-searches) the scenario's multi-chip parallelism and
+/// estimates the chosen plan; when the scenario's `cluster.serve` flag
+/// is on (the default), also replays the serving trace across the
+/// plan's replica groups once per design × router policy.
+///
+/// The scenario's `cluster` section is optional — a scenario without
+/// one runs a full auto-parallelism search with defaults.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Invalid`] when the model is not a dense
+/// transformer or the spec/plan is ill-formed, and [`SpecError::Compile`]
+/// when a stage has no feasible on-chip plan.
+pub fn run_cluster(spec: &ScenarioSpec) -> Result<ClusterRunReport, SpecError> {
+    let cluster = spec.cluster.clone().unwrap_or_default();
+    let interconnect = cluster.to_interconnect()?;
+    let system = spec
+        .system
+        .to_system()?
+        .with_inter_chip_topology(interconnect);
+    let model = spec.model.as_transformer()?;
+    let workload = spec.workload.to_workload()?;
+    let sim = spec.sim.to_options()?;
+    let design = *spec
+        .compiler
+        .design
+        .first()
+        .expect("the design list is never empty (parse rejects it)");
+
+    let estimator = ClusterEstimator::new(system.clone(), cluster.to_options()?);
+    let (auto, candidates, estimate) = match cluster.to_plan() {
+        Some(plan) => {
+            let report = estimator.estimate(&model, workload, design, &sim, plan)?;
+            (false, None, report)
+        }
+        None => {
+            let outcome = estimator.search(&model, workload, design, &sim)?;
+            (true, Some(outcome.candidates), outcome.best)
+        }
+    };
+
+    let serving = if cluster.serve {
+        Some(run_cluster_serving(
+            spec, &cluster, &system, &estimate, &sim,
+        )?)
+    } else {
+        None
+    };
+
+    Ok(ClusterRunReport {
+        scenario: spec.name.clone(),
+        system: system.chip.name.clone(),
+        chips: system.chips,
+        model: model.name.clone(),
+        design,
+        interconnect: interconnect.name().to_string(),
+        auto,
+        candidates,
+        estimate,
+        serving,
+    })
+}
+
+/// The serving half of `elk cluster`: one routed replay per design ×
+/// router policy, sharing one engine (and therefore one plan cache).
+fn run_cluster_serving(
+    spec: &ScenarioSpec,
+    cluster: &ClusterSpec,
+    system: &elk_hw::SystemConfig,
+    estimate: &elk_cluster::ClusterReport,
+    sim: &elk_sim::SimOptions,
+) -> Result<Vec<elk_cluster::ClusterServingReport>, SpecError> {
+    let model = spec.model.as_transformer()?;
+    // Reuse the serving spec's validated batching/SLO conversion; the
+    // replica/thread knobs it carries are the flat-pool ones and are
+    // superseded by the cluster layout.
+    let serve_cfg = spec
+        .serving
+        .to_config(model.clone(), estimate.plan.tp, *sim)?;
+    let trace = spec.serving.trace.to_config()?.generate();
+
+    let mut engine = ClusterServingSim::new(
+        system.clone(),
+        ClusterServeConfig {
+            model,
+            plan: estimate.plan,
+            batch: serve_cfg.batch,
+            slo: serve_cfg.slo,
+            sim: *sim,
+            threads: cluster.threads,
+        },
+    )?;
+    let mut rows = Vec::new();
+    for &design in &spec.compiler.design {
+        for &policy in &cluster.router {
+            rows.push(engine.run(design, policy, &trace)?);
+        }
+    }
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +284,47 @@ mod tests {
         let report = run_serve(&spec).unwrap();
         assert_eq!(report.requests, 6);
         assert_eq!(report.designs[0].completed, 6);
+    }
+
+    #[test]
+    fn cluster_runs_a_fixed_plan_with_serving() {
+        let spec = tiny(
+            r#", "cluster": {"plan": {"tp": 2, "pp": 1, "dp": 2},
+                             "router": ["round_robin", "least_outstanding"]},
+                "serving": {"trace": {"requests": 5}}"#,
+        );
+        let report = run_cluster(&spec).unwrap();
+        assert!(!report.auto);
+        assert!(report.candidates.is_none());
+        assert_eq!(
+            report.estimate.plan,
+            elk_cluster::ParallelismPlan::new(2, 1, 2)
+        );
+        let rows = report.serving.expect("serve defaults on");
+        assert_eq!(rows.len(), 2, "one row per router policy");
+        for row in &rows {
+            assert_eq!(row.completed, 5);
+        }
+    }
+
+    #[test]
+    fn cluster_auto_search_lists_candidates() {
+        let spec = tiny(r#", "cluster": {"serve": false}"#);
+        let report = run_cluster(&spec).unwrap();
+        assert!(report.auto);
+        let candidates = report.candidates.expect("auto mode records the grid");
+        assert!(candidates.len() >= 8);
+        assert!(report.serving.is_none());
+        assert!(report.estimate.scaling_efficiency.is_some());
+    }
+
+    #[test]
+    fn cluster_rejects_non_transformer_models() {
+        let spec =
+            ScenarioSpec::from_json(r#"{"name": "moe", "model": {"zoo": "mixtral", "layers": 2}}"#)
+                .unwrap();
+        let e = run_cluster(&spec).unwrap_err().to_string();
+        assert!(e.contains("dense transformer"), "{e}");
     }
 
     #[test]

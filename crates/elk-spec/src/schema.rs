@@ -1,0 +1,312 @@
+//! The scenario document's key tree, used to validate sweep paths
+//! **before** any grid point runs: a typo'd dotted path (e.g.
+//! `system.chip.coers`) fails immediately with the valid keys at that
+//! level, instead of surfacing as a bare unknown-field parse error
+//! deep inside the first grid point.
+//!
+//! The tree mirrors the strict readers in [`crate::spec`]; the unit
+//! tests cross-check a sample of leaves by actually sweeping them, so
+//! the two cannot silently drift for the covered sections. When adding
+//! a spec field, add its key here too.
+
+/// One level of the scenario schema.
+pub(crate) enum Node {
+    /// A scalar/array value — sweepable, but not descendable.
+    Leaf,
+    /// An object with a fixed key set.
+    Map(&'static [(&'static str, Node)]),
+}
+
+const LENGTH_DIST: Node = Node::Map(&[
+    ("Fixed", Node::Leaf),
+    (
+        "Uniform",
+        Node::Map(&[("lo", Node::Leaf), ("hi", Node::Leaf)]),
+    ),
+    (
+        "Bimodal",
+        Node::Map(&[
+            ("short", Node::Leaf),
+            ("long", Node::Leaf),
+            ("long_weight", Node::Leaf),
+        ]),
+    ),
+]);
+
+const TOPOLOGY: Node = Node::Map(&[
+    ("all_to_all", Node::Map(&[("core_link_gib_s", Node::Leaf)])),
+    ("mesh", Node::Map(&[("total_gib_s", Node::Leaf)])),
+]);
+
+const CHIP: Node = Node::Map(&[
+    ("name", Node::Leaf),
+    ("cores", Node::Leaf),
+    ("sram_per_core_kib", Node::Leaf),
+    ("io_buffer_per_core_kib", Node::Leaf),
+    ("matmul_tflops", Node::Leaf),
+    ("vector_tflops", Node::Leaf),
+    ("sram_bw_gb_s", Node::Leaf),
+    ("sram_contention", Node::Leaf),
+    ("topology", TOPOLOGY),
+]);
+
+const ROOT: Node = Node::Map(&[
+    ("name", Node::Leaf),
+    (
+        "system",
+        Node::Map(&[
+            ("preset", Node::Leaf),
+            ("chip", CHIP),
+            ("chips", Node::Leaf),
+            (
+                "hbm",
+                Node::Map(&[
+                    ("channels", Node::Leaf),
+                    ("channel_bw_gib_s", Node::Leaf),
+                    ("capacity_gib", Node::Leaf),
+                ]),
+            ),
+            ("inter_chip_bw_gib_s", Node::Leaf),
+        ]),
+    ),
+    (
+        "model",
+        Node::Map(&[
+            ("zoo", Node::Leaf),
+            ("layers", Node::Leaf),
+            (
+                "transformer",
+                Node::Map(&[
+                    ("name", Node::Leaf),
+                    ("layers", Node::Leaf),
+                    ("hidden", Node::Leaf),
+                    ("heads", Node::Leaf),
+                    ("kv_heads", Node::Leaf),
+                    ("head_dim", Node::Leaf),
+                    ("intermediate", Node::Leaf),
+                    ("vocab", Node::Leaf),
+                    ("glu", Node::Leaf),
+                    ("norm", Node::Leaf),
+                    ("rope", Node::Leaf),
+                    ("post_norms", Node::Leaf),
+                ]),
+            ),
+            (
+                "moe",
+                Node::Map(&[
+                    ("name", Node::Leaf),
+                    ("layers", Node::Leaf),
+                    ("hidden", Node::Leaf),
+                    ("heads", Node::Leaf),
+                    ("kv_heads", Node::Leaf),
+                    ("head_dim", Node::Leaf),
+                    ("expert_intermediate", Node::Leaf),
+                    ("experts", Node::Leaf),
+                    ("experts_per_token", Node::Leaf),
+                    ("vocab", Node::Leaf),
+                ]),
+            ),
+            (
+                "dit",
+                Node::Map(&[
+                    ("name", Node::Leaf),
+                    ("layers", Node::Leaf),
+                    ("hidden", Node::Leaf),
+                    ("heads", Node::Leaf),
+                    ("head_dim", Node::Leaf),
+                    ("mlp_ratio", Node::Leaf),
+                    ("tokens", Node::Leaf),
+                ]),
+            ),
+        ]),
+    ),
+    (
+        "workload",
+        Node::Map(&[
+            ("phase", Node::Leaf),
+            ("batch", Node::Leaf),
+            ("seq_len", Node::Leaf),
+            ("shards", Node::Leaf),
+        ]),
+    ),
+    (
+        "compiler",
+        Node::Map(&[("design", Node::Leaf), ("threads", Node::Leaf)]),
+    ),
+    (
+        "sim",
+        Node::Map(&[
+            ("noise_sigma", Node::Leaf),
+            ("noise_seed", Node::Leaf),
+            ("trace_samples", Node::Leaf),
+        ]),
+    ),
+    (
+        "serving",
+        Node::Map(&[
+            (
+                "trace",
+                Node::Map(&[
+                    ("seed", Node::Leaf),
+                    ("requests", Node::Leaf),
+                    (
+                        "arrivals",
+                        Node::Map(&[
+                            ("Poisson", Node::Map(&[("rate_rps", Node::Leaf)])),
+                            (
+                                "Bursty",
+                                Node::Map(&[
+                                    ("rate_rps", Node::Leaf),
+                                    ("burst_factor", Node::Leaf),
+                                    ("period_s", Node::Leaf),
+                                    ("duty", Node::Leaf),
+                                ]),
+                            ),
+                        ]),
+                    ),
+                    ("prompt_len", LENGTH_DIST),
+                    ("output_len", LENGTH_DIST),
+                ]),
+            ),
+            ("replicas", Node::Leaf),
+            ("max_batch", Node::Leaf),
+            ("max_prefill_tokens", Node::Leaf),
+            (
+                "seq_buckets",
+                Node::Map(&[("min", Node::Leaf), ("max", Node::Leaf)]),
+            ),
+            ("bucket_batch", Node::Leaf),
+            (
+                "slo",
+                Node::Map(&[("ttft_ms", Node::Leaf), ("tpot_ms", Node::Leaf)]),
+            ),
+            ("threads", Node::Leaf),
+        ]),
+    ),
+    (
+        "cluster",
+        Node::Map(&[
+            (
+                "plan",
+                Node::Map(&[("tp", Node::Leaf), ("pp", Node::Leaf), ("dp", Node::Leaf)]),
+            ),
+            ("microbatches", Node::Leaf),
+            ("interconnect", Node::Leaf),
+            ("router", Node::Leaf),
+            ("serve", Node::Leaf),
+            ("threads", Node::Leaf),
+        ]),
+    ),
+    (
+        "sweep",
+        Node::Map(&[("command", Node::Leaf), ("axes", Node::Leaf)]),
+    ),
+]);
+
+/// Checks a dotted sweep path against the schema. On an unknown key the
+/// error lists every valid key at that level; descending *into* a leaf
+/// value is also an error.
+pub(crate) fn validate_path(path: &str) -> Result<(), String> {
+    let mut node = &ROOT;
+    let mut walked: Vec<&str> = Vec::new();
+    for seg in path.split('.') {
+        match node {
+            Node::Map(entries) => match entries.iter().find(|(k, _)| *k == seg) {
+                Some((_, child)) => {
+                    node = child;
+                    walked.push(seg);
+                }
+                None => {
+                    let valid: Vec<&str> = entries.iter().map(|(k, _)| *k).collect();
+                    let at = if walked.is_empty() {
+                        "the scenario root".to_string()
+                    } else {
+                        format!("`{}`", walked.join("."))
+                    };
+                    return Err(format!(
+                        "unknown key `{seg}` at {at}; valid keys: {}",
+                        valid.join(", ")
+                    ));
+                }
+            },
+            Node::Leaf => {
+                return Err(format!(
+                    "`{}` is a value, not an object — cannot descend into `{seg}`",
+                    walked.join(".")
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_paths_validate() {
+        for path in [
+            "workload.batch",
+            "system.chip.cores",
+            "system.chip.topology.mesh.total_gib_s",
+            "system.hbm.capacity_gib",
+            "model.layers",
+            "model.transformer.hidden",
+            "serving.trace.arrivals.Bursty.burst_factor",
+            "serving.slo.tpot_ms",
+            "cluster.plan.tp",
+            "compiler.design",
+            "system",
+        ] {
+            validate_path(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+        }
+    }
+
+    #[test]
+    fn typos_list_the_valid_keys_at_that_level() {
+        let e = validate_path("system.chip.coers").unwrap_err();
+        assert!(e.contains("unknown key `coers` at `system.chip`"), "{e}");
+        assert!(
+            e.contains("cores") && e.contains("sram_per_core_kib"),
+            "{e}"
+        );
+
+        let e = validate_path("wrokload.batch").unwrap_err();
+        assert!(e.contains("the scenario root"), "{e}");
+        assert!(e.contains("workload") && e.contains("cluster"), "{e}");
+    }
+
+    #[test]
+    fn descending_into_a_leaf_is_an_error() {
+        let e = validate_path("workload.batch.x").unwrap_err();
+        assert!(e.contains("value, not an object"), "{e}");
+        assert!(e.contains("workload.batch"), "{e}");
+    }
+
+    /// Drift guard: every key the schema claims must be accepted by the
+    /// strict parser when swept with a plausible value. (The converse —
+    /// parser keys missing from the schema — is caught the moment
+    /// someone sweeps the new key and hits `validate_path`.)
+    #[test]
+    fn schema_top_level_matches_the_strict_parser() {
+        let doc: serde::Value = serde_json::from_str(
+            r#"{"name": "t", "model": {"zoo": "llama13"},
+                "cluster": {}, "sweep": {"axes": [{"path": "workload.batch", "values": [1]}]}}"#,
+        )
+        .unwrap();
+        let spec = <crate::ScenarioSpec as serde::Deserialize>::from_value(&doc).unwrap();
+        // Sections the schema names at the root must parse as sections.
+        let Node::Map(entries) = &ROOT else {
+            unreachable!()
+        };
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| *k).collect();
+        for key in [
+            "name", "system", "model", "workload", "compiler", "sim", "serving", "cluster", "sweep",
+        ] {
+            assert!(keys.contains(&key), "schema lost the `{key}` section");
+        }
+        assert_eq!(keys.len(), 9, "new root sections need schema entries");
+        drop(spec);
+    }
+}

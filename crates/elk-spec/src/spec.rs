@@ -17,7 +17,7 @@ use serde::{Deserialize, Error, Serialize, Value};
 
 use elk_baselines::Design;
 use elk_model::Phase;
-use elk_serve::{ArrivalProcess, LengthDist};
+use elk_serve::{ArrivalProcess, LengthDist, RouterPolicy};
 
 use crate::de::MapReader;
 use crate::SpecError;
@@ -40,6 +40,8 @@ pub struct ScenarioSpec {
     pub sim: SimSpec,
     /// Request-level serving configuration for `serve`.
     pub serving: ServingSpec,
+    /// Optional multi-chip parallelism section for `elk cluster`.
+    pub cluster: Option<ClusterSpec>,
     /// Optional sweep grid for `elk sweep`.
     pub sweep: Option<SweepSpec>,
 }
@@ -79,6 +81,7 @@ impl Deserialize for ScenarioSpec {
             compiler: r.or_else("compiler", CompilerSpec::default)?,
             sim: r.or_else("sim", SimSpec::default)?,
             serving: r.or_else("serving", ServingSpec::default)?,
+            cluster: r.opt("cluster")?,
             sweep: r.opt("sweep")?,
         };
         r.finish()?;
@@ -97,6 +100,9 @@ impl Serialize for ScenarioSpec {
             ("sim".into(), self.sim.to_value()),
             ("serving".into(), self.serving.to_value()),
         ];
+        if let Some(cluster) = &self.cluster {
+            m.push(("cluster".into(), cluster.to_value()));
+        }
         if let Some(sweep) = &self.sweep {
             m.push(("sweep".into(), sweep.to_value()));
         }
@@ -312,14 +318,19 @@ pub struct HbmSpec {
     pub channels: u64,
     /// Sustained bandwidth per channel in GiB/s.
     pub channel_bw_gib_s: f64,
+    /// Per-chip capacity in GiB (the cluster planner's HBM-feasibility
+    /// bound).
+    pub capacity_gib: u64,
 }
 
 impl Default for HbmSpec {
-    /// The paper's emulated platform: 4 HBM3E channels at 1 TiB/s each.
+    /// The paper's emulated platform: 4 HBM3E channels at 1 TiB/s each,
+    /// 96 GiB per chip.
     fn default() -> Self {
         HbmSpec {
             channels: 4,
             channel_bw_gib_s: 1024.0,
+            capacity_gib: 96,
         }
     }
 }
@@ -330,6 +341,7 @@ impl Deserialize for HbmSpec {
         let spec = HbmSpec {
             channels: r.or("channels", 4)?,
             channel_bw_gib_s: r.or("channel_bw_gib_s", 1024.0)?,
+            capacity_gib: r.or("capacity_gib", 96)?,
         };
         r.finish()?;
         Ok(spec)
@@ -341,6 +353,7 @@ impl Serialize for HbmSpec {
         Value::Map(vec![
             ("channels".into(), self.channels.to_value()),
             ("channel_bw_gib_s".into(), self.channel_bw_gib_s.to_value()),
+            ("capacity_gib".into(), self.capacity_gib.to_value()),
         ])
     }
 }
@@ -999,6 +1012,179 @@ impl Serialize for SloSpec {
     }
 }
 
+// ---- cluster ----
+
+/// A fixed `(tp, pp, dp)` parallelism assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanSpec {
+    /// Tensor-parallel degree.
+    pub tp: u64,
+    /// Pipeline-parallel degree.
+    pub pp: u64,
+    /// Data-parallel degree (replica groups).
+    pub dp: u64,
+}
+
+impl Deserialize for PlanSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let mut r = MapReader::new("cluster.plan", v)?;
+        let spec = PlanSpec {
+            tp: r.req("tp")?,
+            pp: r.req("pp")?,
+            dp: r.req("dp")?,
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for PlanSpec {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("tp".into(), self.tp.to_value()),
+            ("pp".into(), self.pp.to_value()),
+            ("dp".into(), self.dp.to_value()),
+        ])
+    }
+}
+
+/// Multi-chip parallelism configuration for `elk cluster`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Fixed `(tp, pp, dp)` assignment; omit for auto-parallelism
+    /// search over the whole grid.
+    pub plan: Option<PlanSpec>,
+    /// Microbatches per pipeline round (default: the pipeline depth).
+    pub microbatches: Option<u64>,
+    /// Inter-chip link arrangement: `"ring"` or `"fully_connected"`.
+    pub interconnect: String,
+    /// Router policies for cluster serving, compared in order. The JSON
+    /// accepts a single name, an array of names, or
+    /// `{"power_of_two": {"seed": N}}` objects.
+    pub router: Vec<RouterPolicy>,
+    /// Also replay the scenario's serving trace across the replica
+    /// groups (`true` by default; estimate-only scenarios switch it
+    /// off).
+    pub serve: bool,
+    /// Worker threads for the plan search and compile fan-out (`0` =
+    /// all cores). Reports are byte-identical at any setting.
+    pub threads: usize,
+}
+
+impl Default for ClusterSpec {
+    /// Auto-search on ring links, round-robin serving, one thread.
+    fn default() -> Self {
+        ClusterSpec {
+            plan: None,
+            microbatches: None,
+            interconnect: "ring".into(),
+            router: vec![RouterPolicy::RoundRobin],
+            serve: true,
+            threads: 1,
+        }
+    }
+}
+
+/// Strict reader for one router policy: a lowercase name or a
+/// `{"power_of_two": {"seed": N}}` object.
+fn parse_router(v: &Value) -> Result<RouterPolicy, Error> {
+    match v {
+        Value::Str(s) => match s.as_str() {
+            "round_robin" => Ok(RouterPolicy::RoundRobin),
+            "least_outstanding" => Ok(RouterPolicy::LeastOutstanding),
+            "power_of_two" => Ok(RouterPolicy::PowerOfTwoChoices { seed: 2 }),
+            other => Err(Error::msg(format!(
+                "unknown router policy '{other}': expected round_robin, \
+                 least_outstanding, power_of_two"
+            ))),
+        },
+        Value::Map(_) => {
+            let mut r = MapReader::new("router", v)?;
+            let body = r.raw("power_of_two").ok_or_else(|| {
+                Error::msg("router: expected a policy name or a `power_of_two` object")
+            })?;
+            let mut b = MapReader::new("router.power_of_two", body)?;
+            let policy = RouterPolicy::PowerOfTwoChoices {
+                seed: b.or("seed", 2)?,
+            };
+            b.finish()?;
+            r.finish()?;
+            Ok(policy)
+        }
+        other => Err(Error::msg(format!(
+            "router: expected a name or object, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Parses the `router` key: one policy or an array of policies.
+fn parse_routers(v: &Value) -> Result<Vec<RouterPolicy>, Error> {
+    let policies = match v {
+        Value::Seq(items) => items
+            .iter()
+            .map(parse_router)
+            .collect::<Result<Vec<_>, _>>()?,
+        single => vec![parse_router(single)?],
+    };
+    if policies.is_empty() {
+        return Err(Error::msg("cluster.router: the list must not be empty"));
+    }
+    Ok(policies)
+}
+
+/// Canonical serialization of one router policy.
+fn router_to_value(policy: RouterPolicy) -> Value {
+    match policy {
+        RouterPolicy::PowerOfTwoChoices { seed } => Value::Map(vec![(
+            "power_of_two".into(),
+            Value::Map(vec![("seed".into(), seed.to_value())]),
+        )]),
+        other => other.name().to_value(),
+    }
+}
+
+impl Deserialize for ClusterSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let d = ClusterSpec::default();
+        let mut r = MapReader::new("cluster", v)?;
+        let router = match r.raw("router") {
+            None | Some(Value::Null) => d.router,
+            Some(body) => parse_routers(body).map_err(|e| Error::msg(format!("cluster.{e}")))?,
+        };
+        let spec = ClusterSpec {
+            plan: r.opt("plan")?,
+            microbatches: r.opt("microbatches")?,
+            interconnect: r.or_else("interconnect", || d.interconnect.clone())?,
+            router,
+            serve: r.or("serve", d.serve)?,
+            threads: r.or("threads", d.threads)?,
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for ClusterSpec {
+    fn to_value(&self) -> Value {
+        let mut m = Vec::new();
+        if let Some(plan) = &self.plan {
+            m.push(("plan".into(), plan.to_value()));
+        }
+        if let Some(microbatches) = self.microbatches {
+            m.push(("microbatches".into(), microbatches.to_value()));
+        }
+        m.push(("interconnect".into(), self.interconnect.to_value()));
+        m.push((
+            "router".into(),
+            Value::Seq(self.router.iter().map(|&p| router_to_value(p)).collect()),
+        ));
+        m.push(("serve".into(), self.serve.to_value()));
+        m.push(("threads".into(), self.threads.to_value()));
+        Value::Map(m)
+    }
+}
+
 // ---- sweep ----
 
 /// A grid sweep over arbitrary spec fields.
@@ -1229,6 +1415,75 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.to_string().contains("duplicate key `batch`"), "{e}");
+    }
+
+    #[test]
+    fn cluster_section_parses_with_defaults_and_strictness() {
+        let s = ScenarioSpec::from_json(
+            r#"{"name": "c", "model": {"zoo": "llama13"},
+                "cluster": {}}"#,
+        )
+        .unwrap();
+        let c = s.cluster.expect("cluster section present");
+        assert_eq!(c, ClusterSpec::default());
+
+        let s = ScenarioSpec::from_json(
+            r#"{"name": "c", "model": {"zoo": "llama13"},
+                "cluster": {"plan": {"tp": 2, "pp": 2, "dp": 1},
+                            "microbatches": 4,
+                            "interconnect": "fully_connected",
+                            "router": ["round_robin", {"power_of_two": {"seed": 7}}],
+                            "serve": false}}"#,
+        )
+        .unwrap();
+        let c = s.cluster.unwrap();
+        assert_eq!(
+            c.plan,
+            Some(PlanSpec {
+                tp: 2,
+                pp: 2,
+                dp: 1
+            })
+        );
+        assert_eq!(c.microbatches, Some(4));
+        assert_eq!(c.interconnect, "fully_connected");
+        assert_eq!(
+            c.router,
+            vec![
+                RouterPolicy::RoundRobin,
+                RouterPolicy::PowerOfTwoChoices { seed: 7 }
+            ]
+        );
+        assert!(!c.serve);
+
+        // Typos anywhere in the section are errors.
+        for bad in [
+            r#"{"plan": {"tp": 2, "pp": 1, "dp": 1, "ep": 1}}"#,
+            r#"{"router": "fastest"}"#,
+            r#"{"mircobatches": 2}"#,
+        ] {
+            let e = ScenarioSpec::from_json(&format!(
+                r#"{{"name": "c", "model": {{"zoo": "llama13"}}, "cluster": {bad}}}"#
+            ))
+            .unwrap_err();
+            let msg = e.to_string();
+            assert!(
+                msg.contains("ep") || msg.contains("fastest") || msg.contains("mircobatches"),
+                "{msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_section_round_trips() {
+        let s = ScenarioSpec::from_json(
+            r#"{"name": "c", "model": {"zoo": "llama13"},
+                "cluster": {"plan": {"tp": 4, "pp": 1, "dp": 1},
+                            "router": ["least_outstanding", "power_of_two"]}}"#,
+        )
+        .unwrap();
+        let back = ScenarioSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
     }
 
     #[test]

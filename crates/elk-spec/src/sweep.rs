@@ -91,6 +91,12 @@ pub fn run_sweep(doc: &Value, threads: usize) -> Result<SweepReport, SpecError> 
             spec.name
         )));
     };
+    // Fail a typo'd axis up front, with the valid keys at that level —
+    // not as an unknown-field parse error inside the first grid point.
+    for axis in &sweep.axes {
+        crate::schema::validate_path(&axis.path)
+            .map_err(|e| SpecError::Invalid(format!("sweep axis `{}`: {e}", axis.path)))?;
+    }
 
     // The base document is the scenario without its sweep section, so a
     // point's overrides re-parse as a plain (sweepless) scenario.
@@ -243,13 +249,27 @@ mod tests {
     }
 
     #[test]
-    fn typo_in_a_swept_path_fails_the_point() {
+    fn typo_in_a_swept_path_fails_up_front_with_valid_keys() {
         let scenario = doc(r#"{
               "name": "s",
               "model": {"zoo": "llama13", "layers": 2},
               "sweep": {"axes": [{"path": "workload.bach", "values": [8]}]}
             }"#);
-        let e = run_sweep(&scenario, 1).unwrap_err();
-        assert!(e.to_string().contains("bach"), "{e}");
+        let e = run_sweep(&scenario, 1).unwrap_err().to_string();
+        assert!(e.contains("bach"), "{e}");
+        assert!(
+            e.contains("valid keys") && e.contains("batch") && e.contains("seq_len"),
+            "the error must list the valid keys at that level: {e}"
+        );
+
+        // Deeper typo: the chip level's keys are listed.
+        let scenario = doc(r#"{
+              "name": "s",
+              "model": {"zoo": "llama13", "layers": 2},
+              "sweep": {"axes": [{"path": "system.chip.coers", "values": [64]}]}
+            }"#);
+        let e = run_sweep(&scenario, 1).unwrap_err().to_string();
+        assert!(e.contains("`coers` at `system.chip`"), "{e}");
+        assert!(e.contains("cores"), "{e}");
     }
 }

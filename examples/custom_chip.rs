@@ -37,6 +37,7 @@ fn main() -> Result<(), elk::compiler::CompileError> {
         hbm: HbmConfig::new(6, ByteRate::gib_per_sec(400.0)),
         chips: 1,
         inter_chip_bw: ByteRate::ZERO,
+        inter_chip_topology: elk::hw::InterChipTopology::Ring,
     };
     println!("target: {system}");
 

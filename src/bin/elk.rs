@@ -6,6 +6,7 @@
 //! elk compile  <scenario.json> [--out DIR] [--threads N]   compile + measure each design
 //! elk simulate <scenario.json> [--out DIR] [--threads N]   design comparison table
 //! elk serve    <scenario.json> [--out DIR] [--threads N]   request-level serving replay
+//! elk cluster  <scenario.json> [--out DIR] [--threads N]   multi-chip plan + routed serving
 //! elk sweep    <scenario.json> [--out DIR] [--threads N]   grid over the file's sweep axes
 //! elk validate <dir-or-file>...                            round-trip emitted JSON reports
 //! ```
@@ -33,6 +34,8 @@ commands:
                                                       simulate each compiled program
   simulate <scenario.json> [--out DIR] [--threads N]  per-design comparison table
   serve    <scenario.json> [--out DIR] [--threads N]  replay the scenario's request trace
+  cluster  <scenario.json> [--out DIR] [--threads N]  plan (tp, pp, dp) parallelism over the
+                                                      pod and replay routed cluster serving
   sweep    <scenario.json> [--out DIR] [--threads N]  run the file's sweep grid
   validate <dir-or-file>...                           check emitted JSON round-trips
 
@@ -88,7 +91,7 @@ fn dispatch(args: &[String]) -> Result<(), Fail> {
         return Err(Fail::usage(USAGE));
     };
     match command.as_str() {
-        "compile" | "simulate" | "serve" | "sweep" => {
+        "compile" | "simulate" | "serve" | "cluster" | "sweep" => {
             let opts = ScenarioArgs::parse(command, &args[1..])?;
             run_scenario(command, &opts)
         }
@@ -165,6 +168,13 @@ fn run_scenario(command: &str, opts: &ScenarioArgs) -> Result<(), Fail> {
         if let Some(threads) = opts.threads {
             spec.compiler.threads = threads;
             spec.serving.threads = threads;
+            // Only `cluster` reads the cluster section; don't conjure a
+            // phantom section into the other commands' specs.
+            if command == "cluster" {
+                spec.cluster.get_or_insert_with(Default::default).threads = threads;
+            } else if let Some(cluster) = spec.cluster.as_mut() {
+                cluster.threads = threads;
+            }
         }
     }
 
@@ -226,6 +236,61 @@ fn run_scenario(command: &str, opts: &ScenarioArgs) -> Result<(), Fail> {
                     d.ttft.p99.as_millis(),
                     d.tpot.mean.as_millis(),
                     d.goodput_rps,
+                );
+            }
+            r.to_value()
+        }
+        "cluster" => {
+            // Same skip contract as `serve`: a broken model spec fails,
+            // a valid non-dense model is a documented no-op (CI runs
+            // `elk cluster` over scenario sets that include MoE/DiT).
+            match spec.model.resolve().map_err(Fail::from)? {
+                elk::spec::ResolvedModel::Llm(_) => {}
+                _ => {
+                    println!(
+                        "{}: cluster planning skipped — the planner shards dense transformers only",
+                        spec.name
+                    );
+                    return Ok(());
+                }
+            }
+            let r = runner::run_cluster(&spec)?;
+            let e = &r.estimate;
+            println!(
+                "{}: {} plan {} on {} chips ({} used), step {:.3} ms, bubble {:.1}%, {}",
+                spec.name,
+                if r.auto { "auto-selected" } else { "pinned" },
+                e.plan,
+                r.chips,
+                e.chips_used,
+                e.step_total.as_millis(),
+                e.bubble_fraction * 100.0,
+                e.scaling_efficiency.map_or_else(
+                    || "no single-chip baseline".to_string(),
+                    |s| format!("scaling efficiency {:.2}", s)
+                ),
+            );
+            for s in &e.stages {
+                println!(
+                    "  stage {}: layers {}..{}{}{} {:.3} ms/microbatch (busy {:.0}%)",
+                    s.stage,
+                    s.layer_start,
+                    s.layer_end,
+                    if s.embed { " +embed" } else { "" },
+                    if s.head { " +head" } else { "" },
+                    s.time.as_millis(),
+                    s.busy_fraction * 100.0,
+                );
+            }
+            for row in r.serving.iter().flatten() {
+                println!(
+                    "  serve {} × {}: {} reqs, ttft p99 {:.2} ms, tpot mean {:.2} ms, goodput {:.1} req/s",
+                    elk::spec::design_name(row.design),
+                    row.policy,
+                    row.completed,
+                    row.ttft.p99.as_millis(),
+                    row.tpot.mean.as_millis(),
+                    row.goodput_rps,
                 );
             }
             r.to_value()

@@ -18,7 +18,8 @@
 //! | [`compiler`] | `elk-core` | scheduling, allocation, reordering, codegen |
 //! | [`sim`] | `elk-sim` | event-driven chip simulator |
 //! | [`baselines`] | `elk-baselines` | Basic / Static / Elk-Dyn / Elk-Full / Ideal |
-//! | [`serve`] | `elk-serve` | request-level serving simulator (traces, batching, SLOs) |
+//! | [`serve`] | `elk-serve` | request-level serving simulator (traces, batching, SLOs, routers) |
+//! | [`cluster`] | `elk-cluster` | multi-chip (tp, pp, dp) planning, cluster estimation + serving |
 //! | [`spec`] | `elk-spec` | declarative JSON scenario specs, runners, and sweeps |
 //! | [`par`] | `elk-par` | scoped work-pool: deterministic `par_map`, single-flight |
 //! | [`units`] | `elk-units` | typed bytes/seconds/bandwidth/FLOPs |
@@ -48,13 +49,14 @@
 //! `crates/elk-bench` for the paper's tables and figures, and
 //! [`docs/ARCHITECTURE.md`](https://example.invalid/elk/blob/main/docs/ARCHITECTURE.md)
 //! (in the repository root) for the end-to-end dataflow — model →
-//! partition → compile → simulate → serve → bench — including the
-//! determinism contract of the [`par`] work-pool that every stage's
-//! `threads` knob feeds into.
+//! partition → compile → simulate → serve → cluster → bench —
+//! including the determinism contract of the [`par`] work-pool that
+//! every stage's `threads` knob feeds into.
 
 #![warn(missing_docs)]
 
 pub use elk_baselines as baselines;
+pub use elk_cluster as cluster;
 pub use elk_core as compiler;
 pub use elk_cost as cost;
 pub use elk_hw as hw;
@@ -69,8 +71,11 @@ pub use elk_units as units;
 /// The common imports for application code.
 pub mod prelude {
     pub use elk_baselines::{Design, DesignRunner};
+    pub use elk_cluster::{ClusterEstimator, ClusterOptions, ParallelismPlan};
     pub use elk_core::{Compiler, CompilerOptions};
-    pub use elk_hw::{presets, ChipConfig, HbmConfig, SystemConfig, Topology};
+    pub use elk_hw::{
+        presets, ChipConfig, CollectiveModel, HbmConfig, InterChipTopology, SystemConfig, Topology,
+    };
     pub use elk_model::{zoo, ModelGraph, SeqBuckets, TransformerConfig, Workload};
     pub use elk_serve::{
         ArrivalProcess, BatchConfig, LengthDist, RequestTrace, ServeConfig, ServingReport,

@@ -1,0 +1,145 @@
+//! Golden guarantees of the cluster layer (acceptance checks of the
+//! elk-cluster PR):
+//!
+//! 1. `scenarios/pod4_llama_tp_pp.json` (shrunk to test size via the
+//!    sweep override machinery) auto-selects a `(tp, pp, dp)` plan and
+//!    produces a `ClusterRunReport` with a per-stage timeline, bubble
+//!    fraction, and scaling efficiency;
+//! 2. the whole report — search included — is byte-identical at
+//!    `threads = 1` vs `8`;
+//! 3. a pinned `tp = pp = dp = 1` plan reproduces the single-chip
+//!    `SimReport` total bit for bit (the cluster layer adds no drift);
+//! 4. the router-comparison scenario serves every request under every
+//!    policy, byte-identically across thread counts.
+
+use elk::baselines::{Design, DesignRunner};
+use elk::cluster::ParallelismPlan;
+use elk::prelude::*;
+use elk::spec::sweep::set_path;
+use elk::spec::{runner, ScenarioSpec};
+
+fn scenario_doc(name: &str) -> serde::Value {
+    let path = format!("{}/scenarios/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    serde_json::from_str(&text).expect("valid scenario JSON")
+}
+
+fn shrunk_pod4(threads: u64) -> ScenarioSpec {
+    let mut doc = scenario_doc("pod4_llama_tp_pp.json");
+    set_path(&mut doc, "model.layers", serde::Value::U64(2)).unwrap();
+    set_path(&mut doc, "workload.batch", serde::Value::U64(8)).unwrap();
+    set_path(&mut doc, "workload.seq_len", serde::Value::U64(512)).unwrap();
+    set_path(&mut doc, "cluster.threads", serde::Value::U64(threads)).unwrap();
+    serde::Deserialize::from_value(&doc).expect("still a valid scenario")
+}
+
+#[test]
+fn pod4_scenario_auto_selects_a_plan_with_full_reporting() {
+    let report = runner::run_cluster(&shrunk_pod4(1)).expect("cluster run succeeds");
+    assert!(report.auto, "no pinned plan: the search must have run");
+    let candidates = report.candidates.as_ref().expect("grid recorded");
+    assert!(
+        candidates.iter().filter(|c| c.step_total.is_some()).count() >= 4,
+        "pod4 has several feasible layouts"
+    );
+
+    let e = &report.estimate;
+    assert!(e.plan.chips_used() <= 4);
+    assert_eq!(
+        e.stages.len(),
+        e.plan.pp as usize,
+        "one timeline row per stage"
+    );
+    assert!(e.stages[0].start.is_zero());
+    assert_eq!(
+        e.stages.last().unwrap().end,
+        e.step_total,
+        "the timeline closes the step"
+    );
+    assert!((0.0..1.0).contains(&e.bubble_fraction));
+    let eff = e.scaling_efficiency.expect("single-chip baseline feasible");
+    assert!(eff > 0.0, "efficiency must be positive, got {eff}");
+    // The winner is at least as fast as every feasible candidate.
+    for c in candidates {
+        if let Some(t) = c.step_total {
+            assert!(e.step_total <= t, "{:?} beat the chosen plan", c.plan);
+        }
+    }
+}
+
+#[test]
+fn cluster_reports_are_byte_identical_across_thread_counts() {
+    let seq = runner::run_cluster(&shrunk_pod4(1)).expect("threads=1");
+    let par = runner::run_cluster(&shrunk_pod4(8)).expect("threads=8");
+    assert_eq!(
+        serde_json::to_string(&seq).expect("serialize"),
+        serde_json::to_string(&par).expect("serialize"),
+        "auto-search report must be byte-identical at any thread count"
+    );
+}
+
+/// The tp=pp=dp=1 equivalence: the cluster estimate of the trivial plan
+/// *is* the single-chip SimReport — same engine path, zero collective
+/// and pipeline overhead, efficiency exactly 1.
+#[test]
+fn unit_plan_pins_to_the_single_chip_sim_report() {
+    let mut doc = scenario_doc("pod4_llama_tp_pp.json");
+    set_path(&mut doc, "model.layers", serde::Value::U64(2)).unwrap();
+    set_path(&mut doc, "workload.batch", serde::Value::U64(8)).unwrap();
+    set_path(&mut doc, "workload.seq_len", serde::Value::U64(512)).unwrap();
+    set_path(
+        &mut doc,
+        "cluster.plan",
+        serde_json::from_str(r#"{"tp": 1, "pp": 1, "dp": 1}"#).unwrap(),
+    )
+    .unwrap();
+    let spec: ScenarioSpec = serde::Deserialize::from_value(&doc).expect("valid");
+    let report = runner::run_cluster(&spec).expect("unit plan runs");
+    assert!(!report.auto);
+    assert_eq!(report.estimate.plan, ParallelismPlan::unit());
+
+    // Reference: the same engine calls on a 1-chip carve of the pod.
+    let mut cfg = zoo::llama2_13b();
+    cfg.layers = 2;
+    let graph = cfg.build(Workload::decode(8, 512), 1);
+    let runner_hw = DesignRunner::new(presets::ipu_pod4().subpod(1)).with_threads(1);
+    let catalog = runner_hw.catalog(&graph).expect("catalog");
+    let outcome = runner_hw
+        .run(Design::ElkFull, &graph, &catalog, &SimOptions::default())
+        .expect("single-chip compile");
+
+    assert_eq!(
+        report.estimate.step_total, outcome.report.total,
+        "ClusterReport total must pin to the single-chip SimReport"
+    );
+    assert_eq!(report.estimate.scaling_efficiency, Some(1.0));
+    assert_eq!(report.estimate.bubble_fraction, 0.0);
+}
+
+#[test]
+fn router_scenario_serves_every_request_under_every_policy() {
+    let mut doc = scenario_doc("cluster_router_burst.json");
+    set_path(&mut doc, "serving.trace.requests", serde::Value::U64(8)).unwrap();
+    let spec: ScenarioSpec = serde::Deserialize::from_value(&doc).expect("valid");
+    let report = runner::run_cluster(&spec).expect("router scenario runs");
+    let rows = report.serving.as_ref().expect("cluster.serve is on");
+    assert_eq!(rows.len(), 3, "three router policies compared");
+    let mut names: Vec<&str> = rows.iter().map(|r| r.policy.name()).collect();
+    names.dedup();
+    assert_eq!(names, ["round_robin", "least_outstanding", "power_of_two"]);
+    for row in rows {
+        assert_eq!(row.completed, 8, "{}", row.policy);
+        assert_eq!(row.per_group_requests.iter().sum::<usize>(), 8);
+        assert_eq!(row.plan, ParallelismPlan::new(2, 1, 2));
+    }
+
+    // Thread-count invariance holds for the serving rows too.
+    set_path(&mut doc, "cluster.threads", serde::Value::U64(8)).unwrap();
+    let spec8: ScenarioSpec = serde::Deserialize::from_value(&doc).expect("valid");
+    let par = runner::run_cluster(&spec8).expect("threads=8");
+    assert_eq!(
+        serde_json::to_string(&report).expect("serialize"),
+        serde_json::to_string(&par).expect("serialize"),
+        "routed serving must be byte-identical at any thread count"
+    );
+}

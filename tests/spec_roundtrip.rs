@@ -12,10 +12,11 @@ use proptest::prelude::*;
 
 use elk::baselines::Design;
 use elk::model::Phase;
-use elk::serve::{ArrivalProcess, LengthDist};
+use elk::serve::{ArrivalProcess, LengthDist, RouterPolicy};
 use elk::spec::spec::{
-    ChipSpec, CompilerSpec, HbmSpec, ModelSpec, ScenarioSpec, SeqBucketsSpec, ServingSpec, SimSpec,
-    SloSpec, SweepAxis, SweepSpec, SystemSpec, TopologySpec, TraceSpec, WorkloadSpec,
+    ChipSpec, ClusterSpec, CompilerSpec, HbmSpec, ModelSpec, PlanSpec, ScenarioSpec,
+    SeqBucketsSpec, ServingSpec, SimSpec, SloSpec, SweepAxis, SweepSpec, SystemSpec, TopologySpec,
+    TraceSpec, WorkloadSpec,
 };
 use elk::spec::SweepCommand;
 
@@ -54,6 +55,7 @@ fn arb_system() -> impl Strategy<Value = SystemSpec> {
                     hbm: HbmSpec {
                         channels: chips,
                         channel_bw_gib_s: bw,
+                        capacity_gib: 32 + chips,
                     },
                     inter_chip_bw_gib_s: bw * 2.0,
                 }
@@ -181,6 +183,53 @@ fn arb_serving() -> impl Strategy<Value = ServingSpec> {
         )
 }
 
+fn arb_cluster() -> impl Strategy<Value = Option<ClusterSpec>> {
+    (
+        0usize..3,
+        (1u64..=4, 1u64..=4, 1u64..=4),
+        (any::<bool>(), 1u64..=8),
+        any::<bool>(),
+        0usize..4,
+        (any::<bool>(), 0u64..=1 << 32, 0usize..=8),
+    )
+        .prop_map(
+            |(
+                variant,
+                (tp, pp, dp),
+                (with_micro, micro),
+                mesh_links,
+                policies,
+                (serve, seed, threads),
+            )| {
+                if variant == 0 {
+                    return None;
+                }
+                let microbatches = with_micro.then_some(micro);
+                let all = [
+                    RouterPolicy::RoundRobin,
+                    RouterPolicy::LeastOutstanding,
+                    RouterPolicy::PowerOfTwoChoices { seed },
+                ];
+                let router: Vec<RouterPolicy> = (0..=policies.min(2))
+                    .map(|i| all[(policies + i) % all.len()])
+                    .collect();
+                Some(ClusterSpec {
+                    plan: (variant == 2).then_some(PlanSpec { tp, pp, dp }),
+                    microbatches,
+                    interconnect: if mesh_links {
+                        "fully_connected"
+                    } else {
+                        "ring"
+                    }
+                    .into(),
+                    router,
+                    serve,
+                    threads,
+                })
+            },
+        )
+}
+
 fn arb_sweep() -> impl Strategy<Value = Option<SweepSpec>> {
     (
         0usize..3,
@@ -212,13 +261,13 @@ fn arb_sweep() -> impl Strategy<Value = Option<SweepSpec>> {
 fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
     (
         (arb_system(), arb_model(), arb_workload()),
-        (arb_compiler(), arb_serving(), arb_sweep()),
+        (arb_compiler(), arb_serving(), arb_cluster(), arb_sweep()),
         (0.0f64..0.5, 0u64..=1 << 40, 0usize..=64),
     )
         .prop_map(
             |(
                 (system, model, workload),
-                (compiler, serving, sweep),
+                (compiler, serving, cluster, sweep),
                 (noise_sigma, noise_seed, trace_samples),
             )| ScenarioSpec {
                 name: format!("prop-{noise_seed}"),
@@ -232,6 +281,7 @@ fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
                     trace_samples,
                 },
                 serving,
+                cluster,
                 sweep,
             },
         )
