@@ -5,14 +5,21 @@
 //!
 //! After the individual experiments, the per-experiment headline
 //! metrics (recorded via `Ctx::metric` — simulated quantities only,
-//! never wall-clock) are consolidated into `<out>/BENCH.json`, one
-//! object per experiment, so successive PRs can diff performance
-//! machine-readably.
+//! never wall-clock) are consolidated into `<out>/BENCH.json`'s
+//! `experiments` section, one object per experiment, so successive PRs
+//! can diff performance machine-readably. Measured quantities recorded
+//! via `Ctx::perf` (the scale bench's events/sec and peak RSS) land in
+//! a separate run-varying `perf` section.
+//!
+//! The scale bench defaults to one million requests; set
+//! `ELK_SCALE_REQUESTS` to shrink it for smoke runs.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
-use serde::{Serialize, Value};
+use serde::Value;
+
+use elk_bench::bench_json;
 
 type Experiment = (&'static str, fn(&mut elk_bench::Ctx));
 
@@ -35,38 +42,33 @@ fn main() {
         ("fig24", elk_bench::experiments::fig24::run),
         ("serving", elk_bench::experiments::serving::run),
         ("cluster", elk_bench::experiments::cluster::run),
+        ("scale", elk_bench::experiments::scale::run),
     ];
     let t0 = Instant::now();
-    let mut consolidated: Vec<(String, Value)> = Vec::new();
+    let mut metrics: Vec<(String, Value)> = Vec::new();
+    let mut perf: Vec<(String, Value)> = Vec::new();
     let mut out: Option<PathBuf> = None;
     for (id, run) in experiments {
         let mut ctx = elk_bench::bin_ctx(id);
         let t = Instant::now();
         run(&mut ctx);
-        consolidated.push((
-            id.to_string(),
-            Value::Map(
-                ctx.metrics()
-                    .iter()
-                    .map(|(k, v)| (k.clone(), v.to_value()))
-                    .collect(),
-            ),
-        ));
+        metrics.push(bench_json::entry(id, ctx.metrics()));
+        if !ctx.perf_metrics().is_empty() {
+            perf.push(bench_json::entry(id, ctx.perf_metrics()));
+        }
         // Every ctx resolves the same --out/ELK_RESULTS_DIR policy;
         // reuse it so BENCH.json lands next to the per-experiment files.
         out.get_or_insert_with(|| ctx.results_dir().to_path_buf());
         println!("[{id} done in {:.1}s]\n", t.elapsed().as_secs_f64());
     }
 
-    // One consolidated machine-readable snapshot. No wall-clock fields:
-    // re-running the suite on the same commit reproduces it byte for
-    // byte, so PR-to-PR diffs show performance drift only.
+    // One consolidated machine-readable snapshot. The `experiments`
+    // section holds no wall-clock fields: re-running the suite on the
+    // same commit reproduces it byte for byte, so PR-to-PR diffs show
+    // performance drift only. Wall-clock-derived numbers live under
+    // `perf`, which is documented as run-varying.
     let out = out.expect("at least one experiment ran");
-    std::fs::create_dir_all(&out).expect("create results dir");
-    let bench = Value::Map(vec![("experiments".into(), Value::Map(consolidated))]);
-    let path = out.join("BENCH.json");
-    let json = serde_json::to_string_pretty(&bench).expect("metrics serialize");
-    std::fs::write(&path, json + "\n").expect("write BENCH.json");
+    let path = bench_json::update(&out, metrics, perf);
     println!("consolidated metrics: {}", path.display());
     println!("all experiments done in {:.1}s", t0.elapsed().as_secs_f64());
 }

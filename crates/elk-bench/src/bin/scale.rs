@@ -1,0 +1,15 @@
+//! Standalone scale bench: `ELK_SCALE_REQUESTS` (default one million)
+//! requests through a routed dp=4 cluster on the event kernel. Writes
+//! `scale.{txt,json}` and merges its deterministic metrics plus the
+//! measured `perf` numbers (events/sec, peak RSS) into `BENCH.json`.
+
+fn main() {
+    let mut ctx = elk_bench::bin_ctx("scale");
+    elk_bench::experiments::scale::run(&mut ctx);
+    let path = elk_bench::bench_json::update(
+        ctx.results_dir(),
+        vec![elk_bench::bench_json::entry("scale", ctx.metrics())],
+        vec![elk_bench::bench_json::entry("scale", ctx.perf_metrics())],
+    );
+    println!("consolidated metrics: {}", path.display());
+}

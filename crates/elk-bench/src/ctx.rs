@@ -29,6 +29,12 @@ pub struct Ctx {
     /// order. `repro_all` consolidates them into `results/BENCH.json`
     /// so successive PRs can diff performance machine-readably.
     metrics: Vec<(String, f64)>,
+    /// Measured (wall-clock-derived) metrics recorded via
+    /// [`Ctx::perf`]: events/sec, peak RSS. Kept separate from
+    /// [`Ctx::metric`] because they legitimately change run to run —
+    /// consolidators put them under a distinct `perf` section that is
+    /// excluded from byte-identity checks.
+    perf: Vec<(String, f64)>,
 }
 
 impl Ctx {
@@ -57,6 +63,7 @@ impl Ctx {
             full: std::env::var_os("ELK_FULL").is_some(),
             threads,
             metrics: Vec::new(),
+            perf: Vec::new(),
         }
     }
 
@@ -92,6 +99,26 @@ impl Ctx {
     #[must_use]
     pub fn metrics(&self) -> &[(String, f64)] {
         &self.metrics
+    }
+
+    /// Records one *measured* metric — a wall-clock-derived quantity
+    /// like events/sec or peak RSS. These go to `BENCH.json`'s `perf`
+    /// section, which is documented as run-varying and excluded from
+    /// the byte-identity contract the deterministic metrics obey.
+    /// Duplicate keys keep the last value.
+    pub fn perf(&mut self, key: impl Into<String>, value: f64) {
+        let key = key.into();
+        if let Some(slot) = self.perf.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.perf.push((key, value));
+        }
+    }
+
+    /// The measured metrics recorded so far, in insertion order.
+    #[must_use]
+    pub fn perf_metrics(&self) -> &[(String, f64)] {
+        &self.perf
     }
 
     /// The resolved results directory this context writes into — the
@@ -152,6 +179,24 @@ impl Ctx {
             .expect("write transcript");
         let json = serde_json::to_string_pretty(payload).expect("serialize results");
         fs::write(self.results_dir.join(format!("{}.json", self.id)), json).expect("write json");
+    }
+}
+
+/// Peak resident-set size of this process in bytes (Linux `VmHWM`),
+/// or `None` where the kernel does not expose it. Used by the scale
+/// bench's `perf` metrics; never part of a deterministic payload.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = fs::read_to_string("/proc/self/status").ok()?;
+        let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+        let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+        Some(kib * 1024)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
     }
 }
 

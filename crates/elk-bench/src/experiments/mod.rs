@@ -19,6 +19,7 @@ pub mod fig21;
 pub mod fig22;
 pub mod fig23;
 pub mod fig24;
+pub mod scale;
 pub mod serving;
 pub mod table2;
 

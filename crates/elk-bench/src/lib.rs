@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_json;
 pub mod ctx;
 pub mod experiments;
 

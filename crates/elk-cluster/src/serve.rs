@@ -3,15 +3,16 @@
 //!
 //! Where [`elk_serve::ServingSim`] pre-partitions its trace round-robin
 //! so replicas can simulate independently, the cluster engine routes
-//! **dynamically**: arrivals are processed in global time order, every
-//! group's simulation is advanced to the arrival instant, and a
-//! [`Router`] picks the group from the observed outstanding counts.
-//! This makes load-aware policies (least-outstanding, power-of-two
-//! choices) meaningful, at the cost of a sequential event loop — worker
-//! threads still accelerate the compile side through the shared
-//! single-flight [`PlanCache`], and because cached step latencies are
-//! deterministic the emitted report is byte-identical at any thread
-//! count.
+//! **dynamically**: all groups share one [`elk_sim_core`] event queue,
+//! so arrivals and step completions interleave in global time order and
+//! a [`Router`] picks each arrival's group from the outstanding counts
+//! observable *at that instant* — never from steps that only finish
+//! later. This makes load-aware policies (least-outstanding,
+//! power-of-two choices) meaningful, at the cost of a sequential event
+//! loop — worker threads still accelerate the compile side through the
+//! shared single-flight [`PlanCache`], and because cached step
+//! latencies are deterministic the emitted report is byte-identical at
+//! any thread count.
 //!
 //! A group's step latency is the pipeline composition of its stages:
 //! each stage's sub-graph is compiled and simulated through the exact
@@ -30,6 +31,7 @@ use elk_serve::{
     RouterPolicy, SloConfig, StepPlan,
 };
 use elk_sim::SimOptions;
+use elk_sim_core::{EventQueue, QueueStat, PRIO_ARRIVAL, PRIO_STEP_DONE};
 use elk_units::Seconds;
 
 use crate::plan::{ParallelismPlan, StageSpan};
@@ -114,25 +116,58 @@ pub struct ClusterServingReport {
     pub decode_steps: u64,
     /// Requests dispatched to each replica group, in group order.
     pub per_group_requests: Vec<usize>,
-    /// Mean waiting-queue depth sampled at iteration boundaries.
+    /// Time-weighted mean waiting-queue depth: total depth×time area
+    /// over total simulated group-time (same contract as
+    /// [`elk_serve::ServingReport`]).
     pub mean_queue_depth: f64,
-    /// Deepest waiting queue observed on any group.
+    /// Deepest waiting queue observed on any group at any instant.
     pub max_queue_depth: usize,
+    /// `(time, waiting)` depth transitions, all groups interleaved in
+    /// time order — the same timestamped shape `elk-serve` reports.
+    pub queue_depth: Vec<(Seconds, usize)>,
+    /// Simulation-kernel events fired (arrivals + step completions).
+    pub sim_events: u64,
     /// Per-request timelines, in trace order (`replica` is the group).
     pub outcomes: Vec<RequestOutcome>,
 }
 
+/// Typed events on the cluster's shared simulation timeline.
+enum Ev {
+    /// The request at this trace index reaches the front-end router.
+    Arrival(usize),
+    /// This group's in-flight scheduler step completes.
+    StepDone {
+        /// Index of the group whose step finished.
+        gid: usize,
+    },
+}
+
+/// What a group's in-flight step will do when its completion fires.
+enum PendingStep {
+    /// Prefill of these trace indices.
+    Prefill {
+        /// Trace indices admitted into the step.
+        batch: Vec<usize>,
+    },
+    /// One decode iteration over the group's active set.
+    Decode,
+}
+
 /// One replica group's live state during the event loop.
 struct Group {
-    clock: Seconds,
     /// Waiting queue, trace indices in dispatch order (FIFO).
     waiting: Vec<usize>,
     /// Active (decoding) requests.
     active: Vec<InFlight>,
+    /// The step currently running on the group's chips, if any.
+    pending: Option<PendingStep>,
     prefill_steps: u64,
     decode_steps: u64,
-    queue_samples: Vec<usize>,
+    /// Waiting-queue depth trace (transitions + time-weighted area).
+    queue: QueueStat,
     served: usize,
+    /// Completion time of the group's last step.
+    end: Seconds,
 }
 
 struct InFlight {
@@ -143,22 +178,25 @@ struct InFlight {
 impl Group {
     fn new() -> Self {
         Group {
-            clock: Seconds::ZERO,
             waiting: Vec::new(),
             active: Vec::new(),
+            pending: None,
             prefill_steps: 0,
             decode_steps: 0,
-            queue_samples: Vec::new(),
+            queue: QueueStat::new(),
             served: 0,
+            end: Seconds::ZERO,
         }
     }
 
+    /// Queued + in-flight requests, as a front-end router observes them:
+    /// requests inside an unfinished prefill step still count.
     fn outstanding(&self) -> usize {
-        self.waiting.len() + self.active.len()
-    }
-
-    fn idle(&self) -> bool {
-        self.waiting.is_empty() && self.active.is_empty()
+        let in_step = match &self.pending {
+            Some(PendingStep::Prefill { batch }) => batch.len(),
+            _ => 0,
+        };
+        self.waiting.len() + self.active.len() + in_step
     }
 }
 
@@ -301,120 +339,127 @@ impl ClusterServingSim {
         let mut router = Router::new(policy, dp);
         let mut groups: Vec<Group> = (0..dp).map(|_| Group::new()).collect();
         let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; trace.len()];
+        let reqs = &trace.requests;
 
-        // Global arrival order: route each request with every group's
-        // simulation advanced to the arrival instant, so outstanding
-        // counts reflect what a cluster front-end would observe.
-        for (idx, req) in trace.requests.iter().enumerate() {
-            for (gid, group) in groups.iter_mut().enumerate() {
-                self.advance(design, group, gid, trace, req.arrival, &mut outcomes)?;
-            }
-            let outstanding: Vec<usize> = groups.iter().map(Group::outstanding).collect();
-            let pick = router.route(&outstanding);
-            let group = &mut groups[pick];
-            if group.idle() && group.clock < req.arrival {
-                group.clock = req.arrival;
-            }
-            group.waiting.push(idx);
-            group.served += 1;
+        // One shared kernel timeline: arrivals and every group's step
+        // completions interleave in global `(time, priority, seq)`
+        // order, so the router observes exactly the state a front-end
+        // would see at the arrival instant.
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        for (idx, req) in reqs.iter().enumerate() {
+            q.schedule(req.arrival, PRIO_ARRIVAL, Ev::Arrival(idx));
         }
-        // Drain every group.
-        for (gid, group) in groups.iter_mut().enumerate() {
-            self.advance(design, group, gid, trace, Seconds::INFINITY, &mut outcomes)?;
+
+        while let Some(fired) = q.pop() {
+            let now = q.now();
+            match fired.event {
+                Ev::Arrival(idx) => {
+                    let outstanding: Vec<usize> = groups.iter().map(Group::outstanding).collect();
+                    let pick = router.route(&outstanding);
+                    let group = &mut groups[pick];
+                    group.waiting.push(idx);
+                    group.served += 1;
+                    group.queue.record(now, group.waiting.len());
+                }
+                Ev::StepDone { gid } => {
+                    let group = &mut groups[gid];
+                    match group.pending.take().expect("StepDone implies a step") {
+                        PendingStep::Prefill { batch } => {
+                            group.prefill_steps += 1;
+                            for idx in batch {
+                                outcomes[idx] = Some(RequestOutcome {
+                                    id: reqs[idx].id,
+                                    replica: gid,
+                                    arrival: reqs[idx].arrival,
+                                    first_token: now,
+                                    completion: now,
+                                    output_len: reqs[idx].output_len,
+                                });
+                                if reqs[idx].output_len > 1 {
+                                    group.active.push(InFlight { idx, generated: 1 });
+                                }
+                            }
+                        }
+                        PendingStep::Decode => {
+                            group.decode_steps += 1;
+                            group.active.retain_mut(|a| {
+                                a.generated += 1;
+                                let outcome = outcomes[a.idx].as_mut().expect("prefilled");
+                                outcome.completion = now;
+                                a.generated < reqs[a.idx].output_len
+                            });
+                        }
+                    }
+                    group.end = now;
+                }
+            }
+            // Defer dispatch until every event at this instant has
+            // fired, then scan groups in index order (deterministic).
+            if q.peek_time() == Some(now) {
+                continue;
+            }
+            for (gid, group) in groups.iter_mut().enumerate() {
+                if group.pending.is_some() {
+                    continue;
+                }
+                let prompts: Vec<u64> = group
+                    .waiting
+                    .iter()
+                    .take(self.config.batch.max_batch as usize)
+                    .map(|&i| reqs[i].prompt_len)
+                    .collect();
+                let Some(step) = next_step(&self.config.batch, &prompts, group.active.len()) else {
+                    continue;
+                };
+                let latency = match step {
+                    StepPlan::Prefill { admit } => {
+                        let batch: Vec<usize> = group.waiting.drain(..admit).collect();
+                        group.queue.record(now, group.waiting.len());
+                        let longest = batch
+                            .iter()
+                            .map(|&i| reqs[i].prompt_len)
+                            .max()
+                            .expect("prefill admits >= 1");
+                        let wl = self.config.batch.step_workload(
+                            Phase::Prefill,
+                            batch.len() as u64,
+                            longest,
+                        );
+                        let latency = self
+                            .split_step(design, wl)
+                            .map_err(|(stage, source)| ClusterError::Compile { stage, source })?;
+                        group.pending = Some(PendingStep::Prefill { batch });
+                        latency
+                    }
+                    StepPlan::Decode => {
+                        let deepest = group
+                            .active
+                            .iter()
+                            .map(|a| reqs[a.idx].prompt_len + a.generated)
+                            .max()
+                            .expect("decode requires >= 1 active");
+                        let wl = self.config.batch.step_workload(
+                            Phase::Decode,
+                            group.active.len() as u64,
+                            deepest,
+                        );
+                        let latency = self
+                            .split_step(design, wl)
+                            .map_err(|(stage, source)| ClusterError::Compile { stage, source })?;
+                        group.pending = Some(PendingStep::Decode);
+                        latency
+                    }
+                };
+                q.schedule_after(latency, PRIO_STEP_DONE, Ev::StepDone { gid });
+            }
         }
 
         let outcomes: Vec<RequestOutcome> = outcomes
             .into_iter()
             .map(|o| o.expect("the drain completes every request"))
             .collect();
-        Ok(self.summarize(design, policy, trace, &groups, outcomes))
-    }
-
-    /// Advances one group's event loop up to `horizon`: it keeps taking
-    /// steps while it has work and its clock is before the horizon (a
-    /// step may *finish* past the horizon — scheduling decisions are
-    /// made at step start with the information available then).
-    fn advance(
-        &self,
-        design: Design,
-        group: &mut Group,
-        gid: usize,
-        trace: &RequestTrace,
-        horizon: Seconds,
-        outcomes: &mut [Option<RequestOutcome>],
-    ) -> Result<(), ClusterError> {
-        let reqs = &trace.requests;
-        loop {
-            if group.idle() || group.clock >= horizon {
-                return Ok(());
-            }
-            let prompts: Vec<u64> = group
-                .waiting
-                .iter()
-                .take(self.config.batch.max_batch as usize)
-                .map(|&i| reqs[i].prompt_len)
-                .collect();
-            let Some(step) = next_step(&self.config.batch, &prompts, group.active.len()) else {
-                return Ok(());
-            };
-            match step {
-                StepPlan::Prefill { admit } => {
-                    let batch: Vec<usize> = group.waiting.drain(..admit).collect();
-                    let longest = batch
-                        .iter()
-                        .map(|&i| reqs[i].prompt_len)
-                        .max()
-                        .expect("prefill admits >= 1");
-                    let wl = self.config.batch.step_workload(
-                        Phase::Prefill,
-                        batch.len() as u64,
-                        longest,
-                    );
-                    group.clock += self
-                        .split_step(design, wl)
-                        .map_err(|(stage, source)| ClusterError::Compile { stage, source })?;
-                    group.prefill_steps += 1;
-                    for idx in batch {
-                        outcomes[idx] = Some(RequestOutcome {
-                            id: reqs[idx].id,
-                            replica: gid,
-                            arrival: reqs[idx].arrival,
-                            first_token: group.clock,
-                            completion: group.clock,
-                            output_len: reqs[idx].output_len,
-                        });
-                        if reqs[idx].output_len > 1 {
-                            group.active.push(InFlight { idx, generated: 1 });
-                        }
-                    }
-                }
-                StepPlan::Decode => {
-                    let deepest = group
-                        .active
-                        .iter()
-                        .map(|a| reqs[a.idx].prompt_len + a.generated)
-                        .max()
-                        .expect("decode requires >= 1 active");
-                    let wl = self.config.batch.step_workload(
-                        Phase::Decode,
-                        group.active.len() as u64,
-                        deepest,
-                    );
-                    group.clock += self
-                        .split_step(design, wl)
-                        .map_err(|(stage, source)| ClusterError::Compile { stage, source })?;
-                    group.decode_steps += 1;
-                    let clock = group.clock;
-                    group.active.retain_mut(|a| {
-                        a.generated += 1;
-                        let outcome = outcomes[a.idx].as_mut().expect("prefilled");
-                        outcome.completion = clock;
-                        a.generated < reqs[a.idx].output_len
-                    });
-                }
-            }
-            group.queue_samples.push(group.waiting.len());
-        }
+        let sim_events = q.events_processed();
+        Ok(self.summarize(design, policy, trace, groups, outcomes, sim_events))
     }
 
     /// Folds per-request outcomes into the aggregate report.
@@ -423,8 +468,9 @@ impl ClusterServingSim {
         design: Design,
         policy: RouterPolicy,
         trace: &RequestTrace,
-        groups: &[Group],
+        groups: Vec<Group>,
         outcomes: Vec<RequestOutcome>,
+        sim_events: u64,
     ) -> ClusterServingReport {
         let ttft: Vec<Seconds> = outcomes.iter().map(RequestOutcome::ttft).collect();
         let tpot: Vec<Seconds> = outcomes.iter().filter_map(RequestOutcome::tpot).collect();
@@ -435,12 +481,27 @@ impl ClusterServingSim {
             .count();
         let makespan = groups
             .iter()
-            .map(|g| g.clock)
+            .map(|g| g.end)
             .fold(Seconds::ZERO, Seconds::max);
         let span = makespan.as_secs();
         let per_sec = |x: f64| if span > 0.0 { x / span } else { 0.0 };
-        let samples: usize = groups.iter().map(|g| g.queue_samples.len()).sum();
-        let depth_sum: usize = groups.iter().flat_map(|g| &g.queue_samples).sum();
+        // Time-weighted queue mean: each group's depth integrated over
+        // its own timeline, pooled over total simulated group-time.
+        let depth_area: f64 = groups.iter().map(|g| g.queue.area_until(g.end)).sum();
+        let sim_time: f64 = groups.iter().map(|g| g.end.as_secs()).sum();
+        let max_queue_depth = groups
+            .iter()
+            .map(|g| g.queue.max_depth())
+            .max()
+            .unwrap_or(0);
+        let prefill_steps = groups.iter().map(|g| g.prefill_steps).sum();
+        let decode_steps = groups.iter().map(|g| g.decode_steps).sum();
+        let per_group_requests = groups.iter().map(|g| g.served).collect();
+        let mut queue_depth: Vec<(Seconds, usize)> = groups
+            .into_iter()
+            .flat_map(|g| g.queue.into_samples())
+            .collect();
+        queue_depth.sort_by_key(|&(t, _)| t);
         ClusterServingReport {
             design,
             policy,
@@ -460,20 +521,17 @@ impl ClusterServingSim {
             goodput_rps: per_sec(met as f64),
             throughput_rps: per_sec(outcomes.len() as f64),
             tokens_per_sec: per_sec(trace.total_output_tokens() as f64),
-            prefill_steps: groups.iter().map(|g| g.prefill_steps).sum(),
-            decode_steps: groups.iter().map(|g| g.decode_steps).sum(),
-            per_group_requests: groups.iter().map(|g| g.served).collect(),
-            mean_queue_depth: if samples == 0 {
-                0.0
+            prefill_steps,
+            decode_steps,
+            per_group_requests,
+            mean_queue_depth: if sim_time > 0.0 {
+                depth_area / sim_time
             } else {
-                depth_sum as f64 / samples as f64
+                0.0
             },
-            max_queue_depth: groups
-                .iter()
-                .flat_map(|g| &g.queue_samples)
-                .copied()
-                .max()
-                .unwrap_or(0),
+            max_queue_depth,
+            queue_depth,
+            sim_events,
             outcomes,
         }
     }

@@ -1,16 +1,20 @@
 //! The serving engine: replays a request trace against compiled plans.
 //!
-//! Time advances iteration by iteration: each scheduler step compiles
-//! (or cache-hits) the Elk plan for its bucketed workload signature and
-//! advances the replica's clock by the simulated step latency from
-//! [`elk_sim`]'s `SimReport`. Requests are routed round-robin across
-//! `replicas` independent chip groups that share one plan cache.
+//! Each replica is an event source on the [`elk_sim_core`] kernel:
+//! arrivals and step completions are typed events on one total-ordered
+//! queue, and the simulation clock only moves when an event fires. A
+//! scheduler step compiles (or cache-hits) the Elk plan for its
+//! bucketed workload signature and schedules its completion at the
+//! simulated step latency from [`elk_sim`]'s `SimReport`. Requests are
+//! routed round-robin across `replicas` independent chip groups that
+//! share one plan cache.
 
 use elk_baselines::{Design, DesignRunner};
 use elk_core::CompileError;
 use elk_hw::SystemConfig;
 use elk_model::{Phase, TransformerConfig};
 use elk_sim::SimOptions;
+use elk_sim_core::{EventQueue, QueueStat, PRIO_ARRIVAL, PRIO_STEP_DONE};
 use elk_units::Seconds;
 
 use crate::batcher::{next_step, BatchConfig, StepPlan};
@@ -101,19 +105,41 @@ struct InFlight {
     generated: u64,
 }
 
+/// Typed events on a replica's simulation timeline.
+enum Ev {
+    /// The request at this trace index joins the waiting queue.
+    Arrival(usize),
+    /// The in-flight scheduler step completes.
+    StepDone,
+}
+
+/// What the in-flight step will do when its [`Ev::StepDone`] fires.
+enum PendingStep {
+    /// Prefill of these trace indices; each emits its first token at
+    /// completion.
+    Prefill {
+        /// Trace indices admitted into the step.
+        batch: Vec<usize>,
+    },
+    /// One decode iteration over the whole active set.
+    Decode,
+}
+
 /// One replica's event-loop output, merged deterministically by
 /// [`ServingSim::run`].
 struct ReplicaRun {
     /// `(trace index, outcome)` for every request this replica served.
     outcomes: Vec<(usize, RequestOutcome)>,
-    /// `(time, waiting-queue depth)` samples after each step.
-    queue_depth: Vec<(Seconds, usize)>,
+    /// Waiting-queue depth trace (transitions + time-weighted area).
+    queue: QueueStat,
     /// Prefill steps executed.
     prefill_steps: u64,
     /// Decode steps executed.
     decode_steps: u64,
     /// The replica's final clock.
     end: Seconds,
+    /// Kernel events fired by this replica's timeline.
+    events: u64,
 }
 
 impl ServingSim {
@@ -191,17 +217,34 @@ impl ServingSim {
         let mut prefill_steps = 0u64;
         let mut decode_steps = 0u64;
         let mut makespan = Seconds::ZERO;
+        let mut sim_events = 0u64;
+        // The fleet-wide mean queue depth is the total depth-time area
+        // over the total simulated replica-time: each replica's depth
+        // is integrated over its own timeline, so a 5 ms decode step
+        // and a 900 ms prefill stall weigh by their durations.
+        let mut depth_area = 0.0;
+        let mut sim_time = 0.0;
+        let mut max_q = 0usize;
         for run in runs {
             for (idx, outcome) in run.outcomes {
                 outcomes[idx] = Some(outcome);
             }
-            queue_depth.extend(run.queue_depth);
             prefill_steps += run.prefill_steps;
             decode_steps += run.decode_steps;
             makespan = makespan.max(run.end);
+            sim_events += run.events;
+            depth_area += run.queue.area_until(run.end);
+            sim_time += run.end.as_secs();
+            max_q = max_q.max(run.queue.max_depth());
+            queue_depth.extend(run.queue.into_samples());
         }
 
         queue_depth.sort_by_key(|&(t, _)| t);
+        let mean_q = if sim_time > 0.0 {
+            depth_area / sim_time
+        } else {
+            0.0
+        };
         let outcomes: Vec<RequestOutcome> = outcomes
             .into_iter()
             .map(|o| o.expect("every request completes"))
@@ -211,14 +254,22 @@ impl ServingSim {
             trace,
             outcomes,
             queue_depth,
-            prefill_steps,
-            decode_steps,
+            (mean_q, max_q),
+            (prefill_steps, decode_steps),
             makespan,
+            sim_events,
             self.cache.stats().since(stats_before),
         ))
     }
 
-    /// Runs one replica's event loop.
+    /// Runs one replica as an event source on the simulation kernel.
+    ///
+    /// Arrivals fire at class [`PRIO_ARRIVAL`] and step completions at
+    /// [`PRIO_STEP_DONE`], so a step finishing at the same instant a
+    /// request arrives observes that arrival in its scheduling decision
+    /// — the same "admit everything arrived by now" semantics the old
+    /// hand-rolled loop had. Scheduling decisions are deferred until
+    /// every event at the current instant has fired.
     fn run_replica(
         &self,
         design: Design,
@@ -230,20 +281,65 @@ impl ServingSim {
             .collect();
         let reqs = &trace.requests;
         let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; trace.len()];
-        let mut queue_depth: Vec<(Seconds, usize)> = Vec::new();
+        let mut queue = QueueStat::new();
         let mut prefill_steps = 0u64;
         let mut decode_steps = 0u64;
-        let mut clock = Seconds::ZERO;
-        let mut next = 0; // index into `assigned` not yet arrived
         let mut waiting: Vec<usize> = Vec::new(); // FIFO, trace indices
         let mut active: Vec<InFlight> = Vec::new();
-        let mut done = 0usize;
+        let mut pending: Option<PendingStep> = None;
+        let mut end = Seconds::ZERO;
 
-        while done < assigned.len() {
-            // Admit everything that has arrived by now.
-            while next < assigned.len() && reqs[assigned[next]].arrival <= clock {
-                waiting.push(assigned[next]);
-                next += 1;
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        for &idx in &assigned {
+            q.schedule(reqs[idx].arrival, PRIO_ARRIVAL, Ev::Arrival(idx));
+        }
+
+        while let Some(fired) = q.pop() {
+            let now = q.now();
+            match fired.event {
+                Ev::Arrival(idx) => {
+                    waiting.push(idx);
+                    queue.record(now, waiting.len());
+                }
+                Ev::StepDone => {
+                    match pending.take().expect("StepDone implies an in-flight step") {
+                        PendingStep::Prefill { batch } => {
+                            prefill_steps += 1;
+                            for idx in batch {
+                                // The prefill step emits each request's
+                                // first token.
+                                let outcome = RequestOutcome {
+                                    id: reqs[idx].id,
+                                    replica,
+                                    arrival: reqs[idx].arrival,
+                                    first_token: now,
+                                    completion: now,
+                                    output_len: reqs[idx].output_len,
+                                };
+                                outcomes[idx] = Some(outcome);
+                                if reqs[idx].output_len > 1 {
+                                    active.push(InFlight { idx, generated: 1 });
+                                }
+                            }
+                        }
+                        PendingStep::Decode => {
+                            decode_steps += 1;
+                            active.retain_mut(|a| {
+                                a.generated += 1;
+                                let outcome = outcomes[a.idx].as_mut().expect("prefilled");
+                                outcome.completion = now;
+                                a.generated < reqs[a.idx].output_len
+                            });
+                        }
+                    }
+                    end = now;
+                }
+            }
+            // Defer the scheduling decision until everything at this
+            // instant has fired (all simultaneous arrivals admitted,
+            // the step completion applied).
+            if q.peek_time() == Some(now) || pending.is_some() {
+                continue;
             }
             // next_step never admits more than max_batch requests, so a
             // deep waiting queue need not be materialized in full.
@@ -252,14 +348,15 @@ impl ServingSim {
                 .take(self.config.batch.max_batch as usize)
                 .map(|&i| reqs[i].prompt_len)
                 .collect();
+            // No step to run (all-idle): the clock next moves at the
+            // following arrival event — the old loop's idle-jump.
             let Some(step) = next_step(&self.config.batch, &prompts, active.len()) else {
-                // Idle: jump to the next arrival.
-                clock = reqs[assigned[next]].arrival;
                 continue;
             };
-            match step {
+            let latency = match step {
                 StepPlan::Prefill { admit } => {
                     let batch: Vec<usize> = waiting.drain(..admit).collect();
+                    queue.record(now, waiting.len());
                     let longest = batch
                         .iter()
                         .map(|&i| reqs[i].prompt_len)
@@ -270,25 +367,9 @@ impl ServingSim {
                         batch.len() as u64,
                         longest,
                     );
-                    clock += self.split_latency(design, wl)?;
-                    prefill_steps += 1;
-                    for idx in batch {
-                        // The prefill step emits each request's first token.
-                        let outcome = RequestOutcome {
-                            id: reqs[idx].id,
-                            replica,
-                            arrival: reqs[idx].arrival,
-                            first_token: clock,
-                            completion: clock,
-                            output_len: reqs[idx].output_len,
-                        };
-                        outcomes[idx] = Some(outcome);
-                        if reqs[idx].output_len > 1 {
-                            active.push(InFlight { idx, generated: 1 });
-                        } else {
-                            done += 1;
-                        }
-                    }
+                    let latency = self.split_latency(design, wl)?;
+                    pending = Some(PendingStep::Prefill { batch });
+                    latency
                 }
                 StepPlan::Decode => {
                     let deepest = active
@@ -301,32 +382,23 @@ impl ServingSim {
                         active.len() as u64,
                         deepest,
                     );
-                    clock += self.split_latency(design, wl)?;
-                    decode_steps += 1;
-                    active.retain_mut(|a| {
-                        a.generated += 1;
-                        let outcome = outcomes[a.idx].as_mut().expect("prefilled");
-                        outcome.completion = clock;
-                        if a.generated >= reqs[a.idx].output_len {
-                            done += 1;
-                            false
-                        } else {
-                            true
-                        }
-                    });
+                    let latency = self.split_latency(design, wl)?;
+                    pending = Some(PendingStep::Decode);
+                    latency
                 }
-            }
-            queue_depth.push((clock, waiting.len()));
+            };
+            q.schedule_after(latency, PRIO_STEP_DONE, Ev::StepDone);
         }
         Ok(ReplicaRun {
             outcomes: assigned
                 .iter()
                 .map(|&i| (i, outcomes[i].take().expect("assigned request completed")))
                 .collect(),
-            queue_depth,
+            queue,
             prefill_steps,
             decode_steps,
-            end: clock,
+            end,
+            events: q.events_processed(),
         })
     }
 
@@ -381,9 +453,10 @@ impl ServingSim {
         trace: &RequestTrace,
         outcomes: Vec<RequestOutcome>,
         queue_depth: Vec<(Seconds, usize)>,
-        prefill_steps: u64,
-        decode_steps: u64,
+        (mean_q, max_q): (f64, usize),
+        (prefill_steps, decode_steps): (u64, u64),
         makespan: Seconds,
+        sim_events: u64,
         cache: crate::cache::CacheStats,
     ) -> ServingReport {
         let ttft: Vec<Seconds> = outcomes.iter().map(RequestOutcome::ttft).collect();
@@ -395,14 +468,6 @@ impl ServingSim {
             .count();
         let span = makespan.as_secs();
         let per_sec = |x: f64| if span > 0.0 { x / span } else { 0.0 };
-        let (mean_q, max_q) = if queue_depth.is_empty() {
-            (0.0, 0)
-        } else {
-            (
-                queue_depth.iter().map(|&(_, d)| d as f64).sum::<f64>() / queue_depth.len() as f64,
-                queue_depth.iter().map(|&(_, d)| d).max().unwrap_or(0),
-            )
-        };
         ServingReport {
             design,
             replicas: self.config.replicas,
@@ -426,6 +491,7 @@ impl ServingSim {
             mean_queue_depth: mean_q,
             max_queue_depth: max_q,
             queue_depth,
+            sim_events,
             cache,
             outcomes,
         }

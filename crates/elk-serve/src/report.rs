@@ -46,13 +46,18 @@ pub struct ServingReport {
     pub prefill_steps: u64,
     /// Decode iterations across all replicas.
     pub decode_steps: u64,
-    /// Mean waiting-queue depth sampled at iteration boundaries.
+    /// Time-weighted mean waiting-queue depth: total depth×time area
+    /// over total simulated replica-time, so a long prefill stall
+    /// weighs by its duration instead of counting as one sample.
     pub mean_queue_depth: f64,
-    /// Deepest waiting queue observed.
+    /// Deepest waiting queue observed at any instant.
     pub max_queue_depth: usize,
-    /// `(time, waiting)` samples at iteration boundaries, all replicas
-    /// interleaved in time order.
+    /// `(time, waiting)` depth *transitions* (unchanged depths are not
+    /// re-logged), all replicas interleaved in time order.
     pub queue_depth: Vec<(Seconds, usize)>,
+    /// Simulation-kernel events fired across all replica timelines
+    /// (arrivals + step completions).
+    pub sim_events: u64,
     /// Plan-cache hits/misses incurred by this run alone.
     pub cache: CacheStats,
     /// Per-request timelines, in trace order.
@@ -83,10 +88,11 @@ impl fmt::Display for ServingReport {
         )?;
         writeln!(
             f,
-            "  {:.0} tok/s | {} prefill + {} decode steps | queue mean {:.1} max {}",
+            "  {:.0} tok/s | {} prefill + {} decode steps | {} sim events | queue mean {:.1} max {}",
             self.tokens_per_sec,
             self.prefill_steps,
             self.decode_steps,
+            self.sim_events,
             self.mean_queue_depth,
             self.max_queue_depth
         )?;
@@ -125,6 +131,7 @@ mod tests {
             mean_queue_depth: 1.5,
             max_queue_depth: 3,
             queue_depth: vec![],
+            sim_events: 34,
             cache: CacheStats { hits: 3, misses: 1 },
             outcomes: vec![],
         };

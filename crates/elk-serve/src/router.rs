@@ -33,6 +33,7 @@
 
 use std::fmt;
 
+use elk_sim_core::SimRng;
 use serde::{Deserialize, Serialize};
 
 /// The dispatch policy of a [`Router`].
@@ -43,7 +44,7 @@ pub enum RouterPolicy {
     /// Send each arrival to the group with the fewest outstanding
     /// requests (ties broken toward the lowest index).
     LeastOutstanding,
-    /// Sample two groups with a seeded xorshift RNG and pick the less
+    /// Sample two groups with a seeded kernel RNG and pick the less
     /// loaded (ties toward the lower index of the pair).
     PowerOfTwoChoices {
         /// RNG seed; the same seed replays the same choice sequence.
@@ -91,8 +92,8 @@ pub struct Router {
     groups: usize,
     /// Round-robin cursor.
     next: usize,
-    /// Power-of-two RNG state.
-    rng: u64,
+    /// Power-of-two seeded stream (the kernel's [`SimRng`]).
+    rng: SimRng,
 }
 
 impl Router {
@@ -112,9 +113,7 @@ impl Router {
             policy,
             groups,
             next: 0,
-            // Xorshift state must be non-zero; fold the seed through a
-            // splitmix-style constant so seed 0 is usable too.
-            rng: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+            rng: SimRng::new(seed),
         }
     }
 
@@ -122,16 +121,6 @@ impl Router {
     #[must_use]
     pub fn policy(&self) -> RouterPolicy {
         self.policy
-    }
-
-    /// Next xorshift64 sample.
-    fn sample(&mut self) -> u64 {
-        let mut x = self.rng;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.rng = x;
-        x
     }
 
     /// Picks the group for the next arrival. `outstanding[g]` is group
@@ -160,8 +149,8 @@ impl Router {
                 .map(|(i, _)| i)
                 .expect("at least one group"),
             RouterPolicy::PowerOfTwoChoices { .. } => {
-                let a = (self.sample() % self.groups as u64) as usize;
-                let b = (self.sample() % self.groups as u64) as usize;
+                let a = self.rng.gen_index(self.groups);
+                let b = self.rng.gen_index(self.groups);
                 // Less loaded wins; ties to the lower index.
                 if (outstanding[b], b) < (outstanding[a], a) {
                     b
@@ -211,7 +200,7 @@ mod tests {
             drowned < picks.len() / 2,
             "p2c sent {drowned}/32 to the hot group"
         );
-        // Seed zero is valid (non-zero xorshift state internally).
+        // Seed zero is valid (splitmix64 has no bad seeds).
         let _ = seq(0, &[0, 0]);
     }
 

@@ -1,0 +1,282 @@
+//! The total-ordered event queue at the heart of the kernel.
+//!
+//! Every event is keyed `(time, priority, seq)`:
+//!
+//! * `time` — the simulation instant the event fires at;
+//! * `priority` — the class tie-break for simultaneous events (lower
+//!   fires first; e.g. arrivals before step completions, so an engine
+//!   observing "everything that has arrived by now" at a completion
+//!   instant sees arrivals at exactly that instant too);
+//! * `seq` — the schedule-order tie-break: among events with equal
+//!   `(time, priority)` the one scheduled first fires first (FIFO).
+//!
+//! The triple is a total order, so the pop sequence is a pure function
+//! of the schedule calls — never of heap internals, hash iteration, or
+//! thread interleaving. That is what lets the serving engines promise
+//! byte-identical reports at any `--threads` count.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use elk_units::Seconds;
+
+/// The total-order key of a scheduled event: `(time, priority, seq)`,
+/// compared lexicographically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventKey {
+    /// Simulation instant the event fires at.
+    pub time: Seconds,
+    /// Tie-break among simultaneous events — lower fires first.
+    pub priority: u8,
+    /// Schedule-order tie-break (assigned by [`EventQueue::schedule`]).
+    pub seq: u64,
+}
+
+impl Ord for EventKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.priority, self.seq).cmp(&(other.time, other.priority, other.seq))
+    }
+}
+
+impl PartialOrd for EventKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An event popped from the queue: its key plus the typed payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// The `(time, priority, seq)` key the event fired under.
+    pub key: EventKey,
+    /// The event payload.
+    pub event: E,
+}
+
+/// Heap entry: ordered by key only (reversed, so the `BinaryHeap`
+/// max-heap yields the *smallest* key first). The payload never
+/// participates in ordering, so `E` needs no `Ord`.
+#[derive(Debug)]
+struct Entry<E> {
+    key: EventKey,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key.cmp(&self.key) // reversed: min-heap behavior
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list with a simulation clock.
+///
+/// [`pop`](EventQueue::pop) advances the clock to the fired event's
+/// time; [`schedule`](EventQueue::schedule) refuses to schedule into
+/// the past, so causality violations fail loudly instead of silently
+/// reordering history.
+///
+/// # Examples
+///
+/// ```
+/// use elk_sim_core::EventQueue;
+/// use elk_units::Seconds;
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(Seconds::new(2.0), 1, "step-complete");
+/// q.schedule(Seconds::new(2.0), 0, "arrival"); // same instant, higher class
+/// q.schedule(Seconds::new(1.0), 1, "first");
+///
+/// assert_eq!(q.pop().unwrap().event, "first");
+/// assert_eq!(q.pop().unwrap().event, "arrival"); // priority 0 beats 1
+/// assert_eq!(q.pop().unwrap().event, "step-complete");
+/// assert_eq!(q.now(), Seconds::new(2.0));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: Seconds,
+    next_seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: Seconds::ZERO,
+            next_seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// The simulation clock: the fire time of the last popped event
+    /// (zero before the first pop).
+    #[must_use]
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Schedules `event` at `time` with class `priority` and returns its
+    /// total-order key. Among equal `(time, priority)` pairs, earlier
+    /// schedule calls fire first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is before [`now`](EventQueue::now) — an event
+    /// source tried to rewrite history.
+    pub fn schedule(&mut self, time: Seconds, priority: u8, event: E) -> EventKey {
+        assert!(
+            time >= self.now,
+            "causality violation: scheduling at {time} with the clock at {}",
+            self.now
+        );
+        let key = EventKey {
+            time,
+            priority,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.heap.push(Entry { key, event });
+        key
+    }
+
+    /// Schedules `event` a `delay` after the current clock.
+    ///
+    /// # Panics
+    ///
+    /// Never — a non-negative delay cannot violate causality.
+    pub fn schedule_after(&mut self, delay: Seconds, priority: u8, event: E) -> EventKey {
+        let at = self.now + delay;
+        self.schedule(at, priority, event)
+    }
+
+    /// Fires the next event in `(time, priority, seq)` order, advancing
+    /// the clock to its time. Returns `None` when the future is empty.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let entry = self.heap.pop()?;
+        self.now = entry.key.time;
+        self.processed += 1;
+        Some(Scheduled {
+            key: entry.key,
+            event: entry.event,
+        })
+    }
+
+    /// The fire time of the next event, if any — without popping it.
+    /// Engines use this to defer scheduling decisions until every event
+    /// at the current instant has fired.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Seconds> {
+        self.heap.peek().map(|e| e.key.time)
+    }
+
+    /// Events still scheduled.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Events fired so far — the denominator-free half of an
+    /// events-per-second throughput measurement.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_priority_seq_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Seconds::new(3.0), 0, "d");
+        q.schedule(Seconds::new(1.0), 1, "b");
+        q.schedule(Seconds::new(1.0), 0, "a");
+        q.schedule(Seconds::new(1.0), 1, "c"); // same key class as "b": FIFO
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Seconds::new(2.0), 0, ());
+        q.schedule(Seconds::new(5.0), 0, ());
+        assert_eq!(q.now(), Seconds::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Seconds::new(2.0));
+        assert_eq!(q.peek_time(), Some(Seconds::new(5.0)));
+        q.pop();
+        assert_eq!(q.now(), Seconds::new(5.0));
+        assert_eq!(q.events_processed(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_the_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(Seconds::new(4.0), 0, "base");
+        q.pop();
+        let key = q.schedule_after(Seconds::new(1.5), 2, "later");
+        assert_eq!(key.time, Seconds::new(5.5));
+        assert_eq!(key.priority, 2);
+    }
+
+    #[test]
+    fn seq_keys_are_unique_and_monotone() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Seconds::new(1.0), 0, ());
+        let b = q.schedule(Seconds::new(1.0), 0, ());
+        assert!(a.seq < b.seq);
+        assert!(a < b, "equal (time, priority): schedule order decides");
+    }
+
+    #[test]
+    #[should_panic(expected = "causality violation")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Seconds::new(2.0), 0, ());
+        q.pop();
+        q.schedule(Seconds::new(1.0), 0, ());
+    }
+
+    #[test]
+    fn empty_queue_pops_none_and_keeps_the_clock() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.pop().is_none());
+        assert_eq!(q.now(), Seconds::ZERO);
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.len(), 0);
+    }
+}

@@ -219,10 +219,10 @@ fn run_scenario(command: &str, opts: &ScenarioArgs) -> Result<(), Fail> {
             match spec.model.resolve().map_err(Fail::from)? {
                 elk::spec::ResolvedModel::Llm(_) => {}
                 _ => {
-                    println!(
-                        "{}: serving skipped — the serving engine batches dense transformers only",
-                        spec.name
-                    );
+                    let reason = "the serving engine batches dense transformers only";
+                    println!("{}: serving skipped — {reason}", spec.name);
+                    let path = write_skip_marker(&opts.out, &spec.name, command, reason)?;
+                    println!("skip marker: {}", path.display());
                     return Ok(());
                 }
             }
@@ -247,10 +247,10 @@ fn run_scenario(command: &str, opts: &ScenarioArgs) -> Result<(), Fail> {
             match spec.model.resolve().map_err(Fail::from)? {
                 elk::spec::ResolvedModel::Llm(_) => {}
                 _ => {
-                    println!(
-                        "{}: cluster planning skipped — the planner shards dense transformers only",
-                        spec.name
-                    );
+                    let reason = "the planner shards dense transformers only";
+                    println!("{}: cluster planning skipped — {reason}", spec.name);
+                    let path = write_skip_marker(&opts.out, &spec.name, command, reason)?;
+                    println!("skip marker: {}", path.display());
                     return Ok(());
                 }
             }
@@ -336,6 +336,23 @@ fn write_report(out: &Path, name: &str, command: &str, report: &Value) -> Result
     let json = serde_json::to_string_pretty(report).expect("report serialization is infallible");
     fs::write(&path, json + "\n").map_err(|e| Fail::run(format!("{}: {e}", path.display())))?;
     Ok(path)
+}
+
+/// Writes the structured `<stem>.<command>.skipped.json` marker for a
+/// scenario a command declines (MoE/DiT under `serve`/`cluster`).
+///
+/// A skip exits 0, but it must still leave a machine-readable trace:
+/// without one, "skipped by design" and "silently never ran" are
+/// indistinguishable to anything consuming the results directory. The
+/// marker round-trips through `elk validate` like every other report.
+fn write_skip_marker(out: &Path, name: &str, command: &str, reason: &str) -> Result<PathBuf, Fail> {
+    let marker = Value::Map(vec![
+        ("scenario".to_string(), Value::Str(name.to_string())),
+        ("command".to_string(), Value::Str(command.to_string())),
+        ("skipped".to_string(), Value::Bool(true)),
+        ("reason".to_string(), Value::Str(reason.to_string())),
+    ]);
+    write_report(out, name, &format!("{command}.skipped"), &marker)
 }
 
 /// `elk validate`: every given JSON file (or every `*.json` in a given

@@ -17,6 +17,7 @@
 //! | [`partition`] | `elk-partition` | execute/preload-state plan enumeration |
 //! | [`compiler`] | `elk-core` | scheduling, allocation, reordering, codegen |
 //! | [`sim`] | `elk-sim` | event-driven chip simulator |
+//! | [`sim_core`] | `elk-sim-core` | deterministic DES kernel: event queue, clock, seeded RNG, time-weighted stats |
 //! | [`baselines`] | `elk-baselines` | Basic / Static / Elk-Dyn / Elk-Full / Ideal |
 //! | [`serve`] | `elk-serve` | request-level serving simulator (traces, batching, SLOs, routers) |
 //! | [`cluster`] | `elk-cluster` | multi-chip (tp, pp, dp) planning, cluster estimation + serving |
@@ -65,6 +66,7 @@ pub use elk_par as par;
 pub use elk_partition as partition;
 pub use elk_serve as serve;
 pub use elk_sim as sim;
+pub use elk_sim_core as sim_core;
 pub use elk_spec as spec;
 pub use elk_units as units;
 

@@ -147,3 +147,44 @@ fn sweep_scenario_is_thread_count_invariant() {
     };
     assert_eq!(designs.len(), 2, "basic + elk_full from the base file");
 }
+
+/// `elk serve`/`elk cluster` on a model the engine cannot batch (MoE)
+/// exit 0 but must leave a structured `*.skipped.json` marker — a
+/// results directory where "skipped by design" and "never ran" look
+/// identical is a silent-failure trap.
+#[test]
+fn moe_skip_writes_a_structured_marker() {
+    let out = std::env::temp_dir().join(format!("elk-skip-marker-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out);
+    let scenario = format!("{}/scenarios/moe_mixtral.json", env!("CARGO_MANIFEST_DIR"));
+    for command in ["serve", "cluster"] {
+        let output = std::process::Command::new(env!("CARGO_BIN_EXE_elk"))
+            .args([command, &scenario, "--out"])
+            .arg(&out)
+            .output()
+            .expect("spawn elk");
+        assert!(
+            output.status.success(),
+            "`elk {command}` on MoE must exit 0"
+        );
+        let marker = out.join(format!("moe_mixtral.{command}.skipped.json"));
+        let text = std::fs::read_to_string(&marker)
+            .unwrap_or_else(|e| panic!("{}: {e}", marker.display()));
+        let v: serde::Value = serde_json::from_str(&text).expect("marker parses");
+        assert_eq!(v.get("skipped"), Some(&serde::Value::Bool(true)));
+        assert_eq!(
+            v.get("command"),
+            Some(&serde::Value::Str(command.to_string()))
+        );
+        assert_eq!(
+            v.get("scenario"),
+            Some(&serde::Value::Str("moe_mixtral".to_string()))
+        );
+        assert!(
+            v.get("reason")
+                .is_some_and(|r| matches!(r, serde::Value::Str(s) if !s.is_empty())),
+            "marker must say why the run was skipped"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&out);
+}
