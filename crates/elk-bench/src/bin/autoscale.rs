@@ -1,0 +1,16 @@
+//! `autoscale` binary: elastic dp fleet vs static provisioning on a
+//! bursty trace (see `experiments::autoscale`). Writes
+//! `autoscale.{txt,json}` and merges its deterministic headline
+//! metrics (SLO goodput and chip-seconds per fleet, scale events,
+//! cold-start totals) into `BENCH.json`.
+
+fn main() {
+    let mut ctx = elk_bench::bin_ctx("autoscale");
+    elk_bench::experiments::autoscale::run(&mut ctx);
+    let path = elk_bench::bench_json::update(
+        ctx.results_dir(),
+        vec![elk_bench::bench_json::entry("autoscale", ctx.metrics())],
+        vec![],
+    );
+    println!("consolidated metrics: {}", path.display());
+}

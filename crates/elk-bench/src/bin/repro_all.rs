@@ -42,6 +42,7 @@ fn main() {
         ("fig24", elk_bench::experiments::fig24::run),
         ("serving", elk_bench::experiments::serving::run),
         ("cluster", elk_bench::experiments::cluster::run),
+        ("autoscale", elk_bench::experiments::autoscale::run),
         ("scale", elk_bench::experiments::scale::run),
     ];
     let t0 = Instant::now();

@@ -4,6 +4,7 @@
 pub mod ablation_allocator;
 pub mod ablation_reorder;
 pub mod ablation_sram;
+pub mod autoscale;
 pub mod cluster;
 pub mod fig05;
 pub mod fig06;

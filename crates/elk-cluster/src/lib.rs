@@ -17,7 +17,12 @@
 //! * [`ClusterServingSim`] — request-level serving across `dp` replica
 //!   groups, each running the `(tp, pp)` pipeline, with pluggable
 //!   [`RouterPolicy`](elk_serve::RouterPolicy) dispatch and the shared
-//!   single-flight plan cache.
+//!   single-flight plan cache;
+//! * [`AutoscaleServingSim`] — the same replay with an elastic group
+//!   fleet: a controller grows/shrinks the ready set against
+//!   time-weighted queue depth and windowed SLO attainment, and each
+//!   spin-up pays a cold start equal to its plan-compilation cost
+//!   priced through the shared cache.
 //!
 //! Everything is deterministic: searches fan over [`elk_par`] with
 //! index-ordered merging and the serving event loop is sequential in
@@ -54,10 +59,15 @@
 
 #![warn(missing_docs)]
 
+mod autoscale;
 mod estimate;
 mod plan;
+mod pricing;
 mod serve;
 
+pub use autoscale::{
+    AutoscaleConfig, AutoscaleReport, AutoscaleServingSim, ScaleEvent, ScaleEventKind,
+};
 pub use estimate::{
     ClusterEstimator, ClusterOptions, ClusterReport, PlanCandidate, SearchOutcome, StageReport,
 };

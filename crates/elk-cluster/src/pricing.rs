@@ -1,0 +1,133 @@
+//! Shared step pricing for the cluster serving engines: one bucketed
+//! workload step through a `(tp, pp)` pipeline, compiled per stage
+//! through the single-flight [`PlanCache`] and composed with the
+//! stage-boundary collective cost.
+//!
+//! Both [`ClusterServingSim`](crate::ClusterServingSim) and the
+//! autoscaling engine ([`AutoscaleServingSim`](crate::AutoscaleServingSim))
+//! price steps here, so a shape compiled by one is a cache hit for the
+//! other and their latencies agree exactly.
+
+use elk_baselines::{Design, DesignRunner};
+use elk_core::CompileError;
+use elk_hw::{CollectiveModel, SystemConfig};
+use elk_model::{TransformerConfig, Workload};
+use elk_serve::{CacheStats, PlanCache};
+use elk_sim::SimOptions;
+use elk_units::Seconds;
+
+use crate::plan::{ParallelismPlan, StageSpan};
+
+/// Prices pipeline steps for one `(pod, model, tp, pp)` layout. Owns
+/// the group-level [`DesignRunner`] (fitted cost model) and the shared
+/// single-flight [`PlanCache`]; `dp` does not enter pricing — every
+/// replica group runs the identical pipeline.
+#[derive(Debug)]
+pub(crate) struct StepPricer {
+    runner: DesignRunner,
+    cache: PlanCache,
+    stages: Vec<StageSpan>,
+    links: CollectiveModel,
+    model: TransformerConfig,
+    plan: ParallelismPlan,
+    sim: SimOptions,
+}
+
+impl StepPricer {
+    /// Builds the pricer: group subpod runner, stage spans, and
+    /// boundary collective model. `threads` sizes the cache's compile
+    /// worker pool only — priced latencies are byte-identical at any
+    /// setting.
+    pub fn new(
+        system: &SystemConfig,
+        model: TransformerConfig,
+        plan: ParallelismPlan,
+        sim: SimOptions,
+        threads: usize,
+    ) -> Self {
+        StepPricer {
+            runner: DesignRunner::new(system.subpod(plan.tp)).with_threads(1),
+            cache: PlanCache::new().with_threads(threads),
+            stages: plan.stages(model.layers),
+            links: plan.tp_links(system),
+            model,
+            plan,
+            sim,
+        }
+    }
+
+    /// Cumulative plan-cache counters (across all runs so far). Not
+    /// part of any emitted report — the hit/miss split shifts with the
+    /// compile worker count.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Latency of one bucketed `wl` step through the whole `(tp, pp)`
+    /// pipeline: every stage in sequence plus stage-boundary transfers.
+    /// Errors carry the failing stage index.
+    pub fn pipeline_step(
+        &self,
+        design: Design,
+        wl: Workload,
+    ) -> Result<Seconds, (usize, CompileError)> {
+        let model = &self.model;
+        let mut total = Seconds::ZERO;
+        // The exact boundary formula the estimator uses.
+        let boundary = self.plan.boundary_time(&self.links, model, wl);
+        for span in &self.stages {
+            let key = span.cache_key(&model.name, self.plan.tp);
+            total += self
+                .cache
+                .step_latency_for(
+                    &self.runner,
+                    &key,
+                    self.plan.tp,
+                    design,
+                    wl,
+                    &self.sim,
+                    |w, s| model.build_stage(w, s, span.layers.clone(), span.embed, span.head),
+                )
+                .map_err(|e| (span.index, e))?;
+            if span.index + 1 != self.stages.len() {
+                total += boundary;
+            }
+        }
+        Ok(total)
+    }
+
+    /// [`pipeline_step`](Self::pipeline_step) with the serving layer's
+    /// micro-batch fallback: when the full batch shape has no feasible
+    /// on-chip plan, halve the batch until it compiles (a batch-1
+    /// failure is a genuine error).
+    pub fn split_step(
+        &self,
+        design: Design,
+        wl: Workload,
+    ) -> Result<Seconds, (usize, CompileError)> {
+        match self.pipeline_step(design, wl) {
+            Ok(t) => Ok(t),
+            Err((
+                _,
+                CompileError::NoFeasiblePlan { .. } | CompileError::CapacityExceeded { .. },
+            )) if wl.batch > 1 => {
+                let lo = Workload {
+                    batch: wl.batch / 2,
+                    ..wl
+                };
+                let hi = Workload {
+                    batch: wl.batch - wl.batch / 2,
+                    ..wl
+                };
+                let a = self.split_step(design, lo)?;
+                let b = if hi.batch == lo.batch {
+                    a
+                } else {
+                    self.split_step(design, hi)?
+                };
+                Ok(a + b)
+            }
+            Err(e) => Err(e),
+        }
+    }
+}

@@ -22,19 +22,19 @@
 
 use serde::Serialize;
 
-use elk_baselines::{Design, DesignRunner};
-use elk_core::CompileError;
-use elk_hw::{CollectiveModel, SystemConfig};
-use elk_model::{Phase, TransformerConfig, Workload};
+use elk_baselines::Design;
+use elk_hw::SystemConfig;
+use elk_model::{Phase, TransformerConfig};
 use elk_serve::{
-    next_step, BatchConfig, LatencyStats, PlanCache, RequestOutcome, RequestTrace, Router,
-    RouterPolicy, SloConfig, StepPlan,
+    next_step, BatchConfig, LatencyStats, RequestOutcome, RequestTrace, Router, RouterPolicy,
+    SloConfig, StepPlan,
 };
 use elk_sim::SimOptions;
 use elk_sim_core::{EventQueue, QueueStat, PRIO_ARRIVAL, PRIO_STEP_DONE};
 use elk_units::Seconds;
 
-use crate::plan::{ParallelismPlan, StageSpan};
+use crate::plan::ParallelismPlan;
+use crate::pricing::StepPricer;
 use crate::ClusterError;
 
 /// Everything cluster serving is parameterized by (except the design
@@ -202,17 +202,14 @@ impl Group {
 
 /// Trace-driven cluster serving simulator for one (pod, model, plan).
 ///
-/// Owns the group-level [`DesignRunner`] (fitted cost model) and the
-/// shared single-flight [`PlanCache`], so consecutive runs — across
+/// Owns the group-level `DesignRunner` (fitted cost model) and the
+/// shared single-flight `PlanCache`, so consecutive runs — across
 /// designs and router policies — reuse stage catalogs and compiled
 /// plans.
 #[derive(Debug)]
 pub struct ClusterServingSim {
     config: ClusterServeConfig,
-    runner: DesignRunner,
-    cache: PlanCache,
-    stages: Vec<StageSpan>,
-    links: CollectiveModel,
+    pricer: StepPricer,
 }
 
 impl ClusterServingSim {
@@ -230,17 +227,14 @@ impl ClusterServingSim {
             .plan
             .validate_structure(&system, &config.model)
             .map_err(ClusterError::Invalid)?;
-        let group_system = system.subpod(config.plan.tp);
-        let links = config.plan.tp_links(&system);
-        let stages = config.plan.stages(config.model.layers);
-        let threads = config.threads;
-        Ok(ClusterServingSim {
-            runner: DesignRunner::new(group_system).with_threads(1),
-            cache: PlanCache::new().with_threads(threads),
-            stages,
-            links,
-            config,
-        })
+        let pricer = StepPricer::new(
+            &system,
+            config.model.clone(),
+            config.plan,
+            config.sim,
+            config.threads,
+        );
+        Ok(ClusterServingSim { pricer, config })
     }
 
     /// The serve configuration.
@@ -254,72 +248,7 @@ impl ClusterServingSim {
     /// compile worker count.
     #[must_use]
     pub fn cache_stats(&self) -> elk_serve::CacheStats {
-        self.cache.stats()
-    }
-
-    /// Latency of one bucketed `wl` step through the whole `(tp, pp)`
-    /// pipeline: every stage in sequence plus stage-boundary transfers.
-    /// Errors carry the failing stage index.
-    fn pipeline_step(
-        &self,
-        design: Design,
-        wl: Workload,
-    ) -> Result<Seconds, (usize, CompileError)> {
-        let plan = self.config.plan;
-        let model = &self.config.model;
-        let mut total = Seconds::ZERO;
-        // The exact boundary formula the estimator uses.
-        let boundary = plan.boundary_time(&self.links, model, wl);
-        for span in &self.stages {
-            let key = span.cache_key(&model.name, plan.tp);
-            total += self
-                .cache
-                .step_latency_for(
-                    &self.runner,
-                    &key,
-                    plan.tp,
-                    design,
-                    wl,
-                    &self.config.sim,
-                    |w, s| model.build_stage(w, s, span.layers.clone(), span.embed, span.head),
-                )
-                .map_err(|e| (span.index, e))?;
-            if span.index + 1 != self.stages.len() {
-                total += boundary;
-            }
-        }
-        Ok(total)
-    }
-
-    /// [`pipeline_step`](Self::pipeline_step) with the serving layer's
-    /// micro-batch fallback: when the full batch shape has no feasible
-    /// on-chip plan, halve the batch until it compiles (a batch-1
-    /// failure is a genuine error).
-    fn split_step(&self, design: Design, wl: Workload) -> Result<Seconds, (usize, CompileError)> {
-        match self.pipeline_step(design, wl) {
-            Ok(t) => Ok(t),
-            Err((
-                _,
-                CompileError::NoFeasiblePlan { .. } | CompileError::CapacityExceeded { .. },
-            )) if wl.batch > 1 => {
-                let lo = Workload {
-                    batch: wl.batch / 2,
-                    ..wl
-                };
-                let hi = Workload {
-                    batch: wl.batch - wl.batch / 2,
-                    ..wl
-                };
-                let a = self.split_step(design, lo)?;
-                let b = if hi.batch == lo.batch {
-                    a
-                } else {
-                    self.split_step(design, hi)?
-                };
-                Ok(a + b)
-            }
-            Err(e) => Err(e),
-        }
+        self.pricer.cache_stats()
     }
 
     /// Serves `trace` under `design`, dispatching with `policy`, and
@@ -426,6 +355,7 @@ impl ClusterServingSim {
                             longest,
                         );
                         let latency = self
+                            .pricer
                             .split_step(design, wl)
                             .map_err(|(stage, source)| ClusterError::Compile { stage, source })?;
                         group.pending = Some(PendingStep::Prefill { batch });
@@ -444,6 +374,7 @@ impl ClusterServingSim {
                             deepest,
                         );
                         let latency = self
+                            .pricer
                             .split_step(design, wl)
                             .map_err(|(stage, source)| ClusterError::Compile { stage, source })?;
                         group.pending = Some(PendingStep::Decode);

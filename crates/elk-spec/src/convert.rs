@@ -16,9 +16,11 @@ use elk_serve::{ArrivalProcess, BatchConfig, LengthDist, ServeConfig, SloConfig,
 use elk_sim::SimOptions;
 use elk_units::{ByteRate, Bytes, FlopRate, Seconds};
 
+use elk_trace::{LengthModel, RateShape, TraceGenConfig};
+
 use crate::spec::{
-    ChipSpec, ClusterSpec, HbmSpec, ModelSpec, ScenarioSpec, ServingSpec, SimSpec, SystemSpec,
-    TopologySpec, TraceSpec, WorkloadSpec,
+    AutoscaleSpec, ChipSpec, ClusterSpec, HbmSpec, ModelSpec, ScenarioSpec, ServingSpec, SimSpec,
+    SystemSpec, TopologySpec, TraceGenSpec, TraceSpec, WorkloadSpec,
 };
 use crate::SpecError;
 
@@ -419,6 +421,115 @@ fn validate_lengths(what: &str, dist: &LengthDist) -> Result<(), SpecError> {
         Ok(())
     } else {
         Err(invalid(format!("{what}: ill-formed distribution {dist:?}")))
+    }
+}
+
+impl TraceGenSpec {
+    /// Builds the [`TraceGenConfig`] this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] when the rate shape or a length
+    /// model violates the generator's invariants (the same conditions
+    /// [`TraceGenConfig::generate`] would panic on).
+    pub fn to_config(&self) -> Result<TraceGenConfig, SpecError> {
+        if self.requests == 0 {
+            return Err(invalid("workload.trace.generate.requests must be > 0"));
+        }
+        validate_rate(&self.rate)?;
+        validate_length_model("workload.trace.generate.prompt_len", &self.prompt_len)?;
+        validate_length_model("workload.trace.generate.output_len", &self.output_len)?;
+        Ok(TraceGenConfig {
+            seed: self.seed,
+            requests: self.requests,
+            rate: self.rate,
+            prompt_len: self.prompt_len,
+            output_len: self.output_len,
+            tenants: self.tenants,
+        })
+    }
+}
+
+fn validate_rate(rate: &RateShape) -> Result<(), SpecError> {
+    let at = "workload.trace.generate.rate";
+    match *rate {
+        RateShape::Constant { rate_rps } => {
+            positive(&format!("{at}.rate_rps"), rate_rps)?;
+        }
+        RateShape::Diurnal {
+            mean_rps,
+            amplitude,
+            period_s,
+        } => {
+            positive(&format!("{at}.mean_rps"), mean_rps)?;
+            positive(&format!("{at}.period_s"), period_s)?;
+            if !(0.0..1.0).contains(&amplitude) {
+                return Err(invalid(format!(
+                    "{at}.amplitude must be in [0, 1) so the rate stays positive, got {amplitude}"
+                )));
+            }
+        }
+        RateShape::BurstTrain {
+            base_rps,
+            burst_rps,
+            period_s,
+            burst_s,
+        } => {
+            positive(&format!("{at}.base_rps"), base_rps)?;
+            positive(&format!("{at}.period_s"), period_s)?;
+            positive(&format!("{at}.burst_s"), burst_s)?;
+            if burst_rps < base_rps {
+                return Err(invalid(format!(
+                    "{at}: burst_rps ({burst_rps}) must be >= base_rps ({base_rps})"
+                )));
+            }
+            if burst_s >= period_s {
+                return Err(invalid(format!(
+                    "{at}: burst_s ({burst_s}) must be shorter than period_s ({period_s})"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_length_model(what: &str, model: &LengthModel) -> Result<(), SpecError> {
+    let ok = match *model {
+        LengthModel::Fixed { tokens } => tokens > 0,
+        LengthModel::Uniform { lo, hi } => lo > 0 && lo <= hi,
+        LengthModel::HeavyTail { lo, alpha, cap } => {
+            lo > 0 && cap >= lo && alpha.is_finite() && alpha > 0.0
+        }
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(invalid(format!(
+            "{what}: ill-formed length model {model:?}"
+        )))
+    }
+}
+
+impl AutoscaleSpec {
+    /// Builds the [`elk_cluster::AutoscaleConfig`] this spec describes.
+    /// Threshold/bounds validation happens in
+    /// [`elk_cluster::AutoscaleServingSim::new`]; only the unit
+    /// conversion is checked here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] for a non-positive interval.
+    pub fn to_config(&self) -> Result<elk_cluster::AutoscaleConfig, SpecError> {
+        positive("cluster.autoscale.interval_ms", self.interval_ms)?;
+        Ok(elk_cluster::AutoscaleConfig {
+            min_groups: self.min_groups,
+            max_groups: self.max_groups,
+            interval: Seconds::new(self.interval_ms / 1e3),
+            up_queue_depth: self.up_queue_depth,
+            down_queue_depth: self.down_queue_depth,
+            slo_target: self.slo_target,
+            cold_start_steps: self.cold_start_steps,
+        })
     }
 }
 

@@ -53,8 +53,8 @@ pub mod spec;
 pub mod sweep;
 
 pub use convert::{ResolvedModel, SYSTEM_PRESETS};
-pub use report::{CompileReport, ServeReport, SimulateReport, SweepReport};
-pub use spec::{design_name, phase_name, ScenarioSpec, SweepCommand};
+pub use report::{CompileReport, ServeReport, SimulateReport, SweepReport, TraceGenReport};
+pub use spec::{design_name, phase_name, ScenarioSpec, SweepCommand, TraceSourceSpec};
 pub use sweep::run_sweep;
 
 use std::fmt;

@@ -8,7 +8,7 @@
 use serde::{Serialize, Value};
 
 use elk_baselines::Design;
-use elk_cluster::{ClusterReport, ClusterServingReport, PlanCandidate};
+use elk_cluster::{AutoscaleReport, ClusterReport, ClusterServingReport, PlanCandidate};
 use elk_core::CompileStats;
 use elk_model::Workload;
 use elk_serve::ServingReport;
@@ -186,6 +186,31 @@ pub struct ClusterRunReport {
     /// Routed serving comparison, one row per design × router policy
     /// (when the scenario's `cluster.serve` is on).
     pub serving: Option<Vec<ClusterServingReport>>,
+    /// Elastic-fleet replay, one row per design (when the scenario has
+    /// a `cluster.autoscale` section and `cluster.serve` is on).
+    pub autoscale: Option<Vec<AutoscaleReport>>,
+}
+
+/// Output of `elk trace gen`: a summary of the emitted trace file.
+/// Deterministic — trace content is a pure function of the generator
+/// spec, and no wall-clock field is recorded (the `PlanSearchStats`
+/// convention).
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceGenReport {
+    /// Scenario name (the trace file's stem).
+    pub scenario: String,
+    /// Generator seed.
+    pub seed: u64,
+    /// Records emitted.
+    pub requests: usize,
+    /// First-to-last arrival span, simulated seconds.
+    pub duration_s: f64,
+    /// Sum of prompt lengths.
+    pub total_prompt_tokens: u64,
+    /// Sum of output lengths.
+    pub total_output_tokens: u64,
+    /// Distinct tenant ids stamped on records.
+    pub tenants: usize,
 }
 
 /// Output of `elk sweep`: one report per grid point, in grid order.

@@ -7,13 +7,17 @@
 //! equivalent non-spec run — the golden tests pin this.
 
 use elk_baselines::DesignRunner;
-use elk_cluster::{ClusterError, ClusterEstimator, ClusterServeConfig, ClusterServingSim};
-use elk_serve::ServingSim;
+use elk_cluster::{
+    AutoscaleServingSim, ClusterError, ClusterEstimator, ClusterServeConfig, ClusterServingSim,
+};
+use elk_serve::{RequestTrace, ServingSim};
+use elk_trace::TraceFile;
 
 use crate::report::{
-    ClusterRunReport, CompileReport, DesignCompileReport, DesignSimRow, ServeReport, SimulateReport,
+    ClusterRunReport, CompileReport, DesignCompileReport, DesignSimRow, ServeReport,
+    SimulateReport, TraceGenReport,
 };
-use crate::spec::{ClusterSpec, ScenarioSpec};
+use crate::spec::{ClusterSpec, ScenarioSpec, TraceSourceSpec};
 use crate::SpecError;
 
 impl From<ClusterError> for SpecError {
@@ -107,6 +111,72 @@ pub fn run_simulate(spec: &ScenarioSpec) -> Result<SimulateReport, SpecError> {
     })
 }
 
+/// Resolves the request trace a replay command uses: the
+/// `workload.trace` source when the scenario has one (a recorded
+/// `elk-trace` file — relative paths resolve against the working
+/// directory — or a seeded generator), else the synthetic
+/// `serving.trace` recipe.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Invalid`] for an unreadable or ill-formed
+/// trace file (the message carries the path and the offending record)
+/// or an ill-formed generator recipe.
+pub fn resolve_trace(spec: &ScenarioSpec) -> Result<RequestTrace, SpecError> {
+    match &spec.workload.trace {
+        Some(TraceSourceSpec::File(path)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| SpecError::Invalid(format!("workload.trace.file {path:?}: {e}")))?;
+            let file = TraceFile::parse(&text)
+                .map_err(|e| SpecError::Invalid(format!("workload.trace.file {path:?}: {e}")))?;
+            if file.is_empty() {
+                return Err(SpecError::Invalid(format!(
+                    "workload.trace.file {path:?}: the trace has no records"
+                )));
+            }
+            Ok(file.to_request_trace())
+        }
+        Some(TraceSourceSpec::Generate(g)) => Ok(g.to_config()?.generate().to_request_trace()),
+        None => Ok(spec.serving.trace.to_config()?.generate()),
+    }
+}
+
+/// Generates the scenario's `workload.trace.generate` recipe into a
+/// versioned trace file plus its summary report.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Invalid`] when the scenario has no
+/// `workload.trace.generate` section (a `file` source is already a
+/// trace — nothing to generate) or the recipe is ill-formed.
+pub fn run_trace_gen(spec: &ScenarioSpec) -> Result<(TraceFile, TraceGenReport), SpecError> {
+    let g = match &spec.workload.trace {
+        Some(TraceSourceSpec::Generate(g)) => g,
+        Some(TraceSourceSpec::File(path)) => {
+            return Err(SpecError::Invalid(format!(
+                "trace gen needs a `workload.trace.generate` recipe, but this scenario \
+                 replays the recorded file {path:?}"
+            )))
+        }
+        None => {
+            return Err(SpecError::Invalid(
+                "trace gen needs a `workload.trace.generate` section".into(),
+            ))
+        }
+    };
+    let file = g.to_config()?.generate();
+    let report = TraceGenReport {
+        scenario: spec.name.clone(),
+        seed: g.seed,
+        requests: file.len(),
+        duration_s: file.duration_s(),
+        total_prompt_tokens: file.total_prompt_tokens(),
+        total_output_tokens: file.total_output_tokens(),
+        tenants: file.tenants().len(),
+    };
+    Ok((file, report))
+}
+
 /// Replays the scenario's request trace against each design.
 ///
 /// # Errors
@@ -121,7 +191,7 @@ pub fn run_serve(spec: &ScenarioSpec) -> Result<ServeReport, SpecError> {
     let shards = spec.workload.shards_for(&system)?;
     let sim_opts = spec.sim.to_options()?;
     let config = spec.serving.to_config(model.clone(), shards, sim_opts)?;
-    let trace = spec.serving.trace.to_config()?.generate();
+    let trace = resolve_trace(spec)?;
 
     let mut sim = ServingSim::new(system, config);
     let designs = spec
@@ -189,6 +259,12 @@ pub fn run_cluster(spec: &ScenarioSpec) -> Result<ClusterRunReport, SpecError> {
     } else {
         None
     };
+    let autoscale = match (&cluster.autoscale, cluster.serve) {
+        (Some(auto), true) => Some(run_cluster_autoscale(
+            spec, &cluster, auto, &system, &estimate, &sim,
+        )?),
+        _ => None,
+    };
 
     Ok(ClusterRunReport {
         scenario: spec.name.clone(),
@@ -201,6 +277,7 @@ pub fn run_cluster(spec: &ScenarioSpec) -> Result<ClusterRunReport, SpecError> {
         candidates,
         estimate,
         serving,
+        autoscale,
     })
 }
 
@@ -220,7 +297,7 @@ fn run_cluster_serving(
     let serve_cfg = spec
         .serving
         .to_config(model.clone(), estimate.plan.tp, *sim)?;
-    let trace = spec.serving.trace.to_config()?.generate();
+    let trace = resolve_trace(spec)?;
 
     let mut engine = ClusterServingSim::new(
         system.clone(),
@@ -238,6 +315,40 @@ fn run_cluster_serving(
         for &policy in &cluster.router {
             rows.push(engine.run(design, policy, &trace)?);
         }
+    }
+    Ok(rows)
+}
+
+/// The autoscaled half of `elk cluster`: one elastic-fleet replay per
+/// design, on `(tp, pp)` groups of the estimated plan.
+fn run_cluster_autoscale(
+    spec: &ScenarioSpec,
+    cluster: &ClusterSpec,
+    auto: &crate::spec::AutoscaleSpec,
+    system: &elk_hw::SystemConfig,
+    estimate: &elk_cluster::ClusterReport,
+    sim: &elk_sim::SimOptions,
+) -> Result<Vec<elk_cluster::AutoscaleReport>, SpecError> {
+    let model = spec.model.as_transformer()?;
+    let serve_cfg = spec
+        .serving
+        .to_config(model.clone(), estimate.plan.tp, *sim)?;
+    let trace = resolve_trace(spec)?;
+    let mut engine = AutoscaleServingSim::new(
+        system.clone(),
+        ClusterServeConfig {
+            model,
+            plan: estimate.plan,
+            batch: serve_cfg.batch,
+            slo: serve_cfg.slo,
+            sim: *sim,
+            threads: cluster.threads,
+        },
+        auto.to_config()?,
+    )?;
+    let mut rows = Vec::new();
+    for &design in &spec.compiler.design {
+        rows.push(engine.run(design, &trace)?);
     }
     Ok(rows)
 }
@@ -325,6 +436,86 @@ mod tests {
                 .unwrap();
         let e = run_cluster(&spec).unwrap_err().to_string();
         assert!(e.contains("dense transformer"), "{e}");
+    }
+
+    /// Like [`tiny`] but with a `workload.trace` source in place of the
+    /// default steady-state workload.
+    fn traced(workload_trace: &str, extra: &str) -> ScenarioSpec {
+        ScenarioSpec::from_json(&format!(
+            r#"{{"name": "traced", "model": {{"zoo": "llama13", "layers": 2}},
+                "workload": {{"batch": 16, "seq_len": 512, "trace": {workload_trace}}}{extra}}}"#
+        ))
+        .expect("valid test scenario")
+    }
+
+    #[test]
+    fn workload_trace_supersedes_the_serving_recipe() {
+        let spec = traced(
+            r#"{"generate": {"requests": 7,
+                 "rate": {"Constant": {"rate_rps": 200.0}},
+                 "prompt_len": {"Uniform": {"lo": 128, "hi": 256}},
+                 "output_len": {"Fixed": 3}}}"#,
+            r#", "serving": {"trace": {"requests": 99}}"#,
+        );
+        let report = run_serve(&spec).unwrap();
+        assert_eq!(report.requests, 7, "the workload trace wins");
+        assert_eq!(report.designs[0].completed, 7);
+    }
+
+    #[test]
+    fn trace_gen_requires_a_generator_recipe() {
+        let e = run_trace_gen(&tiny("")).unwrap_err().to_string();
+        assert!(e.contains("workload.trace.generate"), "{e}");
+
+        let spec = traced(r#"{"file": "nope.jsonl"}"#, "");
+        let e = run_trace_gen(&spec).unwrap_err().to_string();
+        assert!(e.contains("nope.jsonl"), "{e}");
+        // And replaying a missing file names the path.
+        let e = run_serve(&spec).unwrap_err().to_string();
+        assert!(e.contains("nope.jsonl"), "{e}");
+    }
+
+    #[test]
+    fn trace_gen_emits_a_parsable_file_and_summary() {
+        let spec = traced(
+            r#"{"generate": {"seed": 11, "requests": 12,
+                 "rate": {"BurstTrain": {"base_rps": 50.0, "burst_rps": 400.0,
+                                         "period_s": 1.0, "burst_s": 0.2}},
+                 "output_len": {"HeavyTail": {"lo": 4, "alpha": 1.5, "cap": 64}},
+                 "tenants": 2}}"#,
+            "",
+        );
+        let (file, report) = run_trace_gen(&spec).unwrap();
+        assert_eq!(report.requests, 12);
+        assert_eq!(file.len(), 12);
+        assert!(report.tenants >= 1 && report.tenants <= 2);
+        assert!(report.duration_s >= 0.0);
+        let reparsed = elk_trace::TraceFile::parse(&file.to_jsonl()).unwrap();
+        assert_eq!(reparsed, file);
+    }
+
+    #[test]
+    fn cluster_autoscale_section_adds_elastic_rows() {
+        let spec = traced(
+            r#"{"generate": {"requests": 24,
+                 "rate": {"BurstTrain": {"base_rps": 20.0, "burst_rps": 2000.0,
+                                         "period_s": 2.0, "burst_s": 0.5}},
+                 "prompt_len": {"Uniform": {"lo": 128, "hi": 256}},
+                 "output_len": {"Uniform": {"lo": 2, "hi": 6}}}}"#,
+            r#", "cluster": {"plan": {"tp": 1, "pp": 1, "dp": 1},
+                             "autoscale": {"min_groups": 1, "max_groups": 2,
+                                           "interval_ms": 100.0,
+                                           "up_queue_depth": 1.0}}"#,
+        );
+        let report = run_cluster(&spec).unwrap();
+        let rows = report.autoscale.expect("autoscale section ran");
+        assert_eq!(rows.len(), 1, "one row per design");
+        let row = &rows[0];
+        assert_eq!(row.completed, row.requests);
+        assert_eq!(row.max_groups, 2);
+        assert!(!row.transitions.is_empty());
+        // The plain serving comparison still runs alongside.
+        assert!(report.serving.is_some());
     }
 
     #[test]

@@ -33,6 +33,22 @@ const LENGTH_DIST: Node = Node::Map(&[
     ),
 ]);
 
+const TRACE_LENGTH_MODEL: Node = Node::Map(&[
+    ("Fixed", Node::Leaf),
+    (
+        "Uniform",
+        Node::Map(&[("lo", Node::Leaf), ("hi", Node::Leaf)]),
+    ),
+    (
+        "HeavyTail",
+        Node::Map(&[
+            ("lo", Node::Leaf),
+            ("alpha", Node::Leaf),
+            ("cap", Node::Leaf),
+        ]),
+    ),
+]);
+
 const TOPOLOGY: Node = Node::Map(&[
     ("all_to_all", Node::Map(&[("core_link_gib_s", Node::Leaf)])),
     ("mesh", Node::Map(&[("total_gib_s", Node::Leaf)])),
@@ -127,6 +143,45 @@ const ROOT: Node = Node::Map(&[
             ("batch", Node::Leaf),
             ("seq_len", Node::Leaf),
             ("shards", Node::Leaf),
+            (
+                "trace",
+                Node::Map(&[
+                    ("file", Node::Leaf),
+                    (
+                        "generate",
+                        Node::Map(&[
+                            ("seed", Node::Leaf),
+                            ("requests", Node::Leaf),
+                            (
+                                "rate",
+                                Node::Map(&[
+                                    ("Constant", Node::Map(&[("rate_rps", Node::Leaf)])),
+                                    (
+                                        "Diurnal",
+                                        Node::Map(&[
+                                            ("mean_rps", Node::Leaf),
+                                            ("amplitude", Node::Leaf),
+                                            ("period_s", Node::Leaf),
+                                        ]),
+                                    ),
+                                    (
+                                        "BurstTrain",
+                                        Node::Map(&[
+                                            ("base_rps", Node::Leaf),
+                                            ("burst_rps", Node::Leaf),
+                                            ("period_s", Node::Leaf),
+                                            ("burst_s", Node::Leaf),
+                                        ]),
+                                    ),
+                                ]),
+                            ),
+                            ("prompt_len", TRACE_LENGTH_MODEL),
+                            ("output_len", TRACE_LENGTH_MODEL),
+                            ("tenants", Node::Leaf),
+                        ]),
+                    ),
+                ]),
+            ),
         ]),
     ),
     (
@@ -194,6 +249,18 @@ const ROOT: Node = Node::Map(&[
             ("interconnect", Node::Leaf),
             ("router", Node::Leaf),
             ("serve", Node::Leaf),
+            (
+                "autoscale",
+                Node::Map(&[
+                    ("min_groups", Node::Leaf),
+                    ("max_groups", Node::Leaf),
+                    ("interval_ms", Node::Leaf),
+                    ("up_queue_depth", Node::Leaf),
+                    ("down_queue_depth", Node::Leaf),
+                    ("slo_target", Node::Leaf),
+                    ("cold_start_steps", Node::Leaf),
+                ]),
+            ),
             ("threads", Node::Leaf),
         ]),
     ),
@@ -255,7 +322,12 @@ mod tests {
             "model.transformer.hidden",
             "serving.trace.arrivals.Bursty.burst_factor",
             "serving.slo.tpot_ms",
+            "workload.trace.file",
+            "workload.trace.generate.rate.BurstTrain.burst_rps",
+            "workload.trace.generate.prompt_len.HeavyTail.alpha",
             "cluster.plan.tp",
+            "cluster.autoscale.max_groups",
+            "cluster.autoscale.cold_start_steps",
             "compiler.design",
             "system",
         ] {

@@ -18,6 +18,7 @@ use serde::{Deserialize, Error, Serialize, Value};
 use elk_baselines::Design;
 use elk_model::Phase;
 use elk_serve::{ArrivalProcess, LengthDist, RouterPolicy};
+use elk_trace::{LengthModel, RateShape};
 
 use crate::de::MapReader;
 use crate::SpecError;
@@ -492,6 +493,11 @@ pub struct WorkloadSpec {
     pub seq_len: u64,
     /// Tensor-parallel shard count; defaults to the system's chip count.
     pub shards: Option<u64>,
+    /// Request trace for replay commands (`serve`, `cluster`,
+    /// `trace gen`): a recorded `elk-trace` file or a seeded generator.
+    /// When set it supersedes `serving.trace`, so recorded and
+    /// synthetic traces flow through one path.
+    pub trace: Option<TraceSourceSpec>,
 }
 
 impl Default for WorkloadSpec {
@@ -502,7 +508,245 @@ impl Default for WorkloadSpec {
             batch: 32,
             seq_len: 2048,
             shards: None,
+            trace: None,
         }
+    }
+}
+
+/// Where a replayed request trace comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceSourceSpec {
+    /// A recorded `elk-trace` JSONL file (versioned header + one record
+    /// per line), resolved relative to the working directory.
+    File(String),
+    /// A seeded production-shaped generator, emitted in the same format.
+    Generate(TraceGenSpec),
+}
+
+impl Deserialize for TraceSourceSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let mut r = MapReader::new("workload.trace", v)?;
+        let spec = if r.has("file") {
+            TraceSourceSpec::File(r.req("file")?)
+        } else if r.has("generate") {
+            TraceSourceSpec::Generate(r.req("generate")?)
+        } else {
+            return Err(Error::msg(
+                "workload.trace: expected a `file` or `generate` key",
+            ));
+        };
+        r.finish()?;
+        match &spec {
+            TraceSourceSpec::File(path) if path.trim().is_empty() => {
+                Err(Error::msg("workload.trace.file: path must be non-empty"))
+            }
+            _ => Ok(spec),
+        }
+    }
+}
+
+impl Serialize for TraceSourceSpec {
+    fn to_value(&self) -> Value {
+        match self {
+            TraceSourceSpec::File(path) => Value::Map(vec![("file".into(), path.to_value())]),
+            TraceSourceSpec::Generate(g) => Value::Map(vec![("generate".into(), g.to_value())]),
+        }
+    }
+}
+
+/// Seeded trace-generator recipe (mirrors [`elk_trace::TraceGenConfig`]).
+///
+/// `rate` takes the [`RateShape`] variants as externally-tagged objects
+/// — `{"Constant": {"rate_rps": 100.0}}`, `{"Diurnal": {...}}`,
+/// `{"BurstTrain": {...}}` — and the length models take
+/// `{"Fixed": n}`, `{"Uniform": {...}}`, or `{"HeavyTail": {...}}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceGenSpec {
+    /// RNG seed.
+    pub seed: u64,
+    /// Requests to generate.
+    pub requests: usize,
+    /// Arrival-rate shape over time.
+    pub rate: RateShape,
+    /// Prompt-length model.
+    pub prompt_len: LengthModel,
+    /// Output-length model.
+    pub output_len: LengthModel,
+    /// Distinct tenant ids to stamp on records (0 = untagged).
+    pub tenants: u64,
+}
+
+/// Strict reader for the externally-tagged [`RateShape`] form; an
+/// unknown variant or stray knob is an error instead of silently
+/// ignored (see `parse_arrivals`).
+fn parse_rate(v: &Value) -> Result<RateShape, Error> {
+    let mut r = MapReader::new("rate", v)?;
+    let rate = if let Some(body) = r.raw("Constant") {
+        let mut b = MapReader::new("rate.Constant", body)?;
+        let shape = RateShape::Constant {
+            rate_rps: b.req("rate_rps")?,
+        };
+        b.finish()?;
+        shape
+    } else if let Some(body) = r.raw("Diurnal") {
+        let mut b = MapReader::new("rate.Diurnal", body)?;
+        let shape = RateShape::Diurnal {
+            mean_rps: b.req("mean_rps")?,
+            amplitude: b.req("amplitude")?,
+            period_s: b.req("period_s")?,
+        };
+        b.finish()?;
+        shape
+    } else if let Some(body) = r.raw("BurstTrain") {
+        let mut b = MapReader::new("rate.BurstTrain", body)?;
+        let shape = RateShape::BurstTrain {
+            base_rps: b.req("base_rps")?,
+            burst_rps: b.req("burst_rps")?,
+            period_s: b.req("period_s")?,
+            burst_s: b.req("burst_s")?,
+        };
+        b.finish()?;
+        shape
+    } else {
+        return Err(Error::msg(
+            "rate: expected a `Constant`, `Diurnal`, or `BurstTrain` object",
+        ));
+    };
+    r.finish()?;
+    Ok(rate)
+}
+
+/// Strict reader for the externally-tagged [`LengthModel`] form; see
+/// [`parse_rate`].
+fn parse_length_model(what: &'static str, v: &Value) -> Result<LengthModel, Error> {
+    let mut r = MapReader::new(what, v)?;
+    let model = if let Some(body) = r.raw("Fixed") {
+        LengthModel::Fixed {
+            tokens: u64::from_value(body).map_err(|e| Error::msg(format!("{what}.Fixed: {e}")))?,
+        }
+    } else if let Some(body) = r.raw("Uniform") {
+        let mut b = MapReader::new("Uniform", body)?;
+        let m = LengthModel::Uniform {
+            lo: b.req("lo")?,
+            hi: b.req("hi")?,
+        };
+        b.finish()?;
+        m
+    } else if let Some(body) = r.raw("HeavyTail") {
+        let mut b = MapReader::new("HeavyTail", body)?;
+        let m = LengthModel::HeavyTail {
+            lo: b.req("lo")?,
+            alpha: b.req("alpha")?,
+            cap: b.req("cap")?,
+        };
+        b.finish()?;
+        m
+    } else {
+        return Err(Error::msg(format!(
+            "{what}: expected a `Fixed`, `Uniform`, or `HeavyTail` object"
+        )));
+    };
+    r.finish()?;
+    Ok(model)
+}
+
+/// Canonical serialization of one length model.
+fn length_model_to_value(model: &LengthModel) -> Value {
+    match *model {
+        LengthModel::Fixed { tokens } => Value::Map(vec![("Fixed".into(), tokens.to_value())]),
+        LengthModel::Uniform { lo, hi } => Value::Map(vec![(
+            "Uniform".into(),
+            Value::Map(vec![
+                ("lo".into(), lo.to_value()),
+                ("hi".into(), hi.to_value()),
+            ]),
+        )]),
+        LengthModel::HeavyTail { lo, alpha, cap } => Value::Map(vec![(
+            "HeavyTail".into(),
+            Value::Map(vec![
+                ("lo".into(), lo.to_value()),
+                ("alpha".into(), alpha.to_value()),
+                ("cap".into(), cap.to_value()),
+            ]),
+        )]),
+    }
+}
+
+/// Canonical serialization of one rate shape.
+fn rate_to_value(rate: &RateShape) -> Value {
+    match *rate {
+        RateShape::Constant { rate_rps } => Value::Map(vec![(
+            "Constant".into(),
+            Value::Map(vec![("rate_rps".into(), rate_rps.to_value())]),
+        )]),
+        RateShape::Diurnal {
+            mean_rps,
+            amplitude,
+            period_s,
+        } => Value::Map(vec![(
+            "Diurnal".into(),
+            Value::Map(vec![
+                ("mean_rps".into(), mean_rps.to_value()),
+                ("amplitude".into(), amplitude.to_value()),
+                ("period_s".into(), period_s.to_value()),
+            ]),
+        )]),
+        RateShape::BurstTrain {
+            base_rps,
+            burst_rps,
+            period_s,
+            burst_s,
+        } => Value::Map(vec![(
+            "BurstTrain".into(),
+            Value::Map(vec![
+                ("base_rps".into(), base_rps.to_value()),
+                ("burst_rps".into(), burst_rps.to_value()),
+                ("period_s".into(), period_s.to_value()),
+                ("burst_s".into(), burst_s.to_value()),
+            ]),
+        )]),
+    }
+}
+
+impl Deserialize for TraceGenSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let d = elk_trace::TraceGenConfig::default();
+        let mut r = MapReader::new("workload.trace.generate", v)?;
+        let rate = match r.raw("rate") {
+            None | Some(Value::Null) => d.rate,
+            Some(body) => parse_rate(body)?,
+        };
+        let prompt_len = match r.raw("prompt_len") {
+            None | Some(Value::Null) => d.prompt_len,
+            Some(body) => parse_length_model("prompt_len", body)?,
+        };
+        let output_len = match r.raw("output_len") {
+            None | Some(Value::Null) => d.output_len,
+            Some(body) => parse_length_model("output_len", body)?,
+        };
+        let spec = TraceGenSpec {
+            seed: r.or("seed", d.seed)?,
+            requests: r.or("requests", d.requests)?,
+            rate,
+            prompt_len,
+            output_len,
+            tenants: r.or("tenants", d.tenants)?,
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for TraceGenSpec {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("seed".into(), self.seed.to_value()),
+            ("requests".into(), self.requests.to_value()),
+            ("rate".into(), rate_to_value(&self.rate)),
+            ("prompt_len".into(), length_model_to_value(&self.prompt_len)),
+            ("output_len".into(), length_model_to_value(&self.output_len)),
+            ("tenants".into(), self.tenants.to_value()),
+        ])
     }
 }
 
@@ -540,6 +784,7 @@ impl Deserialize for WorkloadSpec {
             batch: r.or("batch", 32)?,
             seq_len: r.or("seq_len", 2048)?,
             shards: r.opt("shards")?,
+            trace: r.opt("trace")?,
         };
         r.finish()?;
         Ok(spec)
@@ -555,6 +800,9 @@ impl Serialize for WorkloadSpec {
         ];
         if let Some(shards) = self.shards {
             m.push(("shards".into(), shards.to_value()));
+        }
+        if let Some(trace) = &self.trace {
+            m.push(("trace".into(), trace.to_value()));
         }
         Value::Map(m)
     }
@@ -1066,6 +1314,10 @@ pub struct ClusterSpec {
     /// groups (`true` by default; estimate-only scenarios switch it
     /// off).
     pub serve: bool,
+    /// Optional autoscaling controller: when present (and `serve` is
+    /// on), the replay also runs with an elastic dp fleet between
+    /// `min_groups` and `max_groups` of the plan's `(tp, pp)` groups.
+    pub autoscale: Option<AutoscaleSpec>,
     /// Worker threads for the plan search and compile fan-out (`0` =
     /// all cores). Reports are byte-identical at any setting.
     pub threads: usize,
@@ -1080,8 +1332,77 @@ impl Default for ClusterSpec {
             interconnect: "ring".into(),
             router: vec![RouterPolicy::RoundRobin],
             serve: true,
+            autoscale: None,
             threads: 1,
         }
+    }
+}
+
+/// Autoscaling controller knobs (mirrors
+/// [`elk_cluster::AutoscaleConfig`], with the interval in ms like the
+/// SLO section).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscaleSpec {
+    /// Fleet floor (always-on groups).
+    pub min_groups: u64,
+    /// Fleet ceiling.
+    pub max_groups: u64,
+    /// Controller decision cadence, ms.
+    pub interval_ms: f64,
+    /// Scale up above this time-weighted waiting depth per ready group.
+    pub up_queue_depth: f64,
+    /// Scale down below this depth (when the SLO target holds).
+    pub down_queue_depth: f64,
+    /// Windowed SLO-attainment floor.
+    pub slo_target: f64,
+    /// Cold-start size in warm-up step latencies.
+    pub cold_start_steps: f64,
+}
+
+impl Default for AutoscaleSpec {
+    fn default() -> Self {
+        let d = elk_cluster::AutoscaleConfig::default();
+        AutoscaleSpec {
+            min_groups: d.min_groups,
+            max_groups: d.max_groups,
+            interval_ms: d.interval.as_secs() * 1e3,
+            up_queue_depth: d.up_queue_depth,
+            down_queue_depth: d.down_queue_depth,
+            slo_target: d.slo_target,
+            cold_start_steps: d.cold_start_steps,
+        }
+    }
+}
+
+impl Deserialize for AutoscaleSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let d = AutoscaleSpec::default();
+        let mut r = MapReader::new("cluster.autoscale", v)?;
+        let spec = AutoscaleSpec {
+            min_groups: r.or("min_groups", d.min_groups)?,
+            max_groups: r.or("max_groups", d.max_groups)?,
+            interval_ms: r.or("interval_ms", d.interval_ms)?,
+            up_queue_depth: r.or("up_queue_depth", d.up_queue_depth)?,
+            down_queue_depth: r.or("down_queue_depth", d.down_queue_depth)?,
+            slo_target: r.or("slo_target", d.slo_target)?,
+            cold_start_steps: r.or("cold_start_steps", d.cold_start_steps)?,
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for AutoscaleSpec {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("min_groups".into(), self.min_groups.to_value()),
+            ("max_groups".into(), self.max_groups.to_value()),
+            ("interval_ms".into(), self.interval_ms.to_value()),
+            ("up_queue_depth".into(), self.up_queue_depth.to_value()),
+            ("down_queue_depth".into(), self.down_queue_depth.to_value()),
+            ("slo_target".into(), self.slo_target.to_value()),
+            ("cold_start_steps".into(), self.cold_start_steps.to_value()),
+        ])
     }
 }
 
@@ -1158,6 +1479,7 @@ impl Deserialize for ClusterSpec {
             interconnect: r.or_else("interconnect", || d.interconnect.clone())?,
             router,
             serve: r.or("serve", d.serve)?,
+            autoscale: r.opt("autoscale")?,
             threads: r.or("threads", d.threads)?,
         };
         r.finish()?;
@@ -1180,6 +1502,9 @@ impl Serialize for ClusterSpec {
             Value::Seq(self.router.iter().map(|&p| router_to_value(p)).collect()),
         ));
         m.push(("serve".into(), self.serve.to_value()));
+        if let Some(autoscale) = &self.autoscale {
+            m.push(("autoscale".into(), autoscale.to_value()));
+        }
         m.push(("threads".into(), self.threads.to_value()));
         Value::Map(m)
     }
@@ -1484,6 +1809,69 @@ mod tests {
         .unwrap();
         let back = ScenarioSpec::from_json(&s.to_json()).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn workload_trace_and_autoscale_sections_round_trip() {
+        let s = ScenarioSpec::from_json(
+            r#"{"name": "tr", "model": {"zoo": "llama13"},
+                "workload": {"trace": {"generate": {
+                    "seed": 7, "requests": 32,
+                    "rate": {"Diurnal": {"mean_rps": 80.0, "amplitude": 0.6,
+                                         "period_s": 4.0}},
+                    "prompt_len": {"HeavyTail": {"lo": 64, "alpha": 1.2, "cap": 2048}},
+                    "output_len": {"Fixed": 8},
+                    "tenants": 3}}},
+                "cluster": {"autoscale": {"max_groups": 3, "interval_ms": 125.0}}}"#,
+        )
+        .unwrap();
+        let trace = s.workload.trace.clone().expect("trace parsed");
+        let TraceSourceSpec::Generate(g) = &trace else {
+            panic!("generator source");
+        };
+        assert_eq!(g.seed, 7);
+        assert!(matches!(g.rate, RateShape::Diurnal { amplitude, .. } if amplitude == 0.6));
+        assert_eq!(g.tenants, 3);
+        let auto = s.cluster.as_ref().unwrap().autoscale.expect("autoscale");
+        assert_eq!(auto.max_groups, 3);
+        assert_eq!(auto.min_groups, 1, "unset knobs default");
+        let back = ScenarioSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+
+        // File sources round-trip too, and empty paths are rejected.
+        let s = ScenarioSpec::from_json(
+            r#"{"name": "tr", "model": {"zoo": "llama13"},
+                "workload": {"trace": {"file": "traces/golden_small.jsonl"}}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            s.workload.trace,
+            Some(TraceSourceSpec::File("traces/golden_small.jsonl".into()))
+        );
+        assert_eq!(ScenarioSpec::from_json(&s.to_json()).unwrap(), s);
+        let e = ScenarioSpec::from_json(
+            r#"{"name": "tr", "model": {"zoo": "llama13"},
+                "workload": {"trace": {"file": " "}}}"#,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("non-empty"), "{e}");
+
+        // Typos inside the new sections are errors.
+        for bad in [
+            r#""workload": {"trace": {"generate": {"rtae": {}}}}"#,
+            r#""workload": {"trace": {"generate": {"rate": {"Constant": {"rps": 1.0}}}}}"#,
+            r#""cluster": {"autoscale": {"max_gruops": 2}}"#,
+        ] {
+            let e = ScenarioSpec::from_json(&format!(
+                r#"{{"name": "tr", "model": {{"zoo": "llama13"}}, {bad}}}"#
+            ))
+            .unwrap_err();
+            let msg = e.to_string();
+            assert!(
+                msg.contains("rtae") || msg.contains("rps") || msg.contains("max_gruops"),
+                "{msg}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Versioned request-trace files and production-shaped generators.
+//!
+//! The serving engines (`elk-serve`, `elk-cluster`) consume a
+//! [`RequestTrace`](elk_serve::RequestTrace) — a time-sorted list of
+//! (arrival, prompt, output) triples. This crate gives that input a
+//! durable on-disk form and a family of seeded generators so recorded
+//! production traces and synthetic ones flow through one path:
+//!
+//! * [`TraceFile`] — the JSON-lines format, version-stamped, with a
+//!   strict parser whose errors name the offending record index;
+//! * [`TraceGenConfig`] — seeded generators for production-shaped
+//!   demand: constant-rate Poisson, diurnal sinusoids, burst trains,
+//!   and bounded-Pareto heavy-tail length distributions.
+//!
+//! # File format (version 1)
+//!
+//! One JSON object per line. The first line is the header; every
+//! following line is a record:
+//!
+//! ```text
+//! {"format":"elk-trace","version":1}
+//! {"arrival_s":0.0125,"prompt_len":512,"output_len":8}
+//! {"arrival_s":0.0871,"prompt_len":64,"output_len":12,"tenant":"t1"}
+//! ```
+//!
+//! Records must be sorted by `arrival_s`; lengths are positive
+//! integers; `tenant` is an optional non-empty string. Unknown or
+//! duplicate keys, negative lengths, non-finite times, and
+//! out-of-order timestamps are all hard errors.
+//!
+//! ```
+//! use elk_trace::{RateShape, TraceGenConfig};
+//!
+//! let trace = TraceGenConfig {
+//!     rate: RateShape::BurstTrain {
+//!         base_rps: 50.0,
+//!         burst_rps: 400.0,
+//!         period_s: 1.0,
+//!         burst_s: 0.2,
+//!     },
+//!     ..TraceGenConfig::default()
+//! }
+//! .generate();
+//! let text = trace.to_jsonl();
+//! let back = elk_trace::TraceFile::parse(&text).unwrap();
+//! assert_eq!(back, trace);
+//! assert_eq!(back.to_request_trace().len(), trace.len());
+//! ```
+
+#![warn(missing_docs)]
+
+mod format;
+mod generate;
+
+pub use format::{TraceError, TraceFile, TraceRecord, FORMAT_NAME, FORMAT_VERSION};
+pub use generate::{LengthModel, RateShape, TraceGenConfig};

@@ -1,0 +1,141 @@
+//! Property suite for the trace-file format (ISSUE 7 satellite):
+//!
+//! * arbitrary well-formed traces serialize → parse → serialize
+//!   byte-identically (and parse back to the identical struct);
+//! * corrupting any single record — negative lengths, out-of-order
+//!   timestamps, unknown keys — is rejected with an error naming the
+//!   offending record index.
+
+use elk_trace::{TraceFile, TraceRecord};
+use proptest::prelude::*;
+
+/// Strategy for one record's raw material: an arrival *increment* in
+/// milliseconds (so cumulative sums stay sorted), two lengths, and a
+/// tenant selector.
+fn record_parts() -> impl Strategy<Value = (u64, u64, u64, u8)> {
+    (0u64..5_000, 1u64..4_096, 1u64..512, 0u8..4)
+}
+
+/// Builds a well-formed trace from per-record parts: arrivals are the
+/// running sum of the increments, tenants cycle over a small pool.
+fn assemble(parts: Vec<(u64, u64, u64, u8)>) -> TraceFile {
+    let mut t = 0.0;
+    let records = parts
+        .into_iter()
+        .map(|(dt_ms, prompt_len, output_len, tenant)| {
+            t += dt_ms as f64 * 1e-3;
+            TraceRecord {
+                arrival_s: t,
+                prompt_len,
+                output_len,
+                tenant: (tenant > 0).then(|| format!("t{tenant}")),
+            }
+        })
+        .collect();
+    TraceFile { records }
+}
+
+/// Replaces data line `idx` (0-based, header excluded) of a serialized
+/// trace with `line`.
+fn with_line(text: &str, idx: usize, line: &str) -> String {
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines[idx + 1] = line;
+    lines.join("\n") + "\n"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn round_trip_is_byte_identical(
+        parts in prop::collection::vec(record_parts(), 0..40),
+    ) {
+        let trace = assemble(parts);
+        let text = trace.to_jsonl();
+        let parsed = TraceFile::parse(&text).expect("well-formed trace parses");
+        prop_assert_eq!(&parsed, &trace, "parse must reproduce the struct");
+        prop_assert_eq!(parsed.to_jsonl(), text, "re-serialization must reproduce the bytes");
+    }
+
+    #[test]
+    fn negative_length_rejected_with_record_index(
+        parts in prop::collection::vec(record_parts(), 1..20),
+        pick in any::<u16>(),
+        negated in prop::sample::select(vec!["prompt_len", "output_len"]),
+    ) {
+        let trace = assemble(parts);
+        let idx = pick as usize % trace.len();
+        let r = &trace.records[idx];
+        let (p, o) = match negated {
+            "prompt_len" => (format!("-{}", r.prompt_len), r.output_len.to_string()),
+            _ => (r.prompt_len.to_string(), format!("-{}", r.output_len)),
+        };
+        let bad = format!(
+            "{{\"arrival_s\":{:?},\"prompt_len\":{p},\"output_len\":{o}}}",
+            r.arrival_s
+        );
+        let err = TraceFile::parse(&with_line(&trace.to_jsonl(), idx, &bad))
+            .expect_err("negative length must be rejected")
+            .to_string();
+        prop_assert!(err.contains(&format!("record {idx}:")), "{}", err);
+        prop_assert!(err.contains(negated), "{}", err);
+    }
+
+    #[test]
+    fn out_of_order_timestamp_rejected_with_record_index(
+        parts in prop::collection::vec(record_parts(), 2..20),
+        pick in any::<u16>(),
+        jump in 1u64..1_000_000,
+    ) {
+        let trace = assemble(parts);
+        // Push record idx past its successor; the parser must name the
+        // *successor* (the first record that goes backwards in time).
+        let idx = pick as usize % (trace.len() - 1);
+        let r = &trace.records[idx];
+        let bumped = trace.records[idx + 1].arrival_s + jump as f64;
+        let line = format!(
+            "{{\"arrival_s\":{bumped:?},\"prompt_len\":{},\"output_len\":{}}}",
+            r.prompt_len, r.output_len
+        );
+        let err = TraceFile::parse(&with_line(&trace.to_jsonl(), idx, &line))
+            .expect_err("time-travel must be rejected")
+            .to_string();
+        prop_assert!(err.contains(&format!("record {}:", idx + 1)), "{}", err);
+        prop_assert!(err.contains("time-sorted"), "{}", err);
+    }
+
+    #[test]
+    fn unknown_key_rejected_with_record_index(
+        parts in prop::collection::vec(record_parts(), 1..20),
+        pick in any::<u16>(),
+        key in prop::sample::select(vec!["user_id", "priority", "arrivalS", "Tenant"]),
+    ) {
+        let trace = assemble(parts);
+        let idx = pick as usize % trace.len();
+        let r = &trace.records[idx];
+        let line = format!(
+            "{{\"arrival_s\":{:?},\"prompt_len\":{},\"output_len\":{},\"{key}\":1}}",
+            r.arrival_s, r.prompt_len, r.output_len
+        );
+        let err = TraceFile::parse(&with_line(&trace.to_jsonl(), idx, &line))
+            .expect_err("unknown keys must be rejected")
+            .to_string();
+        prop_assert!(err.contains(&format!("record {idx}:")), "{}", err);
+        prop_assert!(err.contains(&format!("unknown key \"{key}\"")), "{}", err);
+    }
+
+    #[test]
+    fn conversion_preserves_counts_and_order(
+        parts in prop::collection::vec(record_parts(), 0..40),
+    ) {
+        let trace = assemble(parts);
+        let rt = trace.to_request_trace();
+        prop_assert_eq!(rt.len(), trace.len());
+        prop_assert_eq!(rt.total_output_tokens(), trace.total_output_tokens());
+        for (id, (req, rec)) in rt.requests.iter().zip(&trace.records).enumerate() {
+            prop_assert_eq!(req.id, id as u64, "ids follow record order");
+            prop_assert_eq!(req.prompt_len, rec.prompt_len);
+            prop_assert_eq!(req.output_len, rec.output_len);
+        }
+    }
+}

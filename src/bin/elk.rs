@@ -7,9 +7,14 @@
 //! elk simulate <scenario.json> [--out DIR] [--threads N]   design comparison table
 //! elk serve    <scenario.json> [--out DIR] [--threads N]   request-level serving replay
 //! elk cluster  <scenario.json> [--out DIR] [--threads N]   multi-chip plan + routed serving
+//! elk trace gen <scenario.json> [--out DIR]                emit the workload.trace generator
 //! elk sweep    <scenario.json> [--out DIR] [--threads N]   grid over the file's sweep axes
 //! elk validate <dir-or-file>...                            round-trip emitted JSON reports
 //! ```
+//!
+//! `serve` and `cluster` replay the scenario's `workload.trace` source
+//! when one is present (a recorded `elk-trace` JSONL file or a seeded
+//! generator), so recorded and synthetic traces flow through one path.
 //!
 //! Every run writes a machine-readable report to
 //! `<out>/<name>.<command>.json` (default `results/`). Reports contain
@@ -36,6 +41,10 @@ commands:
   serve    <scenario.json> [--out DIR] [--threads N]  replay the scenario's request trace
   cluster  <scenario.json> [--out DIR] [--threads N]  plan (tp, pp, dp) parallelism over the
                                                       pod and replay routed cluster serving
+                                                      (plus the autoscaled fleet when the
+                                                      scenario has a cluster.autoscale section)
+  trace gen <scenario.json> [--out DIR]               write the scenario's workload.trace
+                                                      generator as <name>.trace.jsonl
   sweep    <scenario.json> [--out DIR] [--threads N]  run the file's sweep grid
   validate <dir-or-file>...                           check emitted JSON round-trips
 
@@ -95,6 +104,18 @@ fn dispatch(args: &[String]) -> Result<(), Fail> {
             let opts = ScenarioArgs::parse(command, &args[1..])?;
             run_scenario(command, &opts)
         }
+        "trace" => match args.get(1).map(String::as_str) {
+            Some("gen") => {
+                let opts = ScenarioArgs::parse("trace gen", &args[2..])?;
+                run_trace_gen(&opts)
+            }
+            Some(other) => Err(Fail::usage(format!(
+                "unknown trace subcommand '{other}' (expected `gen`)\n\n{USAGE}"
+            ))),
+            None => Err(Fail::usage(format!(
+                "`elk trace` needs a subcommand (expected `gen`)\n\n{USAGE}"
+            ))),
+        },
         "validate" => validate(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -293,6 +314,24 @@ fn run_scenario(command: &str, opts: &ScenarioArgs) -> Result<(), Fail> {
                     row.goodput_rps,
                 );
             }
+            for row in r.autoscale.iter().flatten() {
+                println!(
+                    "  autoscale {}: {} reqs, {}..{} groups (peak {}), {} up / {} down, \
+                     {} cold start(s) ({:.1} ms), slo {:.1}%, goodput {:.1} req/s, {:.2} chip-s",
+                    elk::spec::design_name(row.design),
+                    row.completed,
+                    row.min_groups,
+                    row.max_groups,
+                    row.peak_groups,
+                    row.scale_ups,
+                    row.scale_downs,
+                    row.cold_starts,
+                    row.cold_start_total.as_millis(),
+                    row.slo_attainment * 100.0,
+                    row.goodput_rps,
+                    row.chip_seconds,
+                );
+            }
             r.to_value()
         }
         "sweep" => {
@@ -318,12 +357,48 @@ fn run_scenario(command: &str, opts: &ScenarioArgs) -> Result<(), Fail> {
     Ok(())
 }
 
-/// Writes `report` to `<out>/<name>.<command>.json` and returns the
-/// path.
-fn write_report(out: &Path, name: &str, command: &str, report: &Value) -> Result<PathBuf, Fail> {
-    fs::create_dir_all(out).map_err(|e| Fail::run(format!("{}: {e}", out.display())))?;
-    let stem: String = name
-        .chars()
+/// `elk trace gen`: run the scenario's `workload.trace.generate`
+/// recipe and write the records as `<out>/<name>.trace.jsonl` plus a
+/// `<name>.trace.json` summary. The JSONL is the artifact a replay
+/// scenario points its `workload.trace.file` at, so the bytes are the
+/// raw versioned trace format, not a pretty-printed report.
+fn run_trace_gen(opts: &ScenarioArgs) -> Result<(), Fail> {
+    if opts.threads.is_some() {
+        return Err(Fail::usage(
+            "`elk trace gen` does not take --threads: generation is a \
+             pure function of the seed",
+        ));
+    }
+    let text = fs::read_to_string(&opts.file)
+        .map_err(|e| Fail::usage(format!("{}: {e}", opts.file.display())))?;
+    let spec = ScenarioSpec::from_json(&text)
+        .map_err(|e| Fail::usage(format!("{}: {e}", opts.file.display())))?;
+    let (trace, report) = runner::run_trace_gen(&spec)?;
+
+    fs::create_dir_all(&opts.out).map_err(|e| Fail::run(format!("{}: {e}", opts.out.display())))?;
+    let jsonl_path = opts
+        .out
+        .join(format!("{}.trace.jsonl", report_stem(&spec.name)));
+    fs::write(&jsonl_path, trace.to_jsonl())
+        .map_err(|e| Fail::run(format!("{}: {e}", jsonl_path.display())))?;
+    println!(
+        "{}: {} request(s) over {:.2} s, {} prompt + {} output tokens, {} tenant(s)",
+        spec.name,
+        report.requests,
+        report.duration_s,
+        report.total_prompt_tokens,
+        report.total_output_tokens,
+        report.tenants,
+    );
+    println!("trace: {}", jsonl_path.display());
+    let path = write_report(&opts.out, &spec.name, "trace", &report.to_value())?;
+    println!("report: {}", path.display());
+    Ok(())
+}
+
+/// Sanitizes a scenario name into a filesystem-safe report stem.
+fn report_stem(name: &str) -> String {
+    name.chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
                 c
@@ -331,8 +406,14 @@ fn write_report(out: &Path, name: &str, command: &str, report: &Value) -> Result
                 '_'
             }
         })
-        .collect();
-    let path = out.join(format!("{stem}.{command}.json"));
+        .collect()
+}
+
+/// Writes `report` to `<out>/<name>.<command>.json` and returns the
+/// path.
+fn write_report(out: &Path, name: &str, command: &str, report: &Value) -> Result<PathBuf, Fail> {
+    fs::create_dir_all(out).map_err(|e| Fail::run(format!("{}: {e}", out.display())))?;
+    let path = out.join(format!("{}.{command}.json", report_stem(name)));
     let json = serde_json::to_string_pretty(report).expect("report serialization is infallible");
     fs::write(&path, json + "\n").map_err(|e| Fail::run(format!("{}: {e}", path.display())))?;
     Ok(path)

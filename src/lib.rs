@@ -20,7 +20,8 @@
 //! | [`sim_core`] | `elk-sim-core` | deterministic DES kernel: event queue, clock, seeded RNG, time-weighted stats |
 //! | [`baselines`] | `elk-baselines` | Basic / Static / Elk-Dyn / Elk-Full / Ideal |
 //! | [`serve`] | `elk-serve` | request-level serving simulator (traces, batching, SLOs, routers) |
-//! | [`cluster`] | `elk-cluster` | multi-chip (tp, pp, dp) planning, cluster estimation + serving |
+//! | [`trace`] | `elk-trace` | versioned trace files + production-shaped generators |
+//! | [`cluster`] | `elk-cluster` | multi-chip (tp, pp, dp) planning, cluster estimation + serving, autoscaling |
 //! | [`spec`] | `elk-spec` | declarative JSON scenario specs, runners, and sweeps |
 //! | [`par`] | `elk-par` | scoped work-pool: deterministic `par_map`, single-flight |
 //! | [`units`] | `elk-units` | typed bytes/seconds/bandwidth/FLOPs |
@@ -68,6 +69,7 @@ pub use elk_serve as serve;
 pub use elk_sim as sim;
 pub use elk_sim_core as sim_core;
 pub use elk_spec as spec;
+pub use elk_trace as trace;
 pub use elk_units as units;
 
 /// The common imports for application code.
@@ -85,5 +87,6 @@ pub mod prelude {
     };
     pub use elk_sim::{simulate, SimOptions, SimReport};
     pub use elk_spec::{ScenarioSpec, SpecError};
+    pub use elk_trace::{TraceFile, TraceGenConfig};
     pub use elk_units::{ByteRate, Bytes, FlopRate, Flops, Seconds};
 }

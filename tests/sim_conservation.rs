@@ -16,7 +16,10 @@
 use std::sync::{Mutex, OnceLock};
 
 use elk::baselines::Design;
-use elk::cluster::{ClusterServeConfig, ClusterServingSim, ParallelismPlan};
+use elk::cluster::{
+    AutoscaleConfig, AutoscaleServingSim, ClusterServeConfig, ClusterServingSim, ParallelismPlan,
+    ScaleEvent, ScaleEventKind,
+};
 use elk::prelude::*;
 use elk::serve::{RequestOutcome, RouterPolicy};
 use proptest::prelude::*;
@@ -69,6 +72,59 @@ fn cluster_sim() -> &'static Mutex<ClusterServingSim> {
         };
         Mutex::new(ClusterServingSim::new(presets::ipu_pod4(), config).expect("pod4 plan"))
     })
+}
+
+/// The elastic-fleet engine, likewise shared. Aggressive thresholds
+/// (spin up at one queued request, 50 ms control ticks) so short
+/// proptest traces actually exercise spin-up and drain-down.
+fn autoscale_sim() -> &'static Mutex<AutoscaleServingSim> {
+    static SIM: OnceLock<Mutex<AutoscaleServingSim>> = OnceLock::new();
+    SIM.get_or_init(|| {
+        let config = ClusterServeConfig {
+            batch: batch(),
+            ..ClusterServeConfig::new(model(), ParallelismPlan::new(1, 1, 1))
+        };
+        let auto = AutoscaleConfig {
+            min_groups: 1,
+            max_groups: 3,
+            interval: Seconds::from_millis(50.0),
+            up_queue_depth: 1.0,
+            down_queue_depth: 0.25,
+            slo_target: 0.9,
+            cold_start_steps: 10.0,
+        };
+        Mutex::new(
+            AutoscaleServingSim::new(presets::ipu_pod4(), config, auto).expect("pod4 autoscale"),
+        )
+    })
+}
+
+/// Whether `gid` was serving-eligible at instant `t` according to the
+/// scale-event log: inside a `[Ready, Down)` interval. Boundary
+/// instants accept either ordering — an arrival and a drain decision
+/// at the same timestamp are both legal — but a group whose `Ready`
+/// lies strictly in the future is never eligible, which is exactly the
+/// "no request routed before cold-start finishes" invariant.
+fn group_ready_at(transitions: &[ScaleEvent], gid: usize, t: Seconds) -> bool {
+    let mut before = false; // state from events strictly before t
+    let mut at = false; // state including events at t
+    for ev in transitions.iter().filter(|ev| ev.group == gid) {
+        if ev.time > t {
+            break;
+        }
+        let state = match ev.kind {
+            ScaleEventKind::Ready => Some(true),
+            ScaleEventKind::Down | ScaleEventKind::Off => Some(false),
+            ScaleEventKind::Up => None,
+        };
+        if let Some(s) = state {
+            if ev.time < t {
+                before = s;
+            }
+            at = s;
+        }
+    }
+    before || at
 }
 
 /// Shared timeline checks for both engines' reports (panics on
@@ -169,6 +225,69 @@ proptest! {
         for o in &report.outcomes {
             prop_assert!(o.replica < report.per_group_requests.len());
         }
+    }
+
+    // Elastic fleet: conservation holds across spin-up and drain-down,
+    // no request is ever routed to a group whose cold start has not
+    // finished, and the scale-event log is time-monotone.
+    #[test]
+    fn autoscale_engine_conserves_requests_across_scaling(
+        seed in 0u64..1000,
+        requests in 1usize..30,
+        rate in 50u32..900,
+    ) {
+        let t = trace(seed, requests, f64::from(rate));
+        let report = autoscale_sim()
+            .lock()
+            .expect("sim lock")
+            .run(Design::ElkFull, &t)
+            .expect("autoscale run succeeds");
+        check_conservation(
+            requests,
+            report.completed,
+            report.makespan,
+            &report.outcomes,
+            &report.queue_depth,
+            report.mean_queue_depth,
+            report.max_queue_depth,
+        );
+        prop_assert_eq!(
+            report.per_group_requests.iter().sum::<usize>(),
+            requests,
+            "scaling conserves requests across groups"
+        );
+
+        // Scale events are time-monotone and stay inside the fleet.
+        let mut last = Seconds::ZERO;
+        for ev in &report.transitions {
+            prop_assert!(ev.time >= last, "scale events must be time-sorted");
+            last = ev.time;
+            prop_assert!(ev.group < report.max_groups as usize);
+            prop_assert!(ev.ready <= report.max_groups as usize);
+        }
+        prop_assert!(report.peak_groups >= report.min_groups as usize);
+        prop_assert!(report.peak_groups <= report.max_groups as usize);
+
+        // Routing respects readiness: every outcome's arrival falls in
+        // a [Ready, Down) interval of the group that served it.
+        for o in &report.outcomes {
+            prop_assert!(
+                group_ready_at(&report.transitions, o.replica, o.arrival),
+                "request {} routed to group {} outside its ready window",
+                o.id,
+                o.replica
+            );
+        }
+
+        // Chip-seconds stay inside the provisioning envelope (one chip
+        // per group here: tp = pp = 1).
+        prop_assert!(report.chip_seconds > 0.0);
+        prop_assert!(
+            report.chip_seconds
+                <= report.makespan.as_secs() * report.max_groups as f64 + 1e-9,
+            "chip-seconds {} exceed max_groups x makespan",
+            report.chip_seconds
+        );
     }
 }
 

@@ -14,11 +14,12 @@ use elk::baselines::Design;
 use elk::model::Phase;
 use elk::serve::{ArrivalProcess, LengthDist, RouterPolicy};
 use elk::spec::spec::{
-    ChipSpec, ClusterSpec, CompilerSpec, HbmSpec, ModelSpec, PlanSpec, ScenarioSpec,
+    AutoscaleSpec, ChipSpec, ClusterSpec, CompilerSpec, HbmSpec, ModelSpec, PlanSpec, ScenarioSpec,
     SeqBucketsSpec, ServingSpec, SimSpec, SloSpec, SweepAxis, SweepSpec, SystemSpec, TopologySpec,
-    TraceSpec, WorkloadSpec,
+    TraceGenSpec, TraceSourceSpec, TraceSpec, WorkloadSpec,
 };
 use elk::spec::SweepCommand;
+use elk::trace::{LengthModel, RateShape};
 
 fn arb_system() -> impl Strategy<Value = SystemSpec> {
     (
@@ -95,6 +96,61 @@ fn arb_model() -> impl Strategy<Value = ModelSpec> {
         })
 }
 
+/// Every `workload.trace` shape: absent, a recorded file, or each of
+/// the three generator rate shapes paired with a distinct length model.
+fn arb_trace_source() -> impl Strategy<Value = Option<TraceSourceSpec>> {
+    (
+        0usize..5,
+        (0u64..=1 << 48, 1usize..=256, 0u64..=6),
+        (0.5f64..900.0, 0.05f64..0.95, 0.05f64..5.0),
+        (1u64..=256, 1u64..=512, 1.01f64..3.0),
+    )
+        .prop_map(
+            |(variant, (seed, requests, tenants), (rps, frac, period_s), (lo, span, alpha))| {
+                match variant {
+                    0 => None,
+                    1 => Some(TraceSourceSpec::File(format!("traces/prop-{seed}.jsonl"))),
+                    v => {
+                        let rate = match v {
+                            2 => RateShape::Constant { rate_rps: rps },
+                            3 => RateShape::Diurnal {
+                                mean_rps: rps,
+                                amplitude: frac,
+                                period_s,
+                            },
+                            _ => RateShape::BurstTrain {
+                                base_rps: rps,
+                                burst_rps: rps * 4.0,
+                                period_s,
+                                burst_s: period_s * frac,
+                            },
+                        };
+                        let prompt_len = match v {
+                            2 => LengthModel::Fixed { tokens: lo },
+                            3 => LengthModel::Uniform { lo, hi: lo + span },
+                            _ => LengthModel::HeavyTail {
+                                lo,
+                                alpha,
+                                cap: lo + span,
+                            },
+                        };
+                        Some(TraceSourceSpec::Generate(TraceGenSpec {
+                            seed,
+                            requests,
+                            rate,
+                            prompt_len,
+                            output_len: LengthModel::Uniform {
+                                lo: 1,
+                                hi: 1 + span,
+                            },
+                            tenants,
+                        }))
+                    }
+                }
+            },
+        )
+}
+
 fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
     (
         prop::sample::select(vec![Phase::Decode, Phase::Prefill, Phase::TrainingForward]),
@@ -102,13 +158,15 @@ fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
         1u64..=8192,
         any::<bool>(),
         1u64..=8,
+        arb_trace_source(),
     )
         .prop_map(
-            |(phase, batch, seq_len, with_shards, shards)| WorkloadSpec {
+            |(phase, batch, seq_len, with_shards, shards, trace)| WorkloadSpec {
                 phase,
                 batch,
                 seq_len,
                 shards: with_shards.then_some(shards),
+                trace,
             },
         )
 }
@@ -183,23 +241,48 @@ fn arb_serving() -> impl Strategy<Value = ServingSpec> {
         )
 }
 
+/// The `cluster.autoscale` section: absent or a full knob set.
+fn arb_autoscale() -> impl Strategy<Value = Option<AutoscaleSpec>> {
+    (
+        0usize..3,
+        (1u64..=2, 0u64..=6),
+        10.0f64..500.0,
+        (0.5f64..8.0, 0.05f64..0.45),
+        0.5f64..0.99,
+        0.0f64..64.0,
+    )
+        .prop_map(
+            |(variant, (min, extra), interval_ms, (up, down), slo_target, cold)| {
+                (variant != 0).then_some(AutoscaleSpec {
+                    min_groups: min,
+                    max_groups: min + extra,
+                    interval_ms,
+                    up_queue_depth: up,
+                    down_queue_depth: down,
+                    slo_target,
+                    cold_start_steps: cold,
+                })
+            },
+        )
+}
+
 fn arb_cluster() -> impl Strategy<Value = Option<ClusterSpec>> {
     (
         0usize..3,
         (1u64..=4, 1u64..=4, 1u64..=4),
-        (any::<bool>(), 1u64..=8),
-        any::<bool>(),
+        ((any::<bool>(), 1u64..=8), any::<bool>()),
         0usize..4,
         (any::<bool>(), 0u64..=1 << 32, 0usize..=8),
+        arb_autoscale(),
     )
         .prop_map(
             |(
                 variant,
                 (tp, pp, dp),
-                (with_micro, micro),
-                mesh_links,
+                ((with_micro, micro), mesh_links),
                 policies,
                 (serve, seed, threads),
+                autoscale,
             )| {
                 if variant == 0 {
                     return None;
@@ -224,6 +307,7 @@ fn arb_cluster() -> impl Strategy<Value = Option<ClusterSpec>> {
                     .into(),
                     router,
                     serve,
+                    autoscale,
                     threads,
                 })
             },
