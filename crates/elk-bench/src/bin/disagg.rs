@@ -1,0 +1,16 @@
+//! `disagg` binary: disaggregated prefill/decode pools vs colocated
+//! continuous batching on long-prompt-heavy and chat-heavy traces (see
+//! `experiments::disagg`). Writes `disagg.{txt,json}` and merges its
+//! deterministic headline metrics (goodput / TTFT / TPOT per layout
+//! per trace, KV volume moved) into `BENCH.json`.
+
+fn main() {
+    let mut ctx = elk_bench::bin_ctx("disagg");
+    elk_bench::experiments::disagg::run(&mut ctx);
+    let path = elk_bench::bench_json::update(
+        ctx.results_dir(),
+        vec![elk_bench::bench_json::entry("disagg", ctx.metrics())],
+        vec![],
+    );
+    println!("consolidated metrics: {}", path.display());
+}

@@ -43,6 +43,7 @@ fn main() {
         ("serving", elk_bench::experiments::serving::run),
         ("cluster", elk_bench::experiments::cluster::run),
         ("autoscale", elk_bench::experiments::autoscale::run),
+        ("disagg", elk_bench::experiments::disagg::run),
         ("scale", elk_bench::experiments::scale::run),
     ];
     let t0 = Instant::now();

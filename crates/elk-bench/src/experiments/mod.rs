@@ -6,6 +6,7 @@ pub mod ablation_reorder;
 pub mod ablation_sram;
 pub mod autoscale;
 pub mod cluster;
+pub mod disagg;
 pub mod fig05;
 pub mod fig06;
 pub mod fig07;

@@ -22,7 +22,12 @@
 //!   fleet: a controller grows/shrinks the ready set against
 //!   time-weighted queue depth and windowed SLO attainment, and each
 //!   spin-up pays a cold start equal to its plan-compilation cost
-//!   priced through the shared cache.
+//!   priced through the shared cache;
+//! * [`DisaggServingSim`] — disaggregated prefill/decode serving: two
+//!   chip pools with independent plans on one event timeline, KV-cache
+//!   handoff priced via `CollectiveModel::p2p`, chunked prefill, and a
+//!   `shared_chips` degenerate mode that reproduces the colocated
+//!   engine bit-for-bit (pinned by a differential test).
 //!
 //! Everything is deterministic: searches fan over [`elk_par`] with
 //! index-ordered merging and the serving event loop is sequential in
@@ -60,6 +65,7 @@
 #![warn(missing_docs)]
 
 mod autoscale;
+mod disagg;
 mod estimate;
 mod plan;
 mod pricing;
@@ -67,6 +73,9 @@ mod serve;
 
 pub use autoscale::{
     AutoscaleConfig, AutoscaleReport, AutoscaleServingSim, ScaleEvent, ScaleEventKind,
+};
+pub use disagg::{
+    kv_handoff_bytes, DisaggConfig, DisaggServingReport, DisaggServingSim, HandoffRecord,
 };
 pub use estimate::{
     ClusterEstimator, ClusterOptions, ClusterReport, PlanCandidate, SearchOutcome, StageReport,

@@ -8,6 +8,8 @@
 //! price steps here, so a shape compiled by one is a cache hit for the
 //! other and their latencies agree exactly.
 
+use std::sync::Arc;
+
 use elk_baselines::{Design, DesignRunner};
 use elk_core::CompileError;
 use elk_hw::{CollectiveModel, SystemConfig};
@@ -19,13 +21,13 @@ use elk_units::Seconds;
 use crate::plan::{ParallelismPlan, StageSpan};
 
 /// Prices pipeline steps for one `(pod, model, tp, pp)` layout. Owns
-/// the group-level [`DesignRunner`] (fitted cost model) and the shared
-/// single-flight [`PlanCache`]; `dp` does not enter pricing — every
-/// replica group runs the identical pipeline.
+/// the group-level [`DesignRunner`] (fitted cost model) and a handle on
+/// the shared single-flight [`PlanCache`]; `dp` does not enter pricing
+/// — every replica group runs the identical pipeline.
 #[derive(Debug)]
 pub(crate) struct StepPricer {
     runner: DesignRunner,
-    cache: PlanCache,
+    cache: Arc<PlanCache>,
     stages: Vec<StageSpan>,
     links: CollectiveModel,
     model: TransformerConfig,
@@ -45,9 +47,25 @@ impl StepPricer {
         sim: SimOptions,
         threads: usize,
     ) -> Self {
+        let cache = Arc::new(PlanCache::new().with_threads(threads));
+        StepPricer::with_cache(system, model, plan, sim, cache)
+    }
+
+    /// [`new`](Self::new) against an externally owned cache: pricers
+    /// for different plans of the same model (the disaggregated pools)
+    /// share one single-flight cache, so a stage shape compiled for one
+    /// pool is a hit for the other. Cache keys carry the tp degree and
+    /// the workload phase, so distinct layouts never collide.
+    pub fn with_cache(
+        system: &SystemConfig,
+        model: TransformerConfig,
+        plan: ParallelismPlan,
+        sim: SimOptions,
+        cache: Arc<PlanCache>,
+    ) -> Self {
         StepPricer {
             runner: DesignRunner::new(system.subpod(plan.tp)).with_threads(1),
-            cache: PlanCache::new().with_threads(threads),
+            cache,
             stages: plan.stages(model.layers),
             links: plan.tp_links(system),
             model,

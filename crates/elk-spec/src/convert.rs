@@ -19,8 +19,8 @@ use elk_units::{ByteRate, Bytes, FlopRate, Seconds};
 use elk_trace::{LengthModel, RateShape, TraceGenConfig};
 
 use crate::spec::{
-    AutoscaleSpec, ChipSpec, ClusterSpec, HbmSpec, ModelSpec, ScenarioSpec, ServingSpec, SimSpec,
-    SystemSpec, TopologySpec, TraceGenSpec, TraceSpec, WorkloadSpec,
+    AutoscaleSpec, ChipSpec, ClusterSpec, DisaggSpec, HbmSpec, ModelSpec, ScenarioSpec,
+    ServingSpec, SimSpec, SystemSpec, TopologySpec, TraceGenSpec, TraceSpec, WorkloadSpec,
 };
 use crate::SpecError;
 
@@ -530,6 +530,30 @@ impl AutoscaleSpec {
             slo_target: self.slo_target,
             cold_start_steps: self.cold_start_steps,
         })
+    }
+}
+
+impl DisaggSpec {
+    /// The two pool plans this spec pins, prefill first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] when either pool has a zero
+    /// degree (pod/model fit is checked by
+    /// [`elk_cluster::DisaggServingSim::new`]).
+    pub fn to_plans(&self) -> Result<(ParallelismPlan, ParallelismPlan), SpecError> {
+        for (name, p) in [
+            ("cluster.disaggregate.prefill", &self.prefill),
+            ("cluster.disaggregate.decode", &self.decode),
+        ] {
+            if p.tp == 0 || p.pp == 0 || p.dp == 0 {
+                return Err(invalid(format!("{name}: tp, pp, dp must all be >= 1")));
+            }
+        }
+        Ok((
+            ParallelismPlan::new(self.prefill.tp, self.prefill.pp, self.prefill.dp),
+            ParallelismPlan::new(self.decode.tp, self.decode.pp, self.decode.dp),
+        ))
     }
 }
 

@@ -8,7 +8,9 @@
 use serde::{Serialize, Value};
 
 use elk_baselines::Design;
-use elk_cluster::{AutoscaleReport, ClusterReport, ClusterServingReport, PlanCandidate};
+use elk_cluster::{
+    AutoscaleReport, ClusterReport, ClusterServingReport, DisaggServingReport, PlanCandidate,
+};
 use elk_core::CompileStats;
 use elk_model::Workload;
 use elk_serve::ServingReport;
@@ -189,6 +191,10 @@ pub struct ClusterRunReport {
     /// Elastic-fleet replay, one row per design (when the scenario has
     /// a `cluster.autoscale` section and `cluster.serve` is on).
     pub autoscale: Option<Vec<AutoscaleReport>>,
+    /// Disaggregated prefill/decode replay, one row per design × router
+    /// policy (when the scenario has a `cluster.disaggregate` section
+    /// and `cluster.serve` is on).
+    pub disagg: Option<Vec<DisaggServingReport>>,
 }
 
 /// Output of `elk trace gen`: a summary of the emitted trace file.

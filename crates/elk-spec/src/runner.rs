@@ -9,6 +9,7 @@
 use elk_baselines::DesignRunner;
 use elk_cluster::{
     AutoscaleServingSim, ClusterError, ClusterEstimator, ClusterServeConfig, ClusterServingSim,
+    DisaggConfig, DisaggServingSim,
 };
 use elk_serve::{RequestTrace, ServingSim};
 use elk_trace::TraceFile;
@@ -265,6 +266,10 @@ pub fn run_cluster(spec: &ScenarioSpec) -> Result<ClusterRunReport, SpecError> {
         )?),
         _ => None,
     };
+    let disagg = match (&cluster.disaggregate, cluster.serve) {
+        (Some(d), true) => Some(run_cluster_disagg(spec, &cluster, d, &system, &sim)?),
+        _ => None,
+    };
 
     Ok(ClusterRunReport {
         scenario: spec.name.clone(),
@@ -278,6 +283,7 @@ pub fn run_cluster(spec: &ScenarioSpec) -> Result<ClusterRunReport, SpecError> {
         estimate,
         serving,
         autoscale,
+        disagg,
     })
 }
 
@@ -349,6 +355,41 @@ fn run_cluster_autoscale(
     let mut rows = Vec::new();
     for &design in &spec.compiler.design {
         rows.push(engine.run(design, &trace)?);
+    }
+    Ok(rows)
+}
+
+/// The disaggregated half of `elk cluster`: one two-pool replay per
+/// design × router policy, sharing one engine (and therefore one plan
+/// cache across both pools).
+fn run_cluster_disagg(
+    spec: &ScenarioSpec,
+    cluster: &ClusterSpec,
+    disagg: &crate::spec::DisaggSpec,
+    system: &elk_hw::SystemConfig,
+    sim: &elk_sim::SimOptions,
+) -> Result<Vec<elk_cluster::DisaggServingReport>, SpecError> {
+    let model = spec.model.as_transformer()?;
+    let (prefill, decode) = disagg.to_plans()?;
+    let serve_cfg = spec.serving.to_config(model.clone(), prefill.tp, *sim)?;
+    let trace = resolve_trace(spec)?;
+    let mut engine = DisaggServingSim::new(
+        system.clone(),
+        DisaggConfig {
+            batch: serve_cfg.batch,
+            slo: serve_cfg.slo,
+            sim: *sim,
+            threads: cluster.threads,
+            chunk_tokens: disagg.chunk_tokens,
+            shared_chips: disagg.shared_chips,
+            ..DisaggConfig::new(model, prefill, decode)
+        },
+    )?;
+    let mut rows = Vec::new();
+    for &design in &spec.compiler.design {
+        for &policy in &cluster.router {
+            rows.push(engine.run(design, policy, &trace)?);
+        }
     }
     Ok(rows)
 }

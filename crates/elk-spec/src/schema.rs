@@ -261,6 +261,21 @@ const ROOT: Node = Node::Map(&[
                     ("cold_start_steps", Node::Leaf),
                 ]),
             ),
+            (
+                "disaggregate",
+                Node::Map(&[
+                    (
+                        "prefill",
+                        Node::Map(&[("tp", Node::Leaf), ("pp", Node::Leaf), ("dp", Node::Leaf)]),
+                    ),
+                    (
+                        "decode",
+                        Node::Map(&[("tp", Node::Leaf), ("pp", Node::Leaf), ("dp", Node::Leaf)]),
+                    ),
+                    ("chunk_tokens", Node::Leaf),
+                    ("shared_chips", Node::Leaf),
+                ]),
+            ),
             ("threads", Node::Leaf),
         ]),
     ),
@@ -328,6 +343,10 @@ mod tests {
             "cluster.plan.tp",
             "cluster.autoscale.max_groups",
             "cluster.autoscale.cold_start_steps",
+            "cluster.disaggregate.prefill.tp",
+            "cluster.disaggregate.decode.dp",
+            "cluster.disaggregate.chunk_tokens",
+            "cluster.disaggregate.shared_chips",
             "compiler.design",
             "system",
         ] {

@@ -1275,15 +1275,21 @@ pub struct PlanSpec {
 
 impl Deserialize for PlanSpec {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        let mut r = MapReader::new("cluster.plan", v)?;
-        let spec = PlanSpec {
-            tp: r.req("tp")?,
-            pp: r.req("pp")?,
-            dp: r.req("dp")?,
-        };
-        r.finish()?;
-        Ok(spec)
+        plan_from("cluster.plan", v)
     }
+}
+
+/// [`PlanSpec`] parsing with an explicit error context, so the nested
+/// pool plans under `cluster.disaggregate` report their own paths.
+fn plan_from(ctx: &'static str, v: &Value) -> Result<PlanSpec, Error> {
+    let mut r = MapReader::new(ctx, v)?;
+    let spec = PlanSpec {
+        tp: r.req("tp")?,
+        pp: r.req("pp")?,
+        dp: r.req("dp")?,
+    };
+    r.finish()?;
+    Ok(spec)
 }
 
 impl Serialize for PlanSpec {
@@ -1318,6 +1324,10 @@ pub struct ClusterSpec {
     /// on), the replay also runs with an elastic dp fleet between
     /// `min_groups` and `max_groups` of the plan's `(tp, pp)` groups.
     pub autoscale: Option<AutoscaleSpec>,
+    /// Optional disaggregated prefill/decode pools: when present (and
+    /// `serve` is on), the replay also runs with separate prefill and
+    /// decode pools and KV-cache handoff priced on the interconnect.
+    pub disaggregate: Option<DisaggSpec>,
     /// Worker threads for the plan search and compile fan-out (`0` =
     /// all cores). Reports are byte-identical at any setting.
     pub threads: usize,
@@ -1333,8 +1343,57 @@ impl Default for ClusterSpec {
             router: vec![RouterPolicy::RoundRobin],
             serve: true,
             autoscale: None,
+            disaggregate: None,
             threads: 1,
         }
+    }
+}
+
+/// Disaggregated prefill/decode pool configuration (mirrors
+/// [`elk_cluster::DisaggConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisaggSpec {
+    /// The prefill pool's `(tp, pp, dp)` layout.
+    pub prefill: PlanSpec,
+    /// The decode pool's `(tp, pp, dp)` layout.
+    pub decode: PlanSpec,
+    /// Prompt-token cap per prefill step (`0` disables chunking).
+    pub chunk_tokens: u64,
+    /// Map both pools onto the same groups of one pod (the degenerate
+    /// config that equals colocated serving).
+    pub shared_chips: bool,
+}
+
+impl Deserialize for DisaggSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let mut r = MapReader::new("cluster.disaggregate", v)?;
+        let prefill = r
+            .raw("prefill")
+            .ok_or_else(|| Error::msg("cluster.disaggregate: missing required key 'prefill'"))
+            .and_then(|body| plan_from("cluster.disaggregate.prefill", body))?;
+        let decode = r
+            .raw("decode")
+            .ok_or_else(|| Error::msg("cluster.disaggregate: missing required key 'decode'"))
+            .and_then(|body| plan_from("cluster.disaggregate.decode", body))?;
+        let spec = DisaggSpec {
+            prefill,
+            decode,
+            chunk_tokens: r.or("chunk_tokens", 0)?,
+            shared_chips: r.or("shared_chips", false)?,
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for DisaggSpec {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("prefill".into(), self.prefill.to_value()),
+            ("decode".into(), self.decode.to_value()),
+            ("chunk_tokens".into(), self.chunk_tokens.to_value()),
+            ("shared_chips".into(), self.shared_chips.to_value()),
+        ])
     }
 }
 
@@ -1480,6 +1539,7 @@ impl Deserialize for ClusterSpec {
             router,
             serve: r.or("serve", d.serve)?,
             autoscale: r.opt("autoscale")?,
+            disaggregate: r.opt("disaggregate")?,
             threads: r.or("threads", d.threads)?,
         };
         r.finish()?;
@@ -1504,6 +1564,9 @@ impl Serialize for ClusterSpec {
         m.push(("serve".into(), self.serve.to_value()));
         if let Some(autoscale) = &self.autoscale {
             m.push(("autoscale".into(), autoscale.to_value()));
+        }
+        if let Some(disaggregate) = &self.disaggregate {
+            m.push(("disaggregate".into(), disaggregate.to_value()));
         }
         m.push(("threads".into(), self.threads.to_value()));
         Value::Map(m)

@@ -41,8 +41,10 @@ commands:
   serve    <scenario.json> [--out DIR] [--threads N]  replay the scenario's request trace
   cluster  <scenario.json> [--out DIR] [--threads N]  plan (tp, pp, dp) parallelism over the
                                                       pod and replay routed cluster serving
-                                                      (plus the autoscaled fleet when the
-                                                      scenario has a cluster.autoscale section)
+                                                      (plus the autoscaled fleet and/or the
+                                                      disaggregated prefill/decode pools when
+                                                      the scenario has cluster.autoscale /
+                                                      cluster.disaggregate sections)
   trace gen <scenario.json> [--out DIR]               write the scenario's workload.trace
                                                       generator as <name>.trace.jsonl
   sweep    <scenario.json> [--out DIR] [--threads N]  run the file's sweep grid
@@ -330,6 +332,26 @@ fn run_scenario(command: &str, opts: &ScenarioArgs) -> Result<(), Fail> {
                     row.slo_attainment * 100.0,
                     row.goodput_rps,
                     row.chip_seconds,
+                );
+            }
+            for row in r.disagg.iter().flatten() {
+                println!(
+                    "  disagg {} × {}: {} reqs, prefill {} × decode {}{}, \
+                     ttft p99 {:.2} ms, tpot mean {:.2} ms, kv {:.1} MiB, goodput {:.1} req/s",
+                    elk::spec::design_name(row.design),
+                    row.policy,
+                    row.completed,
+                    row.prefill_plan,
+                    row.decode_plan,
+                    if row.chunk_tokens > 0 {
+                        format!(" (chunk {})", row.chunk_tokens)
+                    } else {
+                        String::new()
+                    },
+                    row.ttft.p99.as_millis(),
+                    row.tpot.mean.as_millis(),
+                    row.kv_moved.get() as f64 / (1024.0 * 1024.0),
+                    row.goodput_rps,
                 );
             }
             r.to_value()

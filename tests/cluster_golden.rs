@@ -116,6 +116,152 @@ fn unit_plan_pins_to_the_single_chip_sim_report() {
     assert_eq!(report.estimate.bubble_fraction, 0.0);
 }
 
+/// The two disaggregation scenarios pin their latency arithmetic
+/// exactly: TTFT/TPOT percentiles to the last f64 bit, plus the event
+/// count the kernel processed. These constants are history — a change
+/// means the disaggregated engine's arithmetic changed, which must be
+/// a conscious decision. The same runs are diffed `--threads 1` vs
+/// `8` (byte-identical), mirroring the CI determinism step.
+#[test]
+fn disagg_scenarios_pin_percentiles_and_event_counts() {
+    struct Pin {
+        scenario: &'static str,
+        completed: usize,
+        ttft_p50: f64,
+        ttft_p99: f64,
+        tpot_mean: f64,
+        tpot_p99: f64,
+        sim_events: u64,
+        prefill_tokens: u64,
+        kv_moved: u64,
+    }
+    let pins = [
+        Pin {
+            scenario: "disagg_longprompt.json",
+            completed: 48,
+            ttft_p50: 0.140_117_256_739_309_5,
+            ttft_p99: 0.383_279_313_720_312_4,
+            tpot_mean: 4.717_195_106_947_954_3e-4,
+            tpot_p99: 5.146_112_732_666_96e-4,
+            sim_events: 1501,
+            prefill_tokens: 17_790,
+            kv_moved: 364_339_200,
+        },
+        Pin {
+            scenario: "disagg_chat.json",
+            completed: 64,
+            ttft_p50: 0.036_213_996_757_350_3,
+            ttft_p99: 0.080_502_287_511_067_67,
+            tpot_mean: 5.112_317_365_324_883e-4,
+            tpot_p99: 7.084_633_093_149_092e-4,
+            sim_events: 824,
+            prefill_tokens: 10_792,
+            kv_moved: 221_020_160,
+        },
+    ];
+    for pin in pins {
+        let doc = scenario_doc(pin.scenario);
+        let spec: ScenarioSpec = serde::Deserialize::from_value(&doc).expect("valid scenario");
+        let report = runner::run_cluster(&spec).expect("disagg scenario runs");
+        let rows = report.disagg.as_ref().expect("cluster.disaggregate is on");
+        assert_eq!(rows.len(), 1, "one design x one policy");
+        let r = &rows[0];
+        let ctx = pin.scenario;
+        assert_eq!(r.completed, pin.completed, "{ctx}");
+        assert_eq!(r.ttft.p50.as_secs(), pin.ttft_p50, "{ctx}: ttft p50");
+        assert_eq!(r.ttft.p99.as_secs(), pin.ttft_p99, "{ctx}: ttft p99");
+        assert_eq!(r.tpot.mean.as_secs(), pin.tpot_mean, "{ctx}: tpot mean");
+        assert_eq!(r.tpot.p99.as_secs(), pin.tpot_p99, "{ctx}: tpot p99");
+        assert_eq!(r.sim_events, pin.sim_events, "{ctx}: kernel event count");
+        assert_eq!(r.prefill_tokens, pin.prefill_tokens, "{ctx}");
+        assert_eq!(r.kv_moved.get(), pin.kv_moved, "{ctx}: KV bytes moved");
+
+        let mut doc8 = doc.clone();
+        set_path(&mut doc8, "cluster.threads", serde::Value::U64(8)).unwrap();
+        let spec8: ScenarioSpec = serde::Deserialize::from_value(&doc8).expect("valid");
+        let par = runner::run_cluster(&spec8).expect("threads=8");
+        assert_eq!(
+            serde_json::to_string(&report).expect("serialize"),
+            serde_json::to_string(&par).expect("serialize"),
+            "{ctx}: disagg report must be byte-identical at any thread count"
+        );
+    }
+}
+
+/// The degenerate differential on the checked-in golden trace: the
+/// disaggregated engine with handoff bytes zeroed (`shared_chips`),
+/// chunking off, and identical pool plans must reproduce the colocated
+/// engine bit for bit — same outcomes, same percentiles — on a trace
+/// whose bytes are themselves pinned by `trace_golden.rs`.
+#[test]
+fn degenerate_disagg_reproduces_colocated_on_the_golden_trace() {
+    use elk::cluster::{ClusterServeConfig, ClusterServingSim, DisaggConfig, DisaggServingSim};
+    use elk::serve::RouterPolicy;
+    use elk::trace::TraceFile;
+
+    let text = std::fs::read_to_string(format!(
+        "{}/traces/golden_small.jsonl",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("golden trace exists");
+    let trace = TraceFile::parse(&text)
+        .expect("golden trace parses")
+        .to_request_trace();
+
+    let mut model = zoo::llama2_13b();
+    model.layers = 2;
+    let plan = ParallelismPlan::new(1, 1, 2);
+    let batch = BatchConfig {
+        max_batch: 8,
+        max_prefill_tokens: 2048,
+        seq_buckets: SeqBuckets::new(256, 2048),
+        bucket_batch: true,
+    };
+
+    let mut colo = ClusterServingSim::new(
+        presets::ipu_pod4(),
+        ClusterServeConfig {
+            batch,
+            ..ClusterServeConfig::new(model.clone(), plan)
+        },
+    )
+    .expect("colocated config");
+    let mut disagg = DisaggServingSim::new(
+        presets::ipu_pod4(),
+        DisaggConfig {
+            batch,
+            shared_chips: true,
+            ..DisaggConfig::new(model, plan, plan)
+        },
+    )
+    .expect("degenerate disagg config");
+
+    for policy in RouterPolicy::all() {
+        let c = colo
+            .run(Design::ElkFull, policy, &trace)
+            .expect("colocated");
+        let d = disagg.run(Design::ElkFull, policy, &trace).expect("disagg");
+        assert_eq!(
+            d.outcomes, c.outcomes,
+            "{policy}: outcomes must be bit-identical"
+        );
+        assert_eq!(
+            serde_json::to_string(&d.ttft).unwrap(),
+            serde_json::to_string(&c.ttft).unwrap(),
+            "{policy}: TTFT stats must serialize identically"
+        );
+        assert_eq!(
+            serde_json::to_string(&d.tpot).unwrap(),
+            serde_json::to_string(&c.tpot).unwrap(),
+            "{policy}: TPOT stats must serialize identically"
+        );
+        assert_eq!(d.makespan, c.makespan, "{policy}");
+        assert_eq!(d.prefill_steps, c.prefill_steps, "{policy}");
+        assert_eq!(d.decode_steps, c.decode_steps, "{policy}");
+        assert!(d.kv_moved.is_zero(), "{policy}: shared chips move no KV");
+    }
+}
+
 #[test]
 fn router_scenario_serves_every_request_under_every_policy() {
     let mut doc = scenario_doc("cluster_router_burst.json");

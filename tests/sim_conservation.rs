@@ -6,7 +6,11 @@
 //! * per-request timelines are causal: `arrival <= first_token <=
 //!   completion`, and nothing outlives the reported makespan;
 //! * the merged queue-depth transition log is monotone in time, and
-//!   integrating it reproduces the reported time-weighted mean.
+//!   integrating it reproduces the reported time-weighted mean;
+//! * under disaggregation, every arrival prefills exactly once, hands
+//!   off exactly once, and decodes exactly once, with the handoff
+//!   instant equal to the first token and every byte priced by the
+//!   KV-handoff formula.
 //!
 //! One simulator instance is shared across all proptest cases (the
 //! plan cache makes repeated runs cheap); the length distributions are
@@ -17,8 +21,8 @@ use std::sync::{Mutex, OnceLock};
 
 use elk::baselines::Design;
 use elk::cluster::{
-    AutoscaleConfig, AutoscaleServingSim, ClusterServeConfig, ClusterServingSim, ParallelismPlan,
-    ScaleEvent, ScaleEventKind,
+    kv_handoff_bytes, AutoscaleConfig, AutoscaleServingSim, ClusterServeConfig, ClusterServingSim,
+    DisaggConfig, DisaggServingSim, ParallelismPlan, ScaleEvent, ScaleEventKind,
 };
 use elk::prelude::*;
 use elk::serve::{RequestOutcome, RouterPolicy};
@@ -96,6 +100,26 @@ fn autoscale_sim() -> &'static Mutex<AutoscaleServingSim> {
         Mutex::new(
             AutoscaleServingSim::new(presets::ipu_pod4(), config, auto).expect("pod4 autoscale"),
         )
+    })
+}
+
+/// The disaggregated prefill/decode engine, likewise shared. Disjoint
+/// pools (two prefill groups feeding two decode groups) with chunked
+/// prefill, so every run exercises KV handoffs, chunk accounting, and
+/// routing at both tiers.
+fn disagg_sim() -> &'static Mutex<DisaggServingSim> {
+    static SIM: OnceLock<Mutex<DisaggServingSim>> = OnceLock::new();
+    SIM.get_or_init(|| {
+        let config = DisaggConfig {
+            batch: batch(),
+            chunk_tokens: 256,
+            ..DisaggConfig::new(
+                model(),
+                ParallelismPlan::new(1, 1, 2),
+                ParallelismPlan::new(1, 1, 2),
+            )
+        };
+        Mutex::new(DisaggServingSim::new(presets::ipu_pod4(), config).expect("pod4 disagg"))
     })
 }
 
@@ -225,6 +249,103 @@ proptest! {
         for o in &report.outcomes {
             prop_assert!(o.replica < report.per_group_requests.len());
         }
+    }
+
+    // Disaggregated engine: every arrival prefills exactly once (chunk
+    // accounting sums back to the prompt), hands off exactly once, and
+    // decodes exactly once; the per-request timeline threads
+    // `arrival <= prefill_done <= handoff_done = first_token <=
+    // completion`; routing conserves requests at both tiers; and the
+    // handoff and queue transition logs are time-sorted.
+    #[test]
+    fn disagg_engine_conserves_requests(
+        seed in 0u64..1000,
+        requests in 1usize..30,
+        policy_idx in 0usize..3,
+    ) {
+        let t = trace(seed, requests, 200.0);
+        let policy = RouterPolicy::all()[policy_idx];
+        let report = disagg_sim()
+            .lock()
+            .expect("sim lock")
+            .run(Design::ElkFull, policy, &t)
+            .expect("disagg run succeeds");
+        check_conservation(
+            requests,
+            report.completed,
+            report.makespan,
+            &report.outcomes,
+            &report.queue_depth,
+            report.prefill_mean_queue_depth,
+            report.prefill_max_queue_depth,
+        );
+
+        // Exactly one handoff per arrival, each with a distinct id.
+        prop_assert_eq!(report.handoffs.len(), requests);
+        let mut ids: Vec<u64> = report.handoffs.iter().map(|h| h.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), requests, "handoff ids must be unique");
+
+        // Chunked prefill conserves prompt tokens exactly: however the
+        // budget slices them, the chunks sum back to each prompt.
+        prop_assert_eq!(
+            report.prefill_tokens,
+            t.requests.iter().map(|r| r.prompt_len).sum::<u64>()
+        );
+
+        // Per-request causality across the handoff, joined by id: the
+        // transfer starts when prefill ends, and its completion IS the
+        // first token the decode pool can stream.
+        for h in &report.handoffs {
+            let o = report
+                .outcomes
+                .iter()
+                .find(|o| o.id == h.id)
+                .expect("every handoff joins an outcome");
+            prop_assert!(o.arrival <= h.prefill_done, "prefill precedes arrival");
+            prop_assert!(h.prefill_done <= h.handoff_done, "transfer runs backwards");
+            prop_assert_eq!(h.handoff_done, o.first_token, "handoff is the first token");
+            prop_assert!(h.from < report.per_prefill_group_requests.len());
+            prop_assert_eq!(h.to, o.replica, "handoff target serves the decode");
+        }
+        let mut last = Seconds::ZERO;
+        for h in &report.handoffs {
+            prop_assert!(h.handoff_done >= last, "handoff log must be time-sorted");
+            last = h.handoff_done;
+        }
+
+        // Both tiers' routing conserves requests.
+        prop_assert_eq!(
+            report.per_prefill_group_requests.iter().sum::<usize>(),
+            requests,
+            "prefill routing conserves requests"
+        );
+        prop_assert_eq!(
+            report.per_decode_group_requests.iter().sum::<usize>(),
+            requests,
+            "decode routing conserves requests"
+        );
+
+        // Every KV byte moved is priced by the handoff formula, and the
+        // report total is exactly the sum of the per-handoff records.
+        let expect: Bytes = t
+            .requests
+            .iter()
+            .map(|r| kv_handoff_bytes(&model(), r.prompt_len))
+            .sum();
+        prop_assert_eq!(report.kv_moved, expect);
+        prop_assert_eq!(
+            report.kv_moved,
+            report.handoffs.iter().map(|h| h.bytes).sum::<Bytes>()
+        );
+
+        // Decode-tier queue stats stay sane even though the merged
+        // transition log reports the prefill tier.
+        prop_assert!(report.decode_mean_queue_depth >= 0.0);
+        prop_assert!(
+            report.decode_mean_queue_depth <= report.decode_max_queue_depth as f64
+        );
     }
 
     // Elastic fleet: conservation holds across spin-up and drain-down,

@@ -14,11 +14,11 @@ use elk::baselines::Design;
 use elk::model::Phase;
 use elk::serve::{ArrivalProcess, LengthDist, RouterPolicy};
 use elk::spec::spec::{
-    AutoscaleSpec, ChipSpec, ClusterSpec, CompilerSpec, HbmSpec, ModelSpec, PlanSpec, ScenarioSpec,
-    SeqBucketsSpec, ServingSpec, SimSpec, SloSpec, SweepAxis, SweepSpec, SystemSpec, TopologySpec,
-    TraceGenSpec, TraceSourceSpec, TraceSpec, WorkloadSpec,
+    AutoscaleSpec, ChipSpec, ClusterSpec, CompilerSpec, DisaggSpec, HbmSpec, ModelSpec, PlanSpec,
+    ScenarioSpec, SeqBucketsSpec, ServingSpec, SimSpec, SloSpec, SweepAxis, SweepSpec, SystemSpec,
+    TopologySpec, TraceGenSpec, TraceSourceSpec, TraceSpec, WorkloadSpec,
 };
-use elk::spec::SweepCommand;
+use elk::spec::{run_sweep, SweepCommand};
 use elk::trace::{LengthModel, RateShape};
 
 fn arb_system() -> impl Strategy<Value = SystemSpec> {
@@ -266,6 +266,33 @@ fn arb_autoscale() -> impl Strategy<Value = Option<AutoscaleSpec>> {
         )
 }
 
+/// The `cluster.disaggregate` section: absent or a full pool split.
+fn arb_disagg() -> impl Strategy<Value = Option<DisaggSpec>> {
+    (
+        0usize..3,
+        (1u64..=4, 1u64..=2, 1u64..=4),
+        (1u64..=4, 1u64..=2, 1u64..=4),
+        0u64..=1024,
+        any::<bool>(),
+    )
+        .prop_map(|(variant, p, d, chunk_tokens, shared_chips)| {
+            (variant != 0).then_some(DisaggSpec {
+                prefill: PlanSpec {
+                    tp: p.0,
+                    pp: p.1,
+                    dp: p.2,
+                },
+                decode: PlanSpec {
+                    tp: d.0,
+                    pp: d.1,
+                    dp: d.2,
+                },
+                chunk_tokens,
+                shared_chips,
+            })
+        })
+}
+
 fn arb_cluster() -> impl Strategy<Value = Option<ClusterSpec>> {
     (
         0usize..3,
@@ -273,7 +300,7 @@ fn arb_cluster() -> impl Strategy<Value = Option<ClusterSpec>> {
         ((any::<bool>(), 1u64..=8), any::<bool>()),
         0usize..4,
         (any::<bool>(), 0u64..=1 << 32, 0usize..=8),
-        arb_autoscale(),
+        (arb_autoscale(), arb_disagg()),
     )
         .prop_map(
             |(
@@ -282,7 +309,7 @@ fn arb_cluster() -> impl Strategy<Value = Option<ClusterSpec>> {
                 ((with_micro, micro), mesh_links),
                 policies,
                 (serve, seed, threads),
-                autoscale,
+                (autoscale, disaggregate),
             )| {
                 if variant == 0 {
                     return None;
@@ -308,6 +335,7 @@ fn arb_cluster() -> impl Strategy<Value = Option<ClusterSpec>> {
                     router,
                     serve,
                     autoscale,
+                    disaggregate,
                     threads,
                 })
             },
@@ -403,4 +431,92 @@ proptest! {
         let back: CompilerSpec = serde_json::from_str(&json).expect("parse");
         prop_assert_eq!(back, compiler);
     }
+}
+
+/// `cluster.disaggregate` is strict at every level: unknown keys are
+/// rejected with their dotted context (not silently ignored), and both
+/// pool plans are required.
+#[test]
+fn disaggregate_rejects_unknown_and_missing_keys() {
+    let err = serde_json::from_str::<ClusterSpec>(
+        r#"{"disaggregate": {"prefill": {"tp": 1, "pp": 1, "dp": 2},
+            "decode": {"tp": 1, "pp": 1, "dp": 2}, "bogus": 1}}"#,
+    )
+    .expect_err("unknown key under disaggregate must fail")
+    .to_string();
+    assert!(
+        err.contains("cluster.disaggregate") && err.contains("bogus"),
+        "error must name the dotted context and the offending key: {err}"
+    );
+
+    let err = serde_json::from_str::<ClusterSpec>(
+        r#"{"disaggregate": {"prefill": {"tp": 1, "pp": 1, "dp": 2}}}"#,
+    )
+    .expect_err("a disaggregate section without a decode pool must fail")
+    .to_string();
+    assert!(
+        err.contains("decode"),
+        "error must name the missing pool: {err}"
+    );
+
+    let err = serde_json::from_str::<ClusterSpec>(
+        r#"{"disaggregate": {"prefill": {"tp": 1, "pp": 1, "dp": 2, "zz": 0},
+            "decode": {"tp": 1, "pp": 1, "dp": 2}}}"#,
+    )
+    .expect_err("unknown key inside a pool plan must fail")
+    .to_string();
+    assert!(
+        err.contains("cluster.disaggregate.prefill") && err.contains("zz"),
+        "error must name the pool's dotted context: {err}"
+    );
+}
+
+/// The dotted sweep paths under `cluster.disaggregate` validate against
+/// the schema key tree. The probe document lists a *valid* disagg axis
+/// first and a bogus one second: `run_sweep` validates axes in order
+/// and reports the first failure, so an error naming only the bogus
+/// axis proves the valid paths passed — without running a grid point.
+#[test]
+fn disaggregate_sweep_paths_validate() {
+    let mk = |axes: &str| -> serde::Value {
+        serde_json::from_str(&format!(
+            r#"{{"name": "probe", "model": {{"zoo": "llama13"}},
+                 "sweep": {{"command": "compile", "axes": {axes}}}}}"#
+        ))
+        .expect("probe document is valid JSON")
+    };
+
+    for good in [
+        "cluster.disaggregate.prefill.tp",
+        "cluster.disaggregate.prefill.pp",
+        "cluster.disaggregate.decode.dp",
+        "cluster.disaggregate.chunk_tokens",
+        "cluster.disaggregate.shared_chips",
+    ] {
+        let doc = mk(&format!(
+            r#"[{{"path": "{good}", "values": [1]}},
+                {{"path": "cluster.disaggregate.nope", "values": [1]}}]"#
+        ));
+        let err = run_sweep(&doc, 1)
+            .expect_err("the bogus axis must fail")
+            .to_string();
+        assert!(
+            err.contains("cluster.disaggregate.nope") && !err.contains(good),
+            "only the bogus axis may be rejected (probing `{good}`): {err}"
+        );
+        assert!(
+            err.contains("prefill") && err.contains("chunk_tokens"),
+            "the error must list the valid keys at that level: {err}"
+        );
+    }
+
+    // Descending through a leaf is caught too.
+    let doc = mk(r#"[{"path": "cluster.disaggregate.chunk_tokens.deeper", "values": [1]}]"#);
+    let err = run_sweep(&doc, 1)
+        .expect_err("leaf descent must fail")
+        .to_string();
+    assert!(
+        err.contains("cannot descend"),
+        "leaf descent needs its own diagnostic: {err}"
+    );
 }
