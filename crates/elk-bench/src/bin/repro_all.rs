@@ -44,6 +44,7 @@ fn main() {
         ("cluster", elk_bench::experiments::cluster::run),
         ("autoscale", elk_bench::experiments::autoscale::run),
         ("disagg", elk_bench::experiments::disagg::run),
+        ("tenancy", elk_bench::experiments::tenancy::run),
         ("scale", elk_bench::experiments::scale::run),
     ];
     let t0 = Instant::now();

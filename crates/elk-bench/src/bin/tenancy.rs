@@ -1,0 +1,16 @@
+//! `tenancy` binary: admission control vs an open front door on a
+//! burst-overloaded multi-tenant trace (see `experiments::tenancy`).
+//! Writes `tenancy.{txt,json}` and merges its deterministic headline
+//! metrics (admission split, premium goodput, Jain fairness per
+//! policy) into `BENCH.json`.
+
+fn main() {
+    let mut ctx = elk_bench::bin_ctx("tenancy");
+    elk_bench::experiments::tenancy::run(&mut ctx);
+    let path = elk_bench::bench_json::update(
+        ctx.results_dir(),
+        vec![elk_bench::bench_json::entry("tenancy", ctx.metrics())],
+        vec![],
+    );
+    println!("consolidated metrics: {}", path.display());
+}

@@ -24,6 +24,7 @@ pub mod fig24;
 pub mod scale;
 pub mod serving;
 pub mod table2;
+pub mod tenancy;
 
 use elk_baselines::{Design, DesignOutcome, DesignRunner};
 use elk_core::Catalog;

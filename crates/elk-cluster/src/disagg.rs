@@ -334,7 +334,7 @@ struct InFlight {
 /// Trace-driven disaggregated serving simulator for one
 /// (pod, model, prefill plan, decode plan).
 ///
-/// Owns one [`StepPricer`] per pool; both price through a shared
+/// Owns one `StepPricer` per pool; both price through a shared
 /// single-flight plan cache, so consecutive runs — across designs and
 /// router policies — reuse stage catalogs and compiled plans, and
 /// identical pool plans compile once.

@@ -27,7 +27,14 @@
 //!   chip pools with independent plans on one event timeline, KV-cache
 //!   handoff priced via `CollectiveModel::p2p`, chunked prefill, and a
 //!   `shared_chips` degenerate mode that reproduces the colocated
-//!   engine bit-for-bit (pinned by a differential test).
+//!   engine bit-for-bit (pinned by a differential test);
+//! * [`TenantServingSim`] — multi-tenant serving on top of the routed
+//!   replay: per-tenant SLO classes with token-bucket admission
+//!   control, load shedding (reject or one-shot defer), class-priority
+//!   scheduling in the kernel's event ordering, multi-model pods over
+//!   one shared plan cache, and per-tenant goodput/fairness reporting.
+//!   A single-default-class config reproduces [`ClusterServingSim`]
+//!   bit-for-bit (also pinned by a differential test).
 //!
 //! Everything is deterministic: searches fan over [`elk_par`] with
 //! index-ordered merging and the serving event loop is sequential in
@@ -70,6 +77,7 @@ mod estimate;
 mod plan;
 mod pricing;
 mod serve;
+mod tenancy;
 
 pub use autoscale::{
     AutoscaleConfig, AutoscaleReport, AutoscaleServingSim, ScaleEvent, ScaleEventKind,
@@ -82,6 +90,7 @@ pub use estimate::{
 };
 pub use plan::{ParallelismPlan, StageSpan};
 pub use serve::{ClusterServeConfig, ClusterServingReport, ClusterServingSim};
+pub use tenancy::{TenancyServingReport, TenantServingSim};
 
 use std::fmt;
 

@@ -143,7 +143,8 @@ enum Ev {
 }
 
 /// What a group's in-flight step will do when its completion fires.
-enum PendingStep {
+/// Crate-visible so the tenancy engine reuses the same step machinery.
+pub(crate) enum PendingStep {
     /// Prefill of these trace indices.
     Prefill {
         /// Trace indices admitted into the step.
@@ -154,29 +155,29 @@ enum PendingStep {
 }
 
 /// One replica group's live state during the event loop.
-struct Group {
+pub(crate) struct Group {
     /// Waiting queue, trace indices in dispatch order (FIFO).
-    waiting: Vec<usize>,
+    pub(crate) waiting: Vec<usize>,
     /// Active (decoding) requests.
-    active: Vec<InFlight>,
+    pub(crate) active: Vec<InFlight>,
     /// The step currently running on the group's chips, if any.
-    pending: Option<PendingStep>,
-    prefill_steps: u64,
-    decode_steps: u64,
+    pub(crate) pending: Option<PendingStep>,
+    pub(crate) prefill_steps: u64,
+    pub(crate) decode_steps: u64,
     /// Waiting-queue depth trace (transitions + time-weighted area).
-    queue: QueueStat,
-    served: usize,
+    pub(crate) queue: QueueStat,
+    pub(crate) served: usize,
     /// Completion time of the group's last step.
-    end: Seconds,
+    pub(crate) end: Seconds,
 }
 
-struct InFlight {
-    idx: usize,
-    generated: u64,
+pub(crate) struct InFlight {
+    pub(crate) idx: usize,
+    pub(crate) generated: u64,
 }
 
 impl Group {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Group {
             waiting: Vec::new(),
             active: Vec::new(),
@@ -191,7 +192,7 @@ impl Group {
 
     /// Queued + in-flight requests, as a front-end router observes them:
     /// requests inside an unfinished prefill step still count.
-    fn outstanding(&self) -> usize {
+    pub(crate) fn outstanding(&self) -> usize {
         let in_step = match &self.pending {
             Some(PendingStep::Prefill { batch }) => batch.len(),
             _ => 0,
@@ -390,81 +391,94 @@ impl ClusterServingSim {
             .map(|o| o.expect("the drain completes every request"))
             .collect();
         let sim_events = q.events_processed();
-        Ok(self.summarize(design, policy, trace, groups, outcomes, sim_events))
-    }
-
-    /// Folds per-request outcomes into the aggregate report.
-    fn summarize(
-        &self,
-        design: Design,
-        policy: RouterPolicy,
-        trace: &RequestTrace,
-        groups: Vec<Group>,
-        outcomes: Vec<RequestOutcome>,
-        sim_events: u64,
-    ) -> ClusterServingReport {
-        let ttft: Vec<Seconds> = outcomes.iter().map(RequestOutcome::ttft).collect();
-        let tpot: Vec<Seconds> = outcomes.iter().filter_map(RequestOutcome::tpot).collect();
-        let e2e: Vec<Seconds> = outcomes.iter().map(RequestOutcome::e2e).collect();
-        let met = outcomes
-            .iter()
-            .filter(|o| o.meets(&self.config.slo))
-            .count();
-        let makespan = groups
-            .iter()
-            .map(|g| g.end)
-            .fold(Seconds::ZERO, Seconds::max);
-        let span = makespan.as_secs();
-        let per_sec = |x: f64| if span > 0.0 { x / span } else { 0.0 };
-        // Time-weighted queue mean: each group's depth integrated over
-        // its own timeline, pooled over total simulated group-time.
-        let depth_area: f64 = groups.iter().map(|g| g.queue.area_until(g.end)).sum();
-        let sim_time: f64 = groups.iter().map(|g| g.end.as_secs()).sum();
-        let max_queue_depth = groups
-            .iter()
-            .map(|g| g.queue.max_depth())
-            .max()
-            .unwrap_or(0);
-        let prefill_steps = groups.iter().map(|g| g.prefill_steps).sum();
-        let decode_steps = groups.iter().map(|g| g.decode_steps).sum();
-        let per_group_requests = groups.iter().map(|g| g.served).collect();
-        let mut queue_depth: Vec<(Seconds, usize)> = groups
-            .into_iter()
-            .flat_map(|g| g.queue.into_samples())
-            .collect();
-        queue_depth.sort_by_key(|&(t, _)| t);
-        ClusterServingReport {
+        Ok(summarize_groups(
             design,
             policy,
-            plan: self.config.plan,
-            requests: trace.len(),
-            completed: outcomes.len(),
-            makespan,
-            ttft: LatencyStats::of(&ttft),
-            tpot: LatencyStats::of(&tpot),
-            e2e: LatencyStats::of(&e2e),
-            slo: self.config.slo,
-            slo_attainment: if outcomes.is_empty() {
-                0.0
-            } else {
-                met as f64 / outcomes.len() as f64
-            },
-            goodput_rps: per_sec(met as f64),
-            throughput_rps: per_sec(outcomes.len() as f64),
-            tokens_per_sec: per_sec(trace.total_output_tokens() as f64),
-            prefill_steps,
-            decode_steps,
-            per_group_requests,
-            mean_queue_depth: if sim_time > 0.0 {
-                depth_area / sim_time
-            } else {
-                0.0
-            },
-            max_queue_depth,
-            queue_depth,
-            sim_events,
+            self.config.plan,
+            self.config.slo,
+            trace.len(),
+            trace.total_output_tokens(),
+            groups,
             outcomes,
-        }
+            sim_events,
+        ))
+    }
+}
+
+/// Folds per-request outcomes into the aggregate report. Shared by the
+/// plain cluster engine and the tenancy engine — the latter passes the
+/// *served* token total (rejected requests generate nothing) and an
+/// outcome list that may be shorter than the trace.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn summarize_groups(
+    design: Design,
+    policy: RouterPolicy,
+    plan: ParallelismPlan,
+    slo: SloConfig,
+    requests: usize,
+    served_tokens: u64,
+    groups: Vec<Group>,
+    outcomes: Vec<RequestOutcome>,
+    sim_events: u64,
+) -> ClusterServingReport {
+    let ttft: Vec<Seconds> = outcomes.iter().map(RequestOutcome::ttft).collect();
+    let tpot: Vec<Seconds> = outcomes.iter().filter_map(RequestOutcome::tpot).collect();
+    let e2e: Vec<Seconds> = outcomes.iter().map(RequestOutcome::e2e).collect();
+    let met = outcomes.iter().filter(|o| o.meets(&slo)).count();
+    let makespan = groups
+        .iter()
+        .map(|g| g.end)
+        .fold(Seconds::ZERO, Seconds::max);
+    let span = makespan.as_secs();
+    let per_sec = |x: f64| if span > 0.0 { x / span } else { 0.0 };
+    // Time-weighted queue mean: each group's depth integrated over
+    // its own timeline, pooled over total simulated group-time.
+    let depth_area: f64 = groups.iter().map(|g| g.queue.area_until(g.end)).sum();
+    let sim_time: f64 = groups.iter().map(|g| g.end.as_secs()).sum();
+    let max_queue_depth = groups
+        .iter()
+        .map(|g| g.queue.max_depth())
+        .max()
+        .unwrap_or(0);
+    let prefill_steps = groups.iter().map(|g| g.prefill_steps).sum();
+    let decode_steps = groups.iter().map(|g| g.decode_steps).sum();
+    let per_group_requests = groups.iter().map(|g| g.served).collect();
+    let mut queue_depth: Vec<(Seconds, usize)> = groups
+        .into_iter()
+        .flat_map(|g| g.queue.into_samples())
+        .collect();
+    queue_depth.sort_by_key(|&(t, _)| t);
+    ClusterServingReport {
+        design,
+        policy,
+        plan,
+        requests,
+        completed: outcomes.len(),
+        makespan,
+        ttft: LatencyStats::of(&ttft),
+        tpot: LatencyStats::of(&tpot),
+        e2e: LatencyStats::of(&e2e),
+        slo,
+        slo_attainment: if outcomes.is_empty() {
+            0.0
+        } else {
+            met as f64 / outcomes.len() as f64
+        },
+        goodput_rps: per_sec(met as f64),
+        throughput_rps: per_sec(outcomes.len() as f64),
+        tokens_per_sec: per_sec(served_tokens as f64),
+        prefill_steps,
+        decode_steps,
+        per_group_requests,
+        mean_queue_depth: if sim_time > 0.0 {
+            depth_area / sim_time
+        } else {
+            0.0
+        },
+        max_queue_depth,
+        queue_depth,
+        sim_events,
+        outcomes,
     }
 }
 

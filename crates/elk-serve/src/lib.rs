@@ -80,6 +80,7 @@ mod engine;
 mod metrics;
 mod report;
 mod router;
+mod tenancy;
 mod trace;
 
 pub use batcher::{next_step, BatchConfig, StepPlan};
@@ -88,4 +89,8 @@ pub use engine::{ServeConfig, ServingSim};
 pub use metrics::{percentile, LatencyStats, RequestOutcome, SloConfig};
 pub use report::ServingReport;
 pub use router::{Router, RouterPolicy};
+pub use tenancy::{
+    jain_index, ShedPolicy, TenancyConfig, TenantClass, TenantReport, TokenBucket,
+    MAX_CLASS_PRIORITY,
+};
 pub use trace::{ArrivalProcess, LengthDist, Request, RequestTrace, TraceConfig};

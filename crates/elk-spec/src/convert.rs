@@ -20,7 +20,8 @@ use elk_trace::{LengthModel, RateShape, TraceGenConfig};
 
 use crate::spec::{
     AutoscaleSpec, ChipSpec, ClusterSpec, DisaggSpec, HbmSpec, ModelSpec, ScenarioSpec,
-    ServingSpec, SimSpec, SystemSpec, TopologySpec, TraceGenSpec, TraceSpec, WorkloadSpec,
+    ServingSpec, SimSpec, SystemSpec, TenancySpec, TopologySpec, TraceGenSpec, TraceSpec,
+    WorkloadSpec,
 };
 use crate::SpecError;
 
@@ -554,6 +555,67 @@ impl DisaggSpec {
             ParallelismPlan::new(self.prefill.tp, self.prefill.pp, self.prefill.dp),
             ParallelismPlan::new(self.decode.tp, self.decode.pp, self.decode.dp),
         ))
+    }
+}
+
+impl TenancySpec {
+    /// Builds the [`elk_serve::TenancyConfig`] this spec describes.
+    ///
+    /// SLO bounds convert from ms to seconds and the shed policy name
+    /// resolves here; the structural invariants (unique names, priority
+    /// band, resolvable classes) are then checked by
+    /// [`elk_serve::TenancyConfig::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] for an unknown shed policy, a
+    /// non-positive SLO bound, an out-of-band priority, or any
+    /// violation `validate` reports.
+    pub fn to_config(&self) -> Result<elk_serve::TenancyConfig, SpecError> {
+        let shed_policy = match self.shed_policy.as_str() {
+            "reject" => elk_serve::ShedPolicy::Reject,
+            "defer" => elk_serve::ShedPolicy::Defer,
+            other => {
+                return Err(invalid(format!(
+                    "tenants.shed_policy '{other}': expected reject or defer"
+                )))
+            }
+        };
+        let mut classes = Vec::with_capacity(self.classes.len());
+        for c in &self.classes {
+            if c.priority > u64::from(elk_serve::MAX_CLASS_PRIORITY) {
+                return Err(invalid(format!(
+                    "tenants.classes '{}': priority {} exceeds the maximum {}",
+                    c.name,
+                    c.priority,
+                    elk_serve::MAX_CLASS_PRIORITY
+                )));
+            }
+            positive("tenants.classes slo.ttft_ms", c.slo.ttft_ms)?;
+            positive("tenants.classes slo.tpot_ms", c.slo.tpot_ms)?;
+            classes.push(elk_serve::TenantClass {
+                name: c.name.clone(),
+                priority: c.priority as u8,
+                slo: SloConfig {
+                    ttft: Seconds::new(c.slo.ttft_ms / 1e3),
+                    tpot: Seconds::new(c.slo.tpot_ms / 1e3),
+                },
+                rate_rps: c.rate_rps,
+                burst: c.burst,
+                model: c.model.clone(),
+                sheddable: c.sheddable,
+            });
+        }
+        let config = elk_serve::TenancyConfig {
+            classes,
+            tenants: self.map.clone(),
+            default_class: self.default_class.clone(),
+            shed_queue_depth: self.shed_queue_depth,
+            shed_policy,
+            defer_s: self.defer_ms / 1e3,
+        };
+        config.validate().map_err(invalid)?;
+        Ok(config)
     }
 }
 

@@ -10,6 +10,7 @@ use serde::{Serialize, Value};
 use elk_baselines::Design;
 use elk_cluster::{
     AutoscaleReport, ClusterReport, ClusterServingReport, DisaggServingReport, PlanCandidate,
+    TenancyServingReport,
 };
 use elk_core::CompileStats;
 use elk_model::Workload;
@@ -156,6 +157,9 @@ pub struct ServeReport {
     pub shards: u64,
     /// One full serving report per design, in spec order.
     pub designs: Vec<ServingReport>,
+    /// Multi-tenant replay, one row per design (when the scenario has
+    /// a `serving.tenants` section).
+    pub tenancy: Option<Vec<TenancyServingReport>>,
 }
 
 /// Output of `elk cluster`: the (searched or pinned) parallelism plan's
@@ -195,6 +199,10 @@ pub struct ClusterRunReport {
     /// policy (when the scenario has a `cluster.disaggregate` section
     /// and `cluster.serve` is on).
     pub disagg: Option<Vec<DisaggServingReport>>,
+    /// Multi-tenant replay, one row per design × router policy (when
+    /// the scenario has a `cluster.tenants` section and `cluster.serve`
+    /// is on).
+    pub tenancy: Option<Vec<TenancyServingReport>>,
 }
 
 /// Output of `elk trace gen`: a summary of the emitted trace file.

@@ -9,9 +9,9 @@
 use elk_baselines::DesignRunner;
 use elk_cluster::{
     AutoscaleServingSim, ClusterError, ClusterEstimator, ClusterServeConfig, ClusterServingSim,
-    DisaggConfig, DisaggServingSim,
+    DisaggConfig, DisaggServingSim, ParallelismPlan, TenantServingSim,
 };
-use elk_serve::{RequestTrace, ServingSim};
+use elk_serve::{RequestTrace, RouterPolicy, ServingSim};
 use elk_trace::TraceFile;
 
 use crate::report::{
@@ -124,6 +124,21 @@ pub fn run_simulate(spec: &ScenarioSpec) -> Result<SimulateReport, SpecError> {
 /// trace file (the message carries the path and the offending record)
 /// or an ill-formed generator recipe.
 pub fn resolve_trace(spec: &ScenarioSpec) -> Result<RequestTrace, SpecError> {
+    resolve_trace_with_tenants(spec).map(|(trace, _)| trace)
+}
+
+/// Like [`resolve_trace`], but also returns the per-request tenant ids
+/// (indexable by request id) for the multi-tenant replay. Trace sources
+/// carry tenant labels; the synthetic `serving.trace` recipe does not,
+/// so it yields an empty assignment (= every request on the default
+/// tenant).
+///
+/// # Errors
+///
+/// Same conditions as [`resolve_trace`].
+pub fn resolve_trace_with_tenants(
+    spec: &ScenarioSpec,
+) -> Result<(RequestTrace, Vec<String>), SpecError> {
     match &spec.workload.trace {
         Some(TraceSourceSpec::File(path)) => {
             let text = std::fs::read_to_string(path)
@@ -135,10 +150,14 @@ pub fn resolve_trace(spec: &ScenarioSpec) -> Result<RequestTrace, SpecError> {
                     "workload.trace.file {path:?}: the trace has no records"
                 )));
             }
-            Ok(file.to_request_trace())
+            Ok((file.to_request_trace(), file.tenant_assignments()))
         }
-        Some(TraceSourceSpec::Generate(g)) => Ok(g.to_config()?.generate().to_request_trace()),
-        None => Ok(spec.serving.trace.to_config()?.generate()),
+        Some(TraceSourceSpec::Generate(g)) => {
+            let file = g.to_config()?.generate();
+            let tenants = file.tenant_assignments();
+            Ok((file.to_request_trace(), tenants))
+        }
+        None => Ok((spec.serving.trace.to_config()?.generate(), Vec::new())),
     }
 }
 
@@ -192,15 +211,38 @@ pub fn run_serve(spec: &ScenarioSpec) -> Result<ServeReport, SpecError> {
     let shards = spec.workload.shards_for(&system)?;
     let sim_opts = spec.sim.to_options()?;
     let config = spec.serving.to_config(model.clone(), shards, sim_opts)?;
-    let trace = resolve_trace(spec)?;
+    let (trace, tenant_ids) = resolve_trace_with_tenants(spec)?;
 
-    let mut sim = ServingSim::new(system, config);
+    let mut sim = ServingSim::new(system.clone(), config.clone());
     let designs = spec
         .compiler
         .design
         .iter()
         .map(|&design| Ok(sim.run(design, &trace)?))
         .collect::<Result<Vec<_>, SpecError>>()?;
+
+    let tenancy = match &spec.serving.tenants {
+        Some(t) => {
+            let mut engine = TenantServingSim::new(
+                system,
+                ClusterServeConfig {
+                    model: model.clone(),
+                    plan: ParallelismPlan::new(shards, 1, spec.serving.replicas as u64),
+                    batch: config.batch,
+                    slo: config.slo,
+                    sim: sim_opts,
+                    threads: spec.serving.threads,
+                },
+                t.to_config()?,
+            )?;
+            let mut rows = Vec::new();
+            for &design in &spec.compiler.design {
+                rows.push(engine.run(design, RouterPolicy::RoundRobin, &trace, &tenant_ids)?);
+            }
+            Some(rows)
+        }
+        None => None,
+    };
 
     Ok(ServeReport {
         scenario: spec.name.clone(),
@@ -209,6 +251,7 @@ pub fn run_serve(spec: &ScenarioSpec) -> Result<ServeReport, SpecError> {
         replicas: spec.serving.replicas,
         shards,
         designs,
+        tenancy,
     })
 }
 
@@ -270,6 +313,12 @@ pub fn run_cluster(spec: &ScenarioSpec) -> Result<ClusterRunReport, SpecError> {
         (Some(d), true) => Some(run_cluster_disagg(spec, &cluster, d, &system, &sim)?),
         _ => None,
     };
+    let tenancy = match (&cluster.tenants, cluster.serve) {
+        (Some(t), true) => Some(run_cluster_tenancy(
+            spec, &cluster, t, &system, &estimate, &sim,
+        )?),
+        _ => None,
+    };
 
     Ok(ClusterRunReport {
         scenario: spec.name.clone(),
@@ -284,6 +333,7 @@ pub fn run_cluster(spec: &ScenarioSpec) -> Result<ClusterRunReport, SpecError> {
         serving,
         autoscale,
         disagg,
+        tenancy,
     })
 }
 
@@ -355,6 +405,43 @@ fn run_cluster_autoscale(
     let mut rows = Vec::new();
     for &design in &spec.compiler.design {
         rows.push(engine.run(design, &trace)?);
+    }
+    Ok(rows)
+}
+
+/// The multi-tenant half of `elk cluster`: one admission-controlled
+/// replay per design × router policy, sharing one engine (and
+/// therefore one plan cache across every class model).
+fn run_cluster_tenancy(
+    spec: &ScenarioSpec,
+    cluster: &ClusterSpec,
+    tenants: &crate::spec::TenancySpec,
+    system: &elk_hw::SystemConfig,
+    estimate: &elk_cluster::ClusterReport,
+    sim: &elk_sim::SimOptions,
+) -> Result<Vec<elk_cluster::TenancyServingReport>, SpecError> {
+    let model = spec.model.as_transformer()?;
+    let serve_cfg = spec
+        .serving
+        .to_config(model.clone(), estimate.plan.tp, *sim)?;
+    let (trace, tenant_ids) = resolve_trace_with_tenants(spec)?;
+    let mut engine = TenantServingSim::new(
+        system.clone(),
+        ClusterServeConfig {
+            model,
+            plan: estimate.plan,
+            batch: serve_cfg.batch,
+            slo: serve_cfg.slo,
+            sim: *sim,
+            threads: cluster.threads,
+        },
+        tenants.to_config()?,
+    )?;
+    let mut rows = Vec::new();
+    for &design in &spec.compiler.design {
+        for &policy in &cluster.router {
+            rows.push(engine.run(design, policy, &trace, &tenant_ids)?);
+        }
     }
     Ok(rows)
 }
@@ -557,6 +644,66 @@ mod tests {
         assert!(!row.transitions.is_empty());
         // The plain serving comparison still runs alongside.
         assert!(report.serving.is_some());
+    }
+
+    #[test]
+    fn serve_tenants_section_adds_per_tenant_rows() {
+        let spec = tiny(r#", "serving": {"trace": {"requests": 6}}"#);
+        assert!(run_serve(&spec).unwrap().tenancy.is_none());
+
+        let spec = tiny(
+            r#", "serving": {"trace": {"requests": 6},
+                 "tenants": {"classes": [{"name": "premium"},
+                                         {"name": "bulk", "priority": 16}],
+                             "map": {"t0": "premium"},
+                             "default_class": "bulk"}}"#,
+        );
+        let report = run_serve(&spec).unwrap();
+        let rows = report.tenancy.expect("tenants section ran");
+        assert_eq!(rows.len(), report.designs.len(), "one row per design");
+        let row = &rows[0];
+        assert_eq!(row.admitted + row.rejected + row.deferred, 6);
+        assert_eq!(row.base.completed, row.admitted + row.deferred);
+        // The synthetic serving trace carries no tenant tags, so every
+        // request lands on the default class under one "default" tenant.
+        assert_eq!(row.tenants.len(), 1);
+        assert_eq!(row.tenants[0].class, "bulk");
+    }
+
+    #[test]
+    fn cluster_trivial_tenancy_base_matches_plain_serving_rows() {
+        let serving = r#""serving": {"trace": {"requests": 5}}"#;
+        let cluster = r#""cluster": {"plan": {"tp": 1, "pp": 1, "dp": 2},
+                          "router": ["round_robin", "least_outstanding"]"#;
+        let plain = tiny(&format!(", {cluster}}}, {serving}"));
+        let trivial = tiny(&format!(
+            r#", {cluster}, "tenants": {{"classes": [{{"name": "default"}}]}}}}, {serving}"#
+        ));
+
+        let plain = run_cluster(&plain).unwrap();
+        assert!(plain.tenancy.is_none(), "no tenants section, no rows");
+        let trivial = run_cluster(&trivial).unwrap();
+
+        // A single permissive default class must not perturb the
+        // simulation: each tenancy row's whole-run aggregate serializes
+        // byte-identically to the plain serving row it shadows.
+        let serving_rows = trivial.serving.as_ref().expect("serve defaults on");
+        let tenancy_rows = trivial.tenancy.expect("tenants section ran");
+        assert_eq!(tenancy_rows.len(), serving_rows.len());
+        for (t, s) in tenancy_rows.iter().zip(serving_rows) {
+            assert_eq!(t.admitted, 5, "a trivial class admits everything");
+            assert_eq!(t.rejected + t.deferred, 0);
+            assert_eq!(
+                serde_json::to_string(&t.base).unwrap(),
+                serde_json::to_string(s).unwrap(),
+                "trivial tenancy must shadow the plain engine byte-for-byte"
+            );
+        }
+        // And the plain rows themselves match the no-tenancy run.
+        assert_eq!(
+            serde_json::to_string(&plain.serving).unwrap(),
+            serde_json::to_string(&trivial.serving).unwrap()
+        );
     }
 
     #[test]

@@ -49,6 +49,15 @@ const TRACE_LENGTH_MODEL: Node = Node::Map(&[
     ),
 ]);
 
+const TENANTS: Node = Node::Map(&[
+    ("classes", Node::Leaf),
+    ("map", Node::Leaf),
+    ("default_class", Node::Leaf),
+    ("shed_queue_depth", Node::Leaf),
+    ("shed_policy", Node::Leaf),
+    ("defer_ms", Node::Leaf),
+]);
+
 const TOPOLOGY: Node = Node::Map(&[
     ("all_to_all", Node::Map(&[("core_link_gib_s", Node::Leaf)])),
     ("mesh", Node::Map(&[("total_gib_s", Node::Leaf)])),
@@ -235,6 +244,7 @@ const ROOT: Node = Node::Map(&[
                 "slo",
                 Node::Map(&[("ttft_ms", Node::Leaf), ("tpot_ms", Node::Leaf)]),
             ),
+            ("tenants", TENANTS),
             ("threads", Node::Leaf),
         ]),
     ),
@@ -276,6 +286,7 @@ const ROOT: Node = Node::Map(&[
                     ("shared_chips", Node::Leaf),
                 ]),
             ),
+            ("tenants", TENANTS),
             ("threads", Node::Leaf),
         ]),
     ),
@@ -347,6 +358,10 @@ mod tests {
             "cluster.disaggregate.decode.dp",
             "cluster.disaggregate.chunk_tokens",
             "cluster.disaggregate.shared_chips",
+            "serving.tenants.shed_queue_depth",
+            "serving.tenants.classes",
+            "cluster.tenants.shed_policy",
+            "cluster.tenants.defer_ms",
             "compiler.design",
             "system",
         ] {

@@ -977,6 +977,10 @@ pub struct ServingSpec {
     pub bucket_batch: bool,
     /// Latency SLO scored by goodput.
     pub slo: SloSpec,
+    /// Optional multi-tenant section: when present, the replay also
+    /// runs through the tenancy engine with SLO classes and admission
+    /// control.
+    pub tenants: Option<TenancySpec>,
     /// Worker threads for the serving pool (`0` = all cores).
     pub threads: usize,
 }
@@ -993,6 +997,7 @@ impl Default for ServingSpec {
             seq_buckets: SeqBucketsSpec::default(),
             bucket_batch: true,
             slo: SloSpec::default(),
+            tenants: None,
             threads: 1,
         }
     }
@@ -1010,6 +1015,7 @@ impl Deserialize for ServingSpec {
             seq_buckets: r.or("seq_buckets", d.seq_buckets)?,
             bucket_batch: r.or("bucket_batch", d.bucket_batch)?,
             slo: r.or("slo", d.slo)?,
+            tenants: r.opt("tenants")?,
             threads: r.or("threads", d.threads)?,
         };
         r.finish()?;
@@ -1019,7 +1025,7 @@ impl Deserialize for ServingSpec {
 
 impl Serialize for ServingSpec {
     fn to_value(&self) -> Value {
-        Value::Map(vec![
+        let mut m = vec![
             ("trace".into(), self.trace.to_value()),
             ("replicas".into(), self.replicas.to_value()),
             ("max_batch".into(), self.max_batch.to_value()),
@@ -1030,8 +1036,12 @@ impl Serialize for ServingSpec {
             ("seq_buckets".into(), self.seq_buckets.to_value()),
             ("bucket_batch".into(), self.bucket_batch.to_value()),
             ("slo".into(), self.slo.to_value()),
-            ("threads".into(), self.threads.to_value()),
-        ])
+        ];
+        if let Some(tenants) = &self.tenants {
+            m.push(("tenants".into(), tenants.to_value()));
+        }
+        m.push(("threads".into(), self.threads.to_value()));
+        Value::Map(m)
     }
 }
 
@@ -1260,6 +1270,194 @@ impl Serialize for SloSpec {
     }
 }
 
+// ---- tenancy ----
+
+/// One tenant SLO class (mirrors [`elk_serve::TenantClass`], with SLO
+/// bounds in ms like the `slo` section).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantClassSpec {
+    /// Class name; tenant ids map onto it.
+    pub name: String,
+    /// Scheduling priority, `0` (highest) ..= `63`.
+    pub priority: u64,
+    /// Per-class latency SLO.
+    pub slo: SloSpec,
+    /// Token-bucket refill rate, requests/s; omit for unlimited.
+    pub rate_rps: Option<f64>,
+    /// Token-bucket capacity (burst allowance).
+    pub burst: u64,
+    /// Model-zoo alias served for this class; omit for the scenario's
+    /// base model. Layer count is inherited from the base model.
+    pub model: Option<String>,
+    /// Whether load shedding may reject or defer this class.
+    pub sheddable: bool,
+}
+
+impl Default for TenantClassSpec {
+    /// Highest priority, default SLO, unlimited and never shed.
+    fn default() -> Self {
+        TenantClassSpec {
+            name: "default".into(),
+            priority: 0,
+            slo: SloSpec::default(),
+            rate_rps: None,
+            burst: 1,
+            model: None,
+            sheddable: false,
+        }
+    }
+}
+
+impl Deserialize for TenantClassSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let d = TenantClassSpec::default();
+        let mut r = MapReader::new("tenants.classes", v)?;
+        let spec = TenantClassSpec {
+            name: r.req("name")?,
+            priority: r.or("priority", d.priority)?,
+            slo: r.or("slo", d.slo)?,
+            rate_rps: r.opt("rate_rps")?,
+            burst: r.or("burst", d.burst)?,
+            model: r.opt("model")?,
+            sheddable: r.or("sheddable", d.sheddable)?,
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for TenantClassSpec {
+    fn to_value(&self) -> Value {
+        let mut m = vec![
+            ("name".into(), self.name.to_value()),
+            ("priority".into(), self.priority.to_value()),
+            ("slo".into(), self.slo.to_value()),
+        ];
+        if let Some(rate) = self.rate_rps {
+            m.push(("rate_rps".into(), rate.to_value()));
+        }
+        m.push(("burst".into(), self.burst.to_value()));
+        if let Some(model) = &self.model {
+            m.push(("model".into(), model.to_value()));
+        }
+        m.push(("sheddable".into(), self.sheddable.to_value()));
+        Value::Map(m)
+    }
+}
+
+/// Multi-tenant serving configuration (mirrors
+/// [`elk_serve::TenancyConfig`]).
+///
+/// The `map` object assigns tenant ids to class names
+/// (`{"acme": "premium"}`); unmapped tenants fall back to
+/// `default_class`, which itself defaults to the first class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenancySpec {
+    /// SLO classes, highest-priority first by convention.
+    pub classes: Vec<TenantClassSpec>,
+    /// Tenant id → class name assignments, in file order.
+    pub map: Vec<(String, String)>,
+    /// Class for tenants absent from `map`.
+    pub default_class: String,
+    /// Shed sheddable classes when the time-weighted mean pooled
+    /// waiting depth crosses this; omit to never shed.
+    pub shed_queue_depth: Option<f64>,
+    /// What shedding does: `"reject"` or `"defer"`.
+    pub shed_policy: String,
+    /// One-shot re-admission delay for deferred requests, ms.
+    pub defer_ms: f64,
+}
+
+impl Default for TenancySpec {
+    /// A single default class: every tenant admitted, nothing shed —
+    /// the config that reproduces the plain engines bit-for-bit.
+    fn default() -> Self {
+        TenancySpec {
+            classes: vec![TenantClassSpec::default()],
+            map: Vec::new(),
+            default_class: "default".into(),
+            shed_queue_depth: None,
+            shed_policy: "reject".into(),
+            defer_ms: 50.0,
+        }
+    }
+}
+
+impl Deserialize for TenancySpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let d = TenancySpec::default();
+        let mut r = MapReader::new("tenants", v)?;
+        let classes: Vec<TenantClassSpec> = r.or_else("classes", || d.classes.clone())?;
+        let map = match r.raw("map") {
+            None | Some(Value::Null) => Vec::new(),
+            Some(Value::Map(entries)) => {
+                let mut pairs = Vec::with_capacity(entries.len());
+                for (tenant, class) in entries {
+                    match class {
+                        Value::Str(c) => pairs.push((tenant.clone(), c.clone())),
+                        other => {
+                            return Err(Error::msg(format!(
+                                "tenants.map.{tenant}: expected a class name, found {}",
+                                other.kind()
+                            )))
+                        }
+                    }
+                }
+                pairs
+            }
+            Some(other) => {
+                return Err(Error::msg(format!(
+                    "tenants.map: expected a JSON object, found {}",
+                    other.kind()
+                )))
+            }
+        };
+        let default_class = r.or_else("default_class", || {
+            classes
+                .first()
+                .map(|c| c.name.clone())
+                .unwrap_or_else(|| d.default_class.clone())
+        })?;
+        let spec = TenancySpec {
+            classes,
+            map,
+            default_class,
+            shed_queue_depth: r.opt("shed_queue_depth")?,
+            shed_policy: r.or_else("shed_policy", || d.shed_policy.clone())?,
+            defer_ms: r.or("defer_ms", d.defer_ms)?,
+        };
+        r.finish()?;
+        Ok(spec)
+    }
+}
+
+impl Serialize for TenancySpec {
+    fn to_value(&self) -> Value {
+        let mut m = vec![(
+            "classes".into(),
+            Value::Seq(self.classes.iter().map(|c| c.to_value()).collect()),
+        )];
+        if !self.map.is_empty() {
+            m.push((
+                "map".into(),
+                Value::Map(
+                    self.map
+                        .iter()
+                        .map(|(t, c)| (t.clone(), c.to_value()))
+                        .collect(),
+                ),
+            ));
+        }
+        m.push(("default_class".into(), self.default_class.to_value()));
+        if let Some(depth) = self.shed_queue_depth {
+            m.push(("shed_queue_depth".into(), depth.to_value()));
+        }
+        m.push(("shed_policy".into(), self.shed_policy.to_value()));
+        m.push(("defer_ms".into(), self.defer_ms.to_value()));
+        Value::Map(m)
+    }
+}
+
 // ---- cluster ----
 
 /// A fixed `(tp, pp, dp)` parallelism assignment.
@@ -1328,6 +1526,10 @@ pub struct ClusterSpec {
     /// `serve` is on), the replay also runs with separate prefill and
     /// decode pools and KV-cache handoff priced on the interconnect.
     pub disaggregate: Option<DisaggSpec>,
+    /// Optional multi-tenant section: when present (and `serve` is
+    /// on), the replay also runs through the tenancy engine with SLO
+    /// classes, admission control, and multi-model pods.
+    pub tenants: Option<TenancySpec>,
     /// Worker threads for the plan search and compile fan-out (`0` =
     /// all cores). Reports are byte-identical at any setting.
     pub threads: usize,
@@ -1344,6 +1546,7 @@ impl Default for ClusterSpec {
             serve: true,
             autoscale: None,
             disaggregate: None,
+            tenants: None,
             threads: 1,
         }
     }
@@ -1540,6 +1743,7 @@ impl Deserialize for ClusterSpec {
             serve: r.or("serve", d.serve)?,
             autoscale: r.opt("autoscale")?,
             disaggregate: r.opt("disaggregate")?,
+            tenants: r.opt("tenants")?,
             threads: r.or("threads", d.threads)?,
         };
         r.finish()?;
@@ -1567,6 +1771,9 @@ impl Serialize for ClusterSpec {
         }
         if let Some(disaggregate) = &self.disaggregate {
             m.push(("disaggregate".into(), disaggregate.to_value()));
+        }
+        if let Some(tenants) = &self.tenants {
+            m.push(("tenants".into(), tenants.to_value()));
         }
         m.push(("threads".into(), self.threads.to_value()));
         Value::Map(m)

@@ -174,9 +174,25 @@ impl TraceFile {
         self.records.last().map_or(0.0, |r| r.arrival_s)
     }
 
+    /// Tenant id for each record, in record order (`"default"` where a
+    /// record carries none). Because [`to_request_trace`] assigns
+    /// request ids in record order and records are time-sorted, this
+    /// vector is indexable by request id — it is the side channel the
+    /// tenancy-aware engines consume alongside the [`RequestTrace`].
+    ///
+    /// [`to_request_trace`]: Self::to_request_trace
+    #[must_use]
+    pub fn tenant_assignments(&self) -> Vec<String> {
+        self.records
+            .iter()
+            .map(|r| r.tenant.clone().unwrap_or_else(|| "default".to_string()))
+            .collect()
+    }
+
     /// Converts to the serving engines' input type. Ids are assigned
-    /// in record order; tenant ids are dropped (the engines do not
-    /// differentiate tenants yet).
+    /// in record order; tenant ids travel out of band via
+    /// [`tenant_assignments`](Self::tenant_assignments), indexed by
+    /// request id.
     #[must_use]
     pub fn to_request_trace(&self) -> RequestTrace {
         RequestTrace::from_requests(
@@ -445,6 +461,26 @@ mod tests {
         assert_eq!(small().total_output_tokens(), 14);
         assert_eq!(small().tenants(), vec!["t1".to_string()]);
         assert!((small().duration_s() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tenant_assignments_align_with_request_ids() {
+        let t = small();
+        assert_eq!(
+            t.tenant_assignments(),
+            vec![
+                "default".to_string(),
+                "default".to_string(),
+                "t1".to_string()
+            ]
+        );
+        // Request ids are record indices, so the vector indexes by id
+        // even for ties in arrival time (from_requests sorts stably by
+        // (arrival, id)).
+        let rt = t.to_request_trace();
+        for (i, r) in rt.requests.iter().enumerate() {
+            assert_eq!(r.id as usize, i);
+        }
     }
 
     #[test]

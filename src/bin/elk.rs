@@ -41,10 +41,12 @@ commands:
   serve    <scenario.json> [--out DIR] [--threads N]  replay the scenario's request trace
   cluster  <scenario.json> [--out DIR] [--threads N]  plan (tp, pp, dp) parallelism over the
                                                       pod and replay routed cluster serving
-                                                      (plus the autoscaled fleet and/or the
-                                                      disaggregated prefill/decode pools when
+                                                      (plus the autoscaled fleet, the
+                                                      disaggregated prefill/decode pools,
+                                                      and/or the multi-tenant replay when
                                                       the scenario has cluster.autoscale /
-                                                      cluster.disaggregate sections)
+                                                      cluster.disaggregate / cluster.tenants
+                                                      sections)
   trace gen <scenario.json> [--out DIR]               write the scenario's workload.trace
                                                       generator as <name>.trace.jsonl
   sweep    <scenario.json> [--out DIR] [--threads N]  run the file's sweep grid
@@ -261,6 +263,9 @@ fn run_scenario(command: &str, opts: &ScenarioArgs) -> Result<(), Fail> {
                     d.goodput_rps,
                 );
             }
+            for row in r.tenancy.iter().flatten() {
+                print_tenancy_row(&format!("{}: tenancy", spec.name), row);
+            }
             r.to_value()
         }
         "cluster" => {
@@ -354,6 +359,9 @@ fn run_scenario(command: &str, opts: &ScenarioArgs) -> Result<(), Fail> {
                     row.goodput_rps,
                 );
             }
+            for row in r.tenancy.iter().flatten() {
+                print_tenancy_row("  tenancy", row);
+            }
             r.to_value()
         }
         "sweep" => {
@@ -377,6 +385,34 @@ fn run_scenario(command: &str, opts: &ScenarioArgs) -> Result<(), Fail> {
     let path = write_report(&opts.out, &spec.name, command, &report)?;
     println!("report: {}", path.display());
     Ok(())
+}
+
+/// One console row per tenancy replay, plus an indented line per
+/// tenant: admission split, fleet goodput, and the fairness index.
+fn print_tenancy_row(prefix: &str, row: &elk::cluster::TenancyServingReport) {
+    println!(
+        "{prefix} {} × {}: {} admitted / {} rejected / {} deferred, \
+         goodput {:.1} req/s, jain {:.3}",
+        elk::spec::design_name(row.base.design),
+        row.base.policy,
+        row.admitted,
+        row.rejected,
+        row.deferred,
+        row.base.goodput_rps,
+        row.jain_fairness,
+    );
+    for t in &row.tenants {
+        println!(
+            "    {} [{}]: {}/{} completed, ttft p99 {:.2} ms, slo {:.1}%, goodput {:.1} req/s",
+            t.tenant,
+            t.class,
+            t.completed,
+            t.arrivals,
+            t.ttft.p99.as_millis(),
+            t.slo_attainment * 100.0,
+            t.goodput_rps,
+        );
+    }
 }
 
 /// `elk trace gen`: run the scenario's `workload.trace.generate`

@@ -16,7 +16,8 @@ use elk::serve::{ArrivalProcess, LengthDist, RouterPolicy};
 use elk::spec::spec::{
     AutoscaleSpec, ChipSpec, ClusterSpec, CompilerSpec, DisaggSpec, HbmSpec, ModelSpec, PlanSpec,
     ScenarioSpec, SeqBucketsSpec, ServingSpec, SimSpec, SloSpec, SweepAxis, SweepSpec, SystemSpec,
-    TopologySpec, TraceGenSpec, TraceSourceSpec, TraceSpec, WorkloadSpec,
+    TenancySpec, TenantClassSpec, TopologySpec, TraceGenSpec, TraceSourceSpec, TraceSpec,
+    WorkloadSpec,
 };
 use elk::spec::{run_sweep, SweepCommand};
 use elk::trace::{LengthModel, RateShape};
@@ -187,7 +188,7 @@ fn arb_serving() -> impl Strategy<Value = ServingSpec> {
         (1usize..=4, 1u64..=64, 1u64..=16384),
         (0u32..=4, 1u64..=4096),
         any::<bool>(),
-        (0.1f64..10_000.0, 0.1f64..500.0),
+        ((0.1f64..10_000.0, 0.1f64..500.0), arb_tenancy()),
     )
         .prop_map(
             |(
@@ -196,7 +197,7 @@ fn arb_serving() -> impl Strategy<Value = ServingSpec> {
                 (replicas, max_batch, max_prefill_tokens),
                 (bucket_pow, bucket_span),
                 bucket_batch,
-                (ttft_ms, tpot_ms),
+                ((ttft_ms, tpot_ms), tenants),
             )| {
                 let prompt_len = match dist {
                     0 => LengthDist::Fixed(lo),
@@ -235,8 +236,54 @@ fn arb_serving() -> impl Strategy<Value = ServingSpec> {
                     },
                     bucket_batch,
                     slo: SloSpec { ttft_ms, tpot_ms },
+                    tenants,
                     threads: replicas,
                 }
+            },
+        )
+}
+
+/// The `serving.tenants` / `cluster.tenants` section: absent or a
+/// class ladder with an optional rate limit, model alias, and shedder.
+fn arb_tenancy() -> impl Strategy<Value = Option<TenancySpec>> {
+    (
+        0usize..3,
+        1usize..=3,
+        (0.5f64..200.0, 1u64..=8),
+        (any::<bool>(), any::<bool>(), any::<bool>()),
+        (0.5f64..8.0, 1.0f64..200.0),
+    )
+        .prop_map(
+            |(variant, n_classes, (rate, burst), (limited, aliased, defer), (depth, defer_ms))| {
+                if variant == 0 {
+                    return None;
+                }
+                let names = ["gold", "silver", "bronze"];
+                let classes: Vec<TenantClassSpec> = (0..n_classes)
+                    .map(|i| TenantClassSpec {
+                        name: names[i].into(),
+                        priority: (i * 7) as u64,
+                        slo: SloSpec {
+                            ttft_ms: 100.0 * (i + 1) as f64,
+                            tpot_ms: 20.0 * (i + 1) as f64,
+                        },
+                        rate_rps: (limited && i > 0).then_some(rate),
+                        burst,
+                        model: (aliased && i + 1 == n_classes).then(|| "opt30".into()),
+                        sheddable: i + 1 == n_classes,
+                    })
+                    .collect();
+                let map = (0..n_classes)
+                    .map(|i| (format!("t{i}"), names[i].to_string()))
+                    .collect();
+                Some(TenancySpec {
+                    classes,
+                    map,
+                    default_class: names[n_classes - 1].into(),
+                    shed_queue_depth: (variant == 2).then_some(depth),
+                    shed_policy: if defer { "defer" } else { "reject" }.into(),
+                    defer_ms,
+                })
             },
         )
 }
@@ -300,7 +347,7 @@ fn arb_cluster() -> impl Strategy<Value = Option<ClusterSpec>> {
         ((any::<bool>(), 1u64..=8), any::<bool>()),
         0usize..4,
         (any::<bool>(), 0u64..=1 << 32, 0usize..=8),
-        (arb_autoscale(), arb_disagg()),
+        (arb_autoscale(), arb_disagg(), arb_tenancy()),
     )
         .prop_map(
             |(
@@ -309,7 +356,7 @@ fn arb_cluster() -> impl Strategy<Value = Option<ClusterSpec>> {
                 ((with_micro, micro), mesh_links),
                 policies,
                 (serve, seed, threads),
-                (autoscale, disaggregate),
+                (autoscale, disaggregate, tenants),
             )| {
                 if variant == 0 {
                     return None;
@@ -336,6 +383,7 @@ fn arb_cluster() -> impl Strategy<Value = Option<ClusterSpec>> {
                     serve,
                     autoscale,
                     disaggregate,
+                    tenants,
                     threads,
                 })
             },
