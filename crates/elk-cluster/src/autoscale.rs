@@ -28,6 +28,7 @@ use serde::Serialize;
 use elk_baselines::Design;
 use elk_hw::SystemConfig;
 use elk_model::Phase;
+use elk_obs::Obs;
 use elk_serve::{next_step, LatencyStats, RequestOutcome, RequestTrace, SloConfig, StepPlan};
 use elk_sim_core::{EventQueue, QueueStat, PRIO_ARRIVAL, PRIO_STEP_DONE};
 use elk_units::Seconds;
@@ -325,6 +326,7 @@ pub struct AutoscaleServingSim {
     config: ClusterServeConfig,
     auto: AutoscaleConfig,
     pricer: StepPricer,
+    obs: Obs,
 }
 
 impl AutoscaleServingSim {
@@ -358,7 +360,16 @@ impl AutoscaleServingSim {
             config,
             auto,
             pricer,
+            obs: Obs::null(),
         })
+    }
+
+    /// Attaches a recorder: subsequent runs emit kernel dispatch spans,
+    /// per-request lanes, fleet-transition instants on the `fleet`
+    /// track, and `autoscale.*` metrics. All recorded quantities are
+    /// sim-time only and byte-identical across `threads` settings.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The serve configuration (with `plan.dp` set to `max_groups`).
@@ -420,6 +431,15 @@ impl AutoscaleServingSim {
         let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; trace.len()];
         let mut transitions: Vec<ScaleEvent> = Vec::new();
         let mut q: EventQueue<Ev> = EventQueue::new();
+        q.observe(
+            self.obs.clone(),
+            "autoscale/kernel",
+            &[
+                (PRIO_ARRIVAL, "arrival"),
+                (PRIO_STEP_DONE, "step_done"),
+                (PRIO_CONTROL, "control"),
+            ],
+        );
 
         // The warm-up shape set prices against the trace's worst-case
         // prompt, so the cold start covers the plans the group will
@@ -754,6 +774,58 @@ impl AutoscaleServingSim {
         transitions: Vec<ScaleEvent>,
         extra: Summing,
     ) -> AutoscaleReport {
+        if self.obs.enabled() {
+            self.obs.counter("autoscale.scale_ups", extra.scale_ups);
+            self.obs.counter("autoscale.scale_downs", extra.scale_downs);
+            self.obs.counter("autoscale.cold_starts", extra.cold_starts);
+            for ev in &transitions {
+                let name = match ev.kind {
+                    ScaleEventKind::Up => "up",
+                    ScaleEventKind::Ready => "ready",
+                    ScaleEventKind::Down => "down",
+                    ScaleEventKind::Off => "off",
+                };
+                self.obs.instant(
+                    "fleet",
+                    name,
+                    ev.time,
+                    &[
+                        ("group", ev.group.to_string()),
+                        ("ready", ev.ready.to_string()),
+                    ],
+                );
+                self.obs
+                    .gauge("fleet", "ready_groups", ev.time, ev.ready as f64);
+            }
+            for (idx, o) in outcomes.iter().enumerate() {
+                self.obs.histogram("autoscale.ttft", o.ttft());
+                if let Some(t) = o.tpot() {
+                    self.obs.histogram("autoscale.tpot", t);
+                }
+                self.obs.histogram("autoscale.e2e", o.e2e());
+                if !self.obs.sampled(idx) {
+                    continue;
+                }
+                let track = format!("req/{}", o.id);
+                let group = [("group", o.replica.to_string())];
+                self.obs.span(
+                    &track,
+                    "prefill",
+                    o.arrival,
+                    o.first_token - o.arrival,
+                    &group,
+                );
+                if o.completion > o.first_token {
+                    self.obs.span(
+                        &track,
+                        "decode",
+                        o.first_token,
+                        o.completion - o.first_token,
+                        &group,
+                    );
+                }
+            }
+        }
         let ttft: Vec<Seconds> = outcomes.iter().map(RequestOutcome::ttft).collect();
         let tpot: Vec<Seconds> = outcomes.iter().filter_map(RequestOutcome::tpot).collect();
         let e2e: Vec<Seconds> = outcomes.iter().map(RequestOutcome::e2e).collect();

@@ -44,6 +44,7 @@ use serde::Serialize;
 use elk_baselines::Design;
 use elk_hw::{CollectiveModel, SystemConfig};
 use elk_model::{DType, Phase, TransformerConfig};
+use elk_obs::Obs;
 use elk_serve::{
     next_step, BatchConfig, LatencyStats, PlanCache, RequestOutcome, RequestTrace, Router,
     RouterPolicy, SloConfig, StepPlan,
@@ -344,6 +345,7 @@ pub struct DisaggServingSim {
     links: CollectiveModel,
     prefill_pricer: StepPricer,
     decode_pricer: StepPricer,
+    obs: Obs,
 }
 
 impl DisaggServingSim {
@@ -403,7 +405,16 @@ impl DisaggServingSim {
             prefill_pricer,
             decode_pricer,
             config,
+            obs: Obs::null(),
         })
+    }
+
+    /// Attaches a recorder: subsequent runs emit kernel dispatch spans,
+    /// per-request lanes (with explicit `handoff` spans), and
+    /// `disagg.*` metrics. All recorded quantities are sim-time only
+    /// and byte-identical across `threads` settings.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The serve configuration.
@@ -453,7 +464,17 @@ impl DisaggServingSim {
         let mut handoff_total = Seconds::ZERO;
         let mut prefill_tokens = 0u64;
 
+        let stats_before = self.prefill_pricer.cache_stats();
         let mut q: EventQueue<Ev> = EventQueue::new();
+        q.observe(
+            self.obs.clone(),
+            "disagg/kernel",
+            &[
+                (PRIO_ARRIVAL, "arrival"),
+                (PRIO_STEP_DONE, "step_done"),
+                (PRIO_HANDOFF, "handoff"),
+            ],
+        );
         for (idx, req) in reqs.iter().enumerate() {
             q.schedule(req.arrival, PRIO_ARRIVAL, Ev::Arrival(idx));
         }
@@ -623,6 +644,13 @@ impl DisaggServingSim {
             .into_iter()
             .map(|o| o.expect("the drain completes every request"))
             .collect();
+        if self.obs.enabled() {
+            // Lookups (hits + misses) are thread-invariant; the split
+            // and per-design plan counts are not, so they stay out of
+            // the recorded stream.
+            let d = self.prefill_pricer.cache_stats().since(stats_before);
+            self.obs.counter("disagg.cache.lookups", d.hits + d.misses);
+        }
         let sim_events = q.events_processed();
         Ok(self.summarize(
             design,
@@ -759,6 +787,48 @@ impl DisaggServingSim {
         prefill_tokens: u64,
         sim_events: u64,
     ) -> DisaggServingReport {
+        if self.obs.enabled() {
+            let by_id: std::collections::BTreeMap<u64, &HandoffRecord> =
+                handoffs.iter().map(|h| (h.id, h)).collect();
+            for (idx, o) in outcomes.iter().enumerate() {
+                self.obs.histogram("disagg.ttft", o.ttft());
+                if let Some(t) = o.tpot() {
+                    self.obs.histogram("disagg.tpot", t);
+                }
+                self.obs.histogram("disagg.e2e", o.e2e());
+                if !self.obs.sampled(idx) {
+                    continue;
+                }
+                let track = format!("req/{}", o.id);
+                let h = by_id.get(&o.id).expect("every request hands off once");
+                self.obs.span(
+                    &track,
+                    "prefill",
+                    o.arrival,
+                    h.prefill_done - o.arrival,
+                    &[("prefill_group", h.from.to_string())],
+                );
+                self.obs.span(
+                    &track,
+                    "handoff",
+                    h.prefill_done,
+                    h.handoff_done - h.prefill_done,
+                    &[
+                        ("decode_group", h.to.to_string()),
+                        ("bytes", h.bytes.get().to_string()),
+                    ],
+                );
+                if o.completion > o.first_token {
+                    self.obs.span(
+                        &track,
+                        "decode",
+                        o.first_token,
+                        o.completion - o.first_token,
+                        &[("decode_group", o.replica.to_string())],
+                    );
+                }
+            }
+        }
         let ttft: Vec<Seconds> = outcomes.iter().map(RequestOutcome::ttft).collect();
         let tpot: Vec<Seconds> = outcomes.iter().filter_map(RequestOutcome::tpot).collect();
         let e2e: Vec<Seconds> = outcomes.iter().map(RequestOutcome::e2e).collect();

@@ -25,6 +25,7 @@ use serde::Serialize;
 use elk_baselines::Design;
 use elk_hw::SystemConfig;
 use elk_model::{Phase, TransformerConfig};
+use elk_obs::Obs;
 use elk_serve::{
     next_step, BatchConfig, LatencyStats, RequestOutcome, RequestTrace, Router, RouterPolicy,
     SloConfig, StepPlan,
@@ -127,6 +128,9 @@ pub struct ClusterServingReport {
     pub queue_depth: Vec<(Seconds, usize)>,
     /// Simulation-kernel events fired (arrivals + step completions).
     pub sim_events: u64,
+    /// Largest future-event heap the shared kernel held at once — the
+    /// memory-pressure proxy matching `sim_events`' throughput one.
+    pub peak_event_queue_len: usize,
     /// Per-request timelines, in trace order (`replica` is the group).
     pub outcomes: Vec<RequestOutcome>,
 }
@@ -211,6 +215,7 @@ impl Group {
 pub struct ClusterServingSim {
     config: ClusterServeConfig,
     pricer: StepPricer,
+    obs: Obs,
 }
 
 impl ClusterServingSim {
@@ -235,7 +240,19 @@ impl ClusterServingSim {
             config.sim,
             config.threads,
         );
-        Ok(ClusterServingSim { pricer, config })
+        Ok(ClusterServingSim {
+            pricer,
+            config,
+            obs: Obs::null(),
+        })
+    }
+
+    /// Attaches an observation handle: kernel dispatch spans on the
+    /// shared timeline, per-request lanes tagged with their group, and
+    /// latency histograms. The event loop is sequential, so recording
+    /// goes straight to the shared sink and stays deterministic.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The serve configuration.
@@ -275,7 +292,13 @@ impl ClusterServingSim {
         // completions interleave in global `(time, priority, seq)`
         // order, so the router observes exactly the state a front-end
         // would see at the arrival instant.
+        let stats_before = self.pricer.cache_stats();
         let mut q: EventQueue<Ev> = EventQueue::new();
+        q.observe(
+            self.obs.clone(),
+            "cluster/kernel",
+            &[(PRIO_ARRIVAL, "arrival"), (PRIO_STEP_DONE, "step_done")],
+        );
         for (idx, req) in reqs.iter().enumerate() {
             q.schedule(req.arrival, PRIO_ARRIVAL, Ev::Arrival(idx));
         }
@@ -390,7 +413,10 @@ impl ClusterServingSim {
             .into_iter()
             .map(|o| o.expect("the drain completes every request"))
             .collect();
-        let sim_events = q.events_processed();
+        if self.obs.enabled() {
+            let d = self.pricer.cache_stats().since(stats_before);
+            self.obs.counter("cluster.cache.lookups", d.hits + d.misses);
+        }
         Ok(summarize_groups(
             design,
             policy,
@@ -400,7 +426,8 @@ impl ClusterServingSim {
             trace.total_output_tokens(),
             groups,
             outcomes,
-            sim_events,
+            (q.events_processed(), q.peak_len()),
+            &self.obs,
         ))
     }
 }
@@ -419,8 +446,41 @@ pub(crate) fn summarize_groups(
     served_tokens: u64,
     groups: Vec<Group>,
     outcomes: Vec<RequestOutcome>,
-    sim_events: u64,
+    (sim_events, peak_event_queue_len): (u64, usize),
+    obs: &Obs,
 ) -> ClusterServingReport {
+    if obs.enabled() {
+        // Lanes and histograms derive from the final outcome list
+        // (trace order), so they are deterministic by construction.
+        for (i, o) in outcomes.iter().enumerate() {
+            obs.histogram("cluster.ttft", o.ttft());
+            if let Some(t) = o.tpot() {
+                obs.histogram("cluster.tpot", t);
+            }
+            obs.histogram("cluster.e2e", o.e2e());
+            if !obs.sampled(i) {
+                continue;
+            }
+            let track = format!("req/{}", o.id);
+            let args = [("group", o.replica.to_string())];
+            obs.span(
+                &track,
+                "prefill",
+                o.arrival,
+                o.first_token - o.arrival,
+                &args,
+            );
+            if o.completion > o.first_token {
+                obs.span(
+                    &track,
+                    "decode",
+                    o.first_token,
+                    o.completion - o.first_token,
+                    &args,
+                );
+            }
+        }
+    }
     let ttft: Vec<Seconds> = outcomes.iter().map(RequestOutcome::ttft).collect();
     let tpot: Vec<Seconds> = outcomes.iter().filter_map(RequestOutcome::tpot).collect();
     let e2e: Vec<Seconds> = outcomes.iter().map(RequestOutcome::e2e).collect();
@@ -478,6 +538,7 @@ pub(crate) fn summarize_groups(
         max_queue_depth,
         queue_depth,
         sim_events,
+        peak_event_queue_len,
         outcomes,
     }
 }
@@ -512,6 +573,42 @@ mod tests {
             output_len: LengthDist::Uniform { lo: 2, hi: 12 },
         }
         .generate()
+    }
+
+    #[test]
+    fn recorded_timeline_is_byte_identical_across_thread_counts() {
+        use elk_obs::export::{chrome_trace, metrics};
+        use elk_obs::MemRecorder;
+        use std::sync::Arc;
+
+        let trace = tiny_trace(14);
+        let run = |threads: usize| {
+            let mut sim = ClusterServingSim::new(
+                presets::ipu_pod4(),
+                ClusterServeConfig {
+                    threads,
+                    ..tiny_config(ParallelismPlan::new(2, 1, 2))
+                },
+            )
+            .unwrap();
+            let rec = Arc::new(MemRecorder::new());
+            sim.set_obs(Obs::new(rec.clone(), 64));
+            sim.run(Design::ElkFull, RouterPolicy::LeastOutstanding, &trace)
+                .unwrap();
+            let buf = rec.take_buf();
+            (
+                serde_json::to_string(&chrome_trace(&buf)).unwrap(),
+                serde_json::to_string(&metrics(&buf)).unwrap(),
+            )
+        };
+        let (t1_trace, t1_metrics) = run(1);
+        let (t4_trace, t4_metrics) = run(4);
+        assert_eq!(t1_trace, t4_trace, "timeline must not depend on threads");
+        assert_eq!(t1_metrics, t4_metrics, "metrics must not depend on threads");
+        assert!(t1_trace.contains("req/"), "per-request lanes recorded");
+        assert!(t1_trace.contains("cluster/kernel"), "kernel track recorded");
+        assert!(t1_metrics.contains("cluster.cache.lookups"));
+        assert!(t1_metrics.contains("cluster.ttft"));
     }
 
     #[test]

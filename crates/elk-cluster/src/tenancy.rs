@@ -36,6 +36,7 @@ use serde::Serialize;
 use elk_baselines::Design;
 use elk_hw::SystemConfig;
 use elk_model::{zoo, Phase, TransformerConfig};
+use elk_obs::Obs;
 use elk_serve::{
     jain_index, next_step, LatencyStats, PlanCache, RequestOutcome, RequestTrace, Router,
     RouterPolicy, ShedPolicy, StepPlan, TenancyConfig, TenantReport, TokenBucket,
@@ -110,6 +111,7 @@ pub struct TenantServingSim {
     /// For each class, the index into `models` it is served by.
     class_model: Vec<usize>,
     pricers: Vec<StepPricer>,
+    obs: Obs,
 }
 
 impl TenantServingSim {
@@ -186,7 +188,16 @@ impl TenantServingSim {
             models,
             class_model,
             pricers,
+            obs: Obs::null(),
         })
+    }
+
+    /// Attaches an observation handle: kernel dispatch spans, admitted
+    /// request lanes (via the shared cluster summary), and
+    /// tenant-tagged disposition markers (admitted / rejected /
+    /// deferred) on each sampled request's lane.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The serve configuration.
@@ -311,6 +322,17 @@ impl TenantServingSim {
         let mut total_waiting: usize = 0;
 
         let mut q: EventQueue<Ev> = EventQueue::new();
+        // Every admissible class priority dispatches as an "arrival"
+        // (deferred re-offers included); only the reserved band above
+        // them is a step completion.
+        let mut classes: Vec<(u8, &str)> = req_prio
+            .iter()
+            .map(|&p| (p, "arrival"))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        classes.push((PRIO_TENANT_STEP_DONE, "step_done"));
+        q.observe(self.obs.clone(), "tenancy/kernel", &classes);
         for (idx, req) in reqs.iter().enumerate() {
             q.schedule(req.arrival, req_prio[idx], Ev::Arrival(idx));
         }
@@ -472,7 +494,6 @@ impl TenantServingSim {
             }
         }
 
-        let sim_events = q.events_processed();
         Ok(self.summarize(
             design,
             policy,
@@ -483,7 +504,7 @@ impl TenantServingSim {
             &disposition,
             outcomes,
             groups,
-            sim_events,
+            (q.events_processed(), q.peak_len()),
         ))
     }
 
@@ -501,9 +522,36 @@ impl TenantServingSim {
         disposition: &[Option<Disposition>],
         outcomes: Vec<Option<RequestOutcome>>,
         groups: Vec<Group>,
-        sim_events: u64,
+        sim_events: (u64, usize),
     ) -> TenancyServingReport {
         let reqs = &trace.requests;
+        if self.obs.enabled() {
+            // Tenant-tagged disposition markers on each sampled
+            // request's lane: the arrival→admission leg of the path.
+            for (idx, d) in disposition.iter().enumerate() {
+                let Some(d) = *d else { continue };
+                let name = match d {
+                    Disposition::Admitted => "admitted",
+                    Disposition::Rejected => "rejected",
+                    Disposition::Deferred => "deferred",
+                };
+                self.obs.counter(&format!("tenancy.{name}"), 1);
+                if !self.obs.sampled(idx) {
+                    continue;
+                }
+                let t = tix[idx];
+                let args = [
+                    ("tenant", tenant_ids[t].clone()),
+                    ("class", self.tenancy.classes[tenant_class[t]].name.clone()),
+                ];
+                self.obs.instant(
+                    &format!("req/{}", reqs[idx].id),
+                    name,
+                    reqs[idx].arrival,
+                    &args,
+                );
+            }
+        }
         for (idx, d) in disposition.iter().enumerate() {
             let d = d.expect("every arrival fired");
             debug_assert_eq!(
@@ -529,6 +577,7 @@ impl TenantServingSim {
             groups,
             completed,
             sim_events,
+            &self.obs,
         );
 
         let count = |t: usize, want: Disposition| {

@@ -1,0 +1,256 @@
+//! Exporters: Chrome-trace-format JSON and a flat metrics JSON.
+//!
+//! Both walk an [`ObsBuf`] in deterministic order — events in record
+//! order, counters and histograms in `BTreeMap` (sorted) order — so
+//! the rendered bytes depend only on what was recorded, never on
+//! thread scheduling. No timestamps other than simulated time appear
+//! anywhere in the output.
+
+use serde::Value;
+
+use crate::{ObsBuf, TraceEvent, BUCKET_BOUNDS};
+
+/// Chrome-trace pid under which every Elk track is filed.
+const PID: u64 = 1;
+
+fn args_value(args: &[(String, String)]) -> Value {
+    Value::Map(
+        args.iter()
+            .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+            .collect(),
+    )
+}
+
+/// Renders the buffer in Chrome trace event format:
+/// `{"traceEvents": [...]}` with `"M"` metadata naming the process and
+/// one thread per track (tids assigned in track first-appearance
+/// order), `"X"` complete spans, `"i"` instants, and `"C"` counter
+/// samples. Timestamps and durations are simulated microseconds.
+/// Loadable in Perfetto or `chrome://tracing`.
+#[must_use]
+pub fn chrome_trace(buf: &ObsBuf) -> Value {
+    // Track -> tid, in first-appearance order so numbering is a pure
+    // function of the (deterministic) event stream.
+    let mut tracks: Vec<&str> = Vec::new();
+    for ev in &buf.events {
+        if !tracks.contains(&ev.track()) {
+            tracks.push(ev.track());
+        }
+    }
+    let tid_of = |track: &str| -> u64 {
+        tracks
+            .iter()
+            .position(|t| *t == track)
+            .expect("known track") as u64
+            + 1
+    };
+
+    let mut events = Vec::with_capacity(buf.events.len() + tracks.len() + 1);
+    events.push(Value::Map(vec![
+        ("name".into(), Value::Str("process_name".into())),
+        ("ph".into(), Value::Str("M".into())),
+        ("pid".into(), Value::U64(PID)),
+        (
+            "args".into(),
+            Value::Map(vec![("name".into(), Value::Str("elk".into()))]),
+        ),
+    ]));
+    for track in &tracks {
+        events.push(Value::Map(vec![
+            ("name".into(), Value::Str("thread_name".into())),
+            ("ph".into(), Value::Str("M".into())),
+            ("pid".into(), Value::U64(PID)),
+            ("tid".into(), Value::U64(tid_of(track))),
+            (
+                "args".into(),
+                Value::Map(vec![("name".into(), Value::Str((*track).into()))]),
+            ),
+        ]));
+    }
+
+    for ev in &buf.events {
+        let tid = tid_of(ev.track());
+        let entry = match ev {
+            TraceEvent::Span {
+                name,
+                start,
+                dur,
+                args,
+                ..
+            } => {
+                let mut m = vec![
+                    ("name".into(), Value::Str(name.clone())),
+                    ("ph".into(), Value::Str("X".into())),
+                    ("pid".into(), Value::U64(PID)),
+                    ("tid".into(), Value::U64(tid)),
+                    ("ts".into(), Value::F64(start.as_micros())),
+                    ("dur".into(), Value::F64(dur.as_micros())),
+                ];
+                if !args.is_empty() {
+                    m.push(("args".into(), args_value(args)));
+                }
+                Value::Map(m)
+            }
+            TraceEvent::Instant {
+                name, time, args, ..
+            } => {
+                let mut m = vec![
+                    ("name".into(), Value::Str(name.clone())),
+                    ("ph".into(), Value::Str("i".into())),
+                    ("pid".into(), Value::U64(PID)),
+                    ("tid".into(), Value::U64(tid)),
+                    ("ts".into(), Value::F64(time.as_micros())),
+                    ("s".into(), Value::Str("t".into())),
+                ];
+                if !args.is_empty() {
+                    m.push(("args".into(), args_value(args)));
+                }
+                Value::Map(m)
+            }
+            TraceEvent::Gauge {
+                name, time, value, ..
+            } => Value::Map(vec![
+                ("name".into(), Value::Str(name.clone())),
+                ("ph".into(), Value::Str("C".into())),
+                ("pid".into(), Value::U64(PID)),
+                ("tid".into(), Value::U64(tid)),
+                ("ts".into(), Value::F64(time.as_micros())),
+                (
+                    "args".into(),
+                    Value::Map(vec![(name.clone(), Value::F64(*value))]),
+                ),
+            ]),
+        };
+        events.push(entry);
+    }
+
+    Value::Map(vec![("traceEvents".into(), Value::Seq(events))])
+}
+
+/// Renders counters and histograms as flat metrics JSON:
+/// `{"counters": {...}, "histograms": {name: {count, min, max,
+/// buckets: [{le, count}, ...]}}}`, keys sorted.
+#[must_use]
+pub fn metrics(buf: &ObsBuf) -> Value {
+    let counters = Value::Map(
+        buf.counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::U64(*v)))
+            .collect(),
+    );
+    let hists = Value::Map(
+        buf.hists
+            .iter()
+            .map(|(k, h)| {
+                let buckets = h
+                    .buckets()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &count)| {
+                        let le = match BUCKET_BOUNDS.get(i) {
+                            Some(&b) => Value::F64(b),
+                            None => Value::Str("+inf".into()),
+                        };
+                        Value::Map(vec![("le".into(), le), ("count".into(), Value::U64(count))])
+                    })
+                    .collect();
+                let body = Value::Map(vec![
+                    ("count".into(), Value::U64(h.count())),
+                    ("min".into(), Value::F64(h.min())),
+                    ("max".into(), Value::F64(h.max())),
+                    ("buckets".into(), Value::Seq(buckets)),
+                ]);
+                (k.clone(), body)
+            })
+            .collect(),
+    );
+    Value::Map(vec![
+        ("counters".into(), counters),
+        ("histograms".into(), hists),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Histogram, TraceEvent};
+    use elk_units::Seconds;
+
+    fn sample_buf() -> ObsBuf {
+        let mut buf = ObsBuf::default();
+        buf.events.push(TraceEvent::Span {
+            track: "kernel".into(),
+            name: "dispatch".into(),
+            start: Seconds::ZERO,
+            dur: Seconds::from_micros(5.0),
+            args: vec![("prio".into(), "0".into())],
+        });
+        buf.events.push(TraceEvent::Gauge {
+            track: "kernel".into(),
+            name: "queue_len".into(),
+            time: Seconds::from_micros(5.0),
+            value: 2.0,
+        });
+        buf.events.push(TraceEvent::Instant {
+            track: "req/0".into(),
+            name: "rejected".into(),
+            time: Seconds::from_millis(1.0),
+            args: vec![],
+        });
+        buf.counters.insert("kernel.events".into(), 7);
+        let mut h = Histogram::new();
+        h.observe(0.04);
+        buf.hists.insert("ttft".into(), h);
+        buf
+    }
+
+    #[test]
+    fn chrome_trace_has_metadata_then_events() {
+        let v = chrome_trace(&sample_buf());
+        let Some(Value::Seq(events)) = v.get("traceEvents") else {
+            panic!("traceEvents must be a sequence");
+        };
+        // 1 process + 2 tracks + 3 events.
+        assert_eq!(events.len(), 6);
+        assert_eq!(events[0].get("ph"), Some(&Value::Str("M".into())));
+        assert_eq!(events[1].get("tid"), Some(&Value::U64(1)));
+        assert_eq!(events[2].get("tid"), Some(&Value::U64(2)));
+        let span = &events[3];
+        assert_eq!(span.get("ph"), Some(&Value::Str("X".into())));
+        assert_eq!(span.get("dur"), Some(&Value::F64(5.0)));
+        assert_eq!(events[4].get("ph"), Some(&Value::Str("C".into())));
+        assert_eq!(events[5].get("ph"), Some(&Value::Str("i".into())));
+        assert_eq!(events[5].get("tid"), Some(&Value::U64(2)));
+    }
+
+    #[test]
+    fn metrics_exports_sorted_counters_and_bucket_ladder() {
+        let v = metrics(&sample_buf());
+        let counters = v.get("counters").expect("counters");
+        assert_eq!(counters.get("kernel.events"), Some(&Value::U64(7)));
+        let h = v
+            .get("histograms")
+            .and_then(|m| m.get("ttft"))
+            .expect("ttft");
+        assert_eq!(h.get("count"), Some(&Value::U64(1)));
+        let Some(Value::Seq(buckets)) = h.get("buckets") else {
+            panic!("buckets must be a sequence");
+        };
+        assert_eq!(buckets.len(), BUCKET_BOUNDS.len() + 1);
+        assert_eq!(
+            buckets.last().unwrap().get("le"),
+            Some(&Value::Str("+inf".into()))
+        );
+    }
+
+    #[test]
+    fn exports_are_deterministic_bytes() {
+        let a = serde_json::to_string(&chrome_trace(&sample_buf())).unwrap();
+        let b = serde_json::to_string(&chrome_trace(&sample_buf())).unwrap();
+        assert_eq!(a, b);
+        let forbidden = ["wall", "elapsed", "timestamp", "time_ms", "unix_"];
+        for f in forbidden {
+            assert!(!a.contains(f), "export must not contain wall-clock key {f}");
+        }
+    }
+}

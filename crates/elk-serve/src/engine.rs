@@ -9,10 +9,13 @@
 //! routed round-robin across `replicas` independent chip groups that
 //! share one plan cache.
 
+use std::sync::Arc;
+
 use elk_baselines::{Design, DesignRunner};
 use elk_core::CompileError;
 use elk_hw::SystemConfig;
 use elk_model::{Phase, TransformerConfig};
+use elk_obs::{MemRecorder, Obs, ObsBuf};
 use elk_sim::SimOptions;
 use elk_sim_core::{EventQueue, QueueStat, PRIO_ARRIVAL, PRIO_STEP_DONE};
 use elk_units::Seconds;
@@ -95,6 +98,7 @@ pub struct ServingSim {
     runner: DesignRunner,
     config: ServeConfig,
     cache: PlanCache,
+    obs: Obs,
 }
 
 /// Per-request progress while in flight.
@@ -140,6 +144,11 @@ struct ReplicaRun {
     end: Seconds,
     /// Kernel events fired by this replica's timeline.
     events: u64,
+    /// Peak future-event heap size on this replica's kernel.
+    peak: usize,
+    /// Locally recorded observations, absorbed in replica order by the
+    /// parent so the merged stream is thread-schedule independent.
+    obs: Option<ObsBuf>,
 }
 
 impl ServingSim {
@@ -164,7 +173,17 @@ impl ServingSim {
             runner: DesignRunner::new(system).with_threads(1),
             config,
             cache: PlanCache::new().with_threads(threads),
+            obs: Obs::null(),
         }
+    }
+
+    /// Attaches an observation handle: per-replica kernel dispatch
+    /// spans, per-request lanes (sampled by trace index), TTFT/TPOT
+    /// histograms, and plan-cache counters. Only thread-invariant
+    /// quantities are recorded — the raw hit/miss split is not — so
+    /// recorded output stays byte-identical at any thread count.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The serve configuration.
@@ -200,6 +219,7 @@ impl ServingSim {
         trace: &RequestTrace,
     ) -> Result<ServingReport, CompileError> {
         let stats_before = self.cache.stats();
+        let catalogs_before = self.cache.catalogs();
         // Round-robin request routing: replica r serves indices
         // r, r + R, r + 2R, ... in arrival order.
         let replicas: Vec<usize> = (0..self.config.replicas).collect();
@@ -225,6 +245,7 @@ impl ServingSim {
         let mut depth_area = 0.0;
         let mut sim_time = 0.0;
         let mut max_q = 0usize;
+        let mut peak_q = 0usize;
         for run in runs {
             for (idx, outcome) in run.outcomes {
                 outcomes[idx] = Some(outcome);
@@ -233,10 +254,28 @@ impl ServingSim {
             decode_steps += run.decode_steps;
             makespan = makespan.max(run.end);
             sim_events += run.events;
+            peak_q = peak_q.max(run.peak);
             depth_area += run.queue.area_until(run.end);
             sim_time += run.end.as_secs();
             max_q = max_q.max(run.queue.max_depth());
             queue_depth.extend(run.queue.into_samples());
+            // Replica buffers fold in replica index order — the same
+            // order the sequential loop records in.
+            if let Some(buf) = run.obs {
+                self.obs.absorb(buf);
+            }
+        }
+        if self.obs.enabled() {
+            // Only thread-invariant cache quantities: total lookups and
+            // distinct compiled signatures. The hit/miss split (and the
+            // per-design plan count) shifts with design warming, so it
+            // stays out of the recorded stream.
+            let d = self.cache.stats().since(stats_before);
+            self.obs.counter("serve.cache.lookups", d.hits + d.misses);
+            self.obs.counter(
+                "serve.cache.signatures",
+                (self.cache.catalogs() - catalogs_before) as u64,
+            );
         }
 
         queue_depth.sort_by_key(|&(t, _)| t);
@@ -257,7 +296,7 @@ impl ServingSim {
             (mean_q, max_q),
             (prefill_steps, decode_steps),
             makespan,
-            sim_events,
+            (sim_events, peak_q),
             self.cache.stats().since(stats_before),
         ))
     }
@@ -289,7 +328,18 @@ impl ServingSim {
         let mut pending: Option<PendingStep> = None;
         let mut end = Seconds::ZERO;
 
+        // A replica-local recorder: worker threads never write to the
+        // shared sink directly, so the merged stream only depends on
+        // the (deterministic) absorb order in `run`.
+        let rec = self.obs.enabled().then(|| Arc::new(MemRecorder::new()));
         let mut q: EventQueue<Ev> = EventQueue::new();
+        if let Some(rec) = &rec {
+            q.observe(
+                Obs::new(rec.clone(), self.obs.sample()),
+                &format!("serve/replica{replica}"),
+                &[(PRIO_ARRIVAL, "arrival"), (PRIO_STEP_DONE, "step_done")],
+            );
+        }
         for &idx in &assigned {
             q.schedule(reqs[idx].arrival, PRIO_ARRIVAL, Ev::Arrival(idx));
         }
@@ -399,6 +449,8 @@ impl ServingSim {
             decode_steps,
             end,
             events: q.events_processed(),
+            peak: q.peak_len(),
+            obs: rec.map(|r| r.take_buf()),
         })
     }
 
@@ -456,9 +508,42 @@ impl ServingSim {
         (mean_q, max_q): (f64, usize),
         (prefill_steps, decode_steps): (u64, u64),
         makespan: Seconds,
-        sim_events: u64,
+        (sim_events, peak_event_queue_len): (u64, usize),
         cache: crate::cache::CacheStats,
     ) -> ServingReport {
+        if self.obs.enabled() {
+            // Request lanes and latency histograms are derived from the
+            // merged outcomes (trace order), not from replica event
+            // loops, so they are deterministic by construction.
+            for (i, o) in outcomes.iter().enumerate() {
+                self.obs.histogram("serve.ttft", o.ttft());
+                if let Some(t) = o.tpot() {
+                    self.obs.histogram("serve.tpot", t);
+                }
+                self.obs.histogram("serve.e2e", o.e2e());
+                if !self.obs.sampled(i) {
+                    continue;
+                }
+                let track = format!("req/{}", o.id);
+                let args = [("replica", o.replica.to_string())];
+                self.obs.span(
+                    &track,
+                    "prefill",
+                    o.arrival,
+                    o.first_token - o.arrival,
+                    &args,
+                );
+                if o.completion > o.first_token {
+                    self.obs.span(
+                        &track,
+                        "decode",
+                        o.first_token,
+                        o.completion - o.first_token,
+                        &args,
+                    );
+                }
+            }
+        }
         let ttft: Vec<Seconds> = outcomes.iter().map(RequestOutcome::ttft).collect();
         let tpot: Vec<Seconds> = outcomes.iter().filter_map(RequestOutcome::tpot).collect();
         let e2e: Vec<Seconds> = outcomes.iter().map(RequestOutcome::e2e).collect();
@@ -492,6 +577,7 @@ impl ServingSim {
             max_queue_depth: max_q,
             queue_depth,
             sim_events,
+            peak_event_queue_len,
             cache,
             outcomes,
         }
@@ -593,6 +679,38 @@ mod tests {
             b.cache = crate::cache::CacheStats::default();
             assert_eq!(a, b, "{design}: parallel run diverged");
         }
+    }
+
+    #[test]
+    fn recorded_timeline_is_byte_identical_across_thread_counts() {
+        use elk_obs::{export, MemRecorder};
+
+        let trace = tiny_trace(16);
+        let run = |threads: usize| {
+            let rec = Arc::new(MemRecorder::new());
+            let mut sim = ServingSim::new(
+                presets::ipu_pod4(),
+                tiny_config().with_replicas(2).with_threads(threads),
+            );
+            sim.set_obs(Obs::new(rec.clone(), 64));
+            sim.run(Design::ElkFull, &trace).unwrap();
+            let buf = rec.take_buf();
+            (
+                serde_json::to_string(&export::chrome_trace(&buf)).unwrap(),
+                serde_json::to_string(&export::metrics(&buf)).unwrap(),
+            )
+        };
+        let (trace1, metrics1) = run(1);
+        let (trace4, metrics4) = run(4);
+        assert_eq!(trace1, trace4, "timeline must not depend on thread count");
+        assert_eq!(
+            metrics1, metrics4,
+            "metrics must not depend on thread count"
+        );
+        assert!(trace1.contains("req/"), "request lanes recorded");
+        assert!(trace1.contains("serve/replica1"), "kernel track recorded");
+        assert!(metrics1.contains("serve.cache.lookups"));
+        assert!(metrics1.contains("serve.cache.signatures"));
     }
 
     #[test]

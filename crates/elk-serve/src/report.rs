@@ -58,6 +58,9 @@ pub struct ServingReport {
     /// Simulation-kernel events fired across all replica timelines
     /// (arrivals + step completions).
     pub sim_events: u64,
+    /// Largest future-event heap any replica's kernel held at once —
+    /// the memory-pressure proxy matching `sim_events`' throughput one.
+    pub peak_event_queue_len: usize,
     /// Plan-cache hits/misses incurred by this run alone.
     pub cache: CacheStats,
     /// Per-request timelines, in trace order.
@@ -88,11 +91,12 @@ impl fmt::Display for ServingReport {
         )?;
         writeln!(
             f,
-            "  {:.0} tok/s | {} prefill + {} decode steps | {} sim events | queue mean {:.1} max {}",
+            "  {:.0} tok/s | {} prefill + {} decode steps | {} sim events (peak heap {}) | queue mean {:.1} max {}",
             self.tokens_per_sec,
             self.prefill_steps,
             self.decode_steps,
             self.sim_events,
+            self.peak_event_queue_len,
             self.mean_queue_depth,
             self.max_queue_depth
         )?;
@@ -132,12 +136,14 @@ mod tests {
             max_queue_depth: 3,
             queue_depth: vec![],
             sim_events: 34,
+            peak_event_queue_len: 9,
             cache: CacheStats { hits: 3, misses: 1 },
             outcomes: vec![],
         };
         let s = r.to_string();
         assert!(s.contains("ELK-Full"));
         assert!(s.contains("goodput 7.20 req/s"));
+        assert!(s.contains("34 sim events (peak heap 9)"));
         assert!(s.contains("75% hit rate"));
         assert_eq!(s, r.to_string(), "Display must be deterministic");
     }

@@ -18,6 +18,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use elk_obs::Obs;
 use elk_units::Seconds;
 
 /// The total-order key of a scheduled event: `(time, priority, seq)`,
@@ -82,6 +83,19 @@ impl<E> PartialOrd for Entry<E> {
     }
 }
 
+/// Kernel-side observation state: dispatch spans on one track, a
+/// queue-length gauge, and per-priority-class counters. Everything it
+/// emits is keyed to simulated time, so attaching it never perturbs
+/// the pop order or the byte-identity contract.
+#[derive(Debug)]
+struct QueueObs {
+    obs: Obs,
+    track: String,
+    classes: Vec<(u8, String)>,
+    cap: u64,
+    last: Seconds,
+}
+
 /// A deterministic future-event list with a simulation clock.
 ///
 /// [`pop`](EventQueue::pop) advances the clock to the fired event's
@@ -112,6 +126,8 @@ pub struct EventQueue<E> {
     now: Seconds,
     next_seq: u64,
     processed: u64,
+    peak_len: usize,
+    obs: Option<QueueObs>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -129,7 +145,34 @@ impl<E> EventQueue<E> {
             now: Seconds::ZERO,
             next_seq: 0,
             processed: 0,
+            peak_len: 0,
+            obs: None,
         }
+    }
+
+    /// Attaches an observation sink: dispatch spans and a queue-length
+    /// gauge on `track` (bounded by the handle's sampling cap), plus
+    /// per-priority-class dispatch counters named
+    /// `{track}.dispatch.{class}`. `classes` names the engine's
+    /// priority levels (unnamed priorities fall back to `prio{n}`).
+    ///
+    /// Purely additive: attaching observation cannot change the pop
+    /// order, the clock, or any report field.
+    pub fn observe(&mut self, obs: Obs, track: &str, classes: &[(u8, &str)]) {
+        if !obs.enabled() {
+            return;
+        }
+        let cap = obs.sample();
+        self.obs = Some(QueueObs {
+            obs,
+            track: track.to_string(),
+            classes: classes
+                .iter()
+                .map(|&(p, name)| (p, name.to_string()))
+                .collect(),
+            cap,
+            last: self.now,
+        });
     }
 
     /// The simulation clock: the fire time of the last popped event
@@ -160,6 +203,7 @@ impl<E> EventQueue<E> {
         };
         self.next_seq += 1;
         self.heap.push(Entry { key, event });
+        self.peak_len = self.peak_len.max(self.heap.len());
         key
     }
 
@@ -179,6 +223,23 @@ impl<E> EventQueue<E> {
         let entry = self.heap.pop()?;
         self.now = entry.key.time;
         self.processed += 1;
+        if let Some(o) = &mut self.obs {
+            let class = o
+                .classes
+                .iter()
+                .find(|(p, _)| *p == entry.key.priority)
+                .map_or_else(
+                    || format!("prio{}", entry.key.priority),
+                    |(_, name)| name.clone(),
+                );
+            o.obs.counter(&format!("{}.dispatch.{class}", o.track), 1);
+            if self.processed <= o.cap {
+                o.obs.span(&o.track, &class, o.last, self.now - o.last, &[]);
+                o.obs
+                    .gauge(&o.track, "queue_len", self.now, self.heap.len() as f64);
+            }
+            o.last = self.now;
+        }
         Some(Scheduled {
             key: entry.key,
             event: entry.event,
@@ -210,6 +271,14 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn events_processed(&self) -> u64 {
         self.processed
+    }
+
+    /// The largest number of events simultaneously scheduled so far —
+    /// the kernel's peak heap size, a cheap memory-pressure proxy the
+    /// serving reports expose as `peak_event_queue_len`.
+    #[must_use]
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 }
 
@@ -269,6 +338,72 @@ mod tests {
         q.schedule(Seconds::new(2.0), 0, ());
         q.pop();
         q.schedule(Seconds::new(1.0), 0, ());
+    }
+
+    #[test]
+    fn peak_len_tracks_the_heap_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        q.schedule(Seconds::new(1.0), 0, ());
+        q.schedule(Seconds::new(2.0), 0, ());
+        q.schedule(Seconds::new(3.0), 0, ());
+        assert_eq!(q.peak_len(), 3);
+        q.pop();
+        q.pop();
+        q.schedule(Seconds::new(4.0), 0, ());
+        assert_eq!(q.peak_len(), 3, "draining never lowers the peak");
+    }
+
+    #[test]
+    fn observation_is_purely_additive() {
+        use elk_obs::{MemRecorder, Obs, TraceEvent};
+        use std::sync::Arc;
+
+        let run = |observe: bool| -> (Vec<&'static str>, Option<elk_obs::ObsBuf>) {
+            let mut q = EventQueue::new();
+            let rec = Arc::new(MemRecorder::new());
+            if observe {
+                q.observe(
+                    Obs::new(rec.clone(), 2),
+                    "kernel",
+                    &[(0, "arrival"), (1, "step_done")],
+                );
+            }
+            q.schedule(Seconds::new(1.0), 0, "a");
+            q.schedule(Seconds::new(2.0), 1, "b");
+            q.schedule(Seconds::new(3.0), 7, "c");
+            let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+            (order, observe.then(|| rec.take_buf()))
+        };
+
+        let (plain, _) = run(false);
+        let (observed, buf) = run(true);
+        assert_eq!(plain, observed, "observation must not change pop order");
+
+        let buf = buf.unwrap();
+        assert_eq!(buf.counters["kernel.dispatch.arrival"], 1);
+        assert_eq!(buf.counters["kernel.dispatch.step_done"], 1);
+        assert_eq!(
+            buf.counters["kernel.dispatch.prio7"], 1,
+            "unnamed class falls back"
+        );
+        // Sampling cap 2: spans + gauges only for the first two pops.
+        let spans = buf
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Span { .. }))
+            .count();
+        let gauges = buf
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Gauge { .. }))
+            .count();
+        assert_eq!(spans, 2);
+        assert_eq!(gauges, 2);
+        assert!(matches!(
+            &buf.events[0],
+            TraceEvent::Span { name, dur, .. } if name == "arrival" && *dur == Seconds::new(1.0)
+        ));
     }
 
     #[test]

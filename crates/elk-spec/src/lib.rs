@@ -54,7 +54,7 @@ pub mod sweep;
 
 pub use convert::{ResolvedModel, SYSTEM_PRESETS};
 pub use report::{CompileReport, ServeReport, SimulateReport, SweepReport, TraceGenReport};
-pub use spec::{design_name, phase_name, ScenarioSpec, SweepCommand, TraceSourceSpec};
+pub use spec::{design_name, phase_name, ObserveSpec, ScenarioSpec, SweepCommand, TraceSourceSpec};
 pub use sweep::run_sweep;
 
 use std::fmt;

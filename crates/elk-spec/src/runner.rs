@@ -11,8 +11,10 @@ use elk_cluster::{
     AutoscaleServingSim, ClusterError, ClusterEstimator, ClusterServeConfig, ClusterServingSim,
     DisaggConfig, DisaggServingSim, ParallelismPlan, TenantServingSim,
 };
+use elk_obs::Obs;
 use elk_serve::{RequestTrace, RouterPolicy, ServingSim};
 use elk_trace::TraceFile;
+use elk_units::Seconds;
 
 use crate::report::{
     ClusterRunReport, CompileReport, DesignCompileReport, DesignSimRow, ServeReport,
@@ -37,6 +39,56 @@ impl From<ClusterError> for SpecError {
 /// Returns [`SpecError::Invalid`] for an ill-formed spec and
 /// [`SpecError::Compile`] when a design has no feasible plan.
 pub fn run_compile(spec: &ScenarioSpec) -> Result<CompileReport, SpecError> {
+    run_compile_observed(spec, &Obs::null())
+}
+
+/// Emits one compile-pipeline lane on `obs` for `design`: pseudo-time
+/// spans (1 work unit = 1 µs of span width) sized by the run's
+/// thread-invariant search counters, never by wall clock — so a
+/// recorded compile timeline is byte-identical at any `threads`
+/// setting.
+fn record_compile_lane(obs: &Obs, design: elk_baselines::Design, d: &DesignCompileReport) {
+    let track = format!("compile/{}", crate::spec::design_name(design));
+    let unit = |n: usize| Seconds::from_micros(n as f64);
+    let mut cursor = Seconds::ZERO;
+    let mut phase = |name: &str, units: usize, args: &[(&str, String)]| {
+        let dur = unit(units.max(1));
+        obs.span(&track, name, cursor, dur, args);
+        cursor += dur;
+    };
+    if let Some(s) = &d.compile {
+        phase(
+            "enumerate",
+            s.distinct_signatures,
+            &[("distinct_signatures", s.distinct_signatures.to_string())],
+        );
+        phase(
+            "order_search",
+            s.orders_considered,
+            &[
+                ("orders_considered", s.orders_considered.to_string()),
+                ("orders_feasible", s.orders_feasible.to_string()),
+            ],
+        );
+        obs.counter("compile.orders_considered", s.orders_considered as u64);
+        obs.counter("compile.distinct_signatures", s.distinct_signatures as u64);
+    }
+    phase(
+        "lower",
+        d.ops,
+        &[("ops", d.ops.to_string()), ("instrs", d.instrs.to_string())],
+    );
+    obs.counter("compile.designs", 1);
+    obs.counter("compile.instrs", d.instrs as u64);
+}
+
+/// [`run_compile`] with an attached recorder: per-design compile lanes
+/// and `compile.*` counters land on `obs`.
+///
+/// # Errors
+///
+/// Same as [`run_compile`].
+pub fn run_compile_observed(spec: &ScenarioSpec, obs: &Obs) -> Result<CompileReport, SpecError> {
     let system = spec.system.to_system()?;
     let model = spec.model.resolve()?;
     let workload = spec.workload.to_workload()?;
@@ -52,14 +104,18 @@ pub fn run_compile(spec: &ScenarioSpec) -> Result<CompileReport, SpecError> {
         .iter()
         .map(|&design| {
             let out = runner.run(design, &graph, &catalog, &sim)?;
-            Ok(DesignCompileReport {
+            let d = DesignCompileReport {
                 design,
                 ops: out.program.op_count(),
                 instrs: out.program.instrs.len(),
                 estimate_total_ms: out.estimate.total.as_millis(),
                 compile: out.stats.as_ref().map(Into::into),
                 report: out.report,
-            })
+            };
+            if obs.enabled() {
+                record_compile_lane(obs, design, &d);
+            }
+            Ok(d)
         })
         .collect::<Result<Vec<_>, SpecError>>()?;
 
@@ -81,7 +137,18 @@ pub fn run_compile(spec: &ScenarioSpec) -> Result<CompileReport, SpecError> {
 ///
 /// Same as [`run_compile`].
 pub fn run_simulate(spec: &ScenarioSpec) -> Result<SimulateReport, SpecError> {
-    let compiled = run_compile(spec)?;
+    run_simulate_observed(spec, &Obs::null())
+}
+
+/// [`run_simulate`] with an attached recorder: the underlying compile
+/// pass records one `compile/<design>` lane per design (see
+/// [`run_compile_observed`]).
+///
+/// # Errors
+///
+/// Same as [`run_simulate`].
+pub fn run_simulate_observed(spec: &ScenarioSpec, obs: &Obs) -> Result<SimulateReport, SpecError> {
+    let compiled = run_compile_observed(spec, obs)?;
     let basic_total = compiled
         .designs
         .iter()
@@ -206,6 +273,17 @@ pub fn run_trace_gen(spec: &ScenarioSpec) -> Result<(TraceFile, TraceGenReport),
 /// gracefully), the spec is ill-formed, or a step shape has no
 /// feasible plan.
 pub fn run_serve(spec: &ScenarioSpec) -> Result<ServeReport, SpecError> {
+    run_serve_observed(spec, &Obs::null())
+}
+
+/// [`run_serve`] with an attached recorder: the flat-pool replay (and
+/// the tenancy replay, when configured) record kernel spans, request
+/// lanes, and `serve.*`/`tenancy.*` metrics onto `obs`.
+///
+/// # Errors
+///
+/// Same as [`run_serve`].
+pub fn run_serve_observed(spec: &ScenarioSpec, obs: &Obs) -> Result<ServeReport, SpecError> {
     let system = spec.system.to_system()?;
     let model = spec.model.as_transformer()?;
     let shards = spec.workload.shards_for(&system)?;
@@ -214,6 +292,7 @@ pub fn run_serve(spec: &ScenarioSpec) -> Result<ServeReport, SpecError> {
     let (trace, tenant_ids) = resolve_trace_with_tenants(spec)?;
 
     let mut sim = ServingSim::new(system.clone(), config.clone());
+    sim.set_obs(obs.clone());
     let designs = spec
         .compiler
         .design
@@ -235,6 +314,7 @@ pub fn run_serve(spec: &ScenarioSpec) -> Result<ServeReport, SpecError> {
                 },
                 t.to_config()?,
             )?;
+            engine.set_obs(obs.clone());
             let mut rows = Vec::new();
             for &design in &spec.compiler.design {
                 rows.push(engine.run(design, RouterPolicy::RoundRobin, &trace, &tenant_ids)?);
@@ -269,6 +349,17 @@ pub fn run_serve(spec: &ScenarioSpec) -> Result<ServeReport, SpecError> {
 /// transformer or the spec/plan is ill-formed, and [`SpecError::Compile`]
 /// when a stage has no feasible on-chip plan.
 pub fn run_cluster(spec: &ScenarioSpec) -> Result<ClusterRunReport, SpecError> {
+    run_cluster_observed(spec, &Obs::null())
+}
+
+/// [`run_cluster`] with an attached recorder: every serving engine the
+/// scenario exercises (colocated, autoscaled, disaggregated, tenancy)
+/// records kernel spans, request lanes, and metrics onto `obs`.
+///
+/// # Errors
+///
+/// Same as [`run_cluster`].
+pub fn run_cluster_observed(spec: &ScenarioSpec, obs: &Obs) -> Result<ClusterRunReport, SpecError> {
     let cluster = spec.cluster.clone().unwrap_or_default();
     let interconnect = cluster.to_interconnect()?;
     let system = spec
@@ -298,24 +389,24 @@ pub fn run_cluster(spec: &ScenarioSpec) -> Result<ClusterRunReport, SpecError> {
 
     let serving = if cluster.serve {
         Some(run_cluster_serving(
-            spec, &cluster, &system, &estimate, &sim,
+            spec, &cluster, &system, &estimate, &sim, obs,
         )?)
     } else {
         None
     };
     let autoscale = match (&cluster.autoscale, cluster.serve) {
         (Some(auto), true) => Some(run_cluster_autoscale(
-            spec, &cluster, auto, &system, &estimate, &sim,
+            spec, &cluster, auto, &system, &estimate, &sim, obs,
         )?),
         _ => None,
     };
     let disagg = match (&cluster.disaggregate, cluster.serve) {
-        (Some(d), true) => Some(run_cluster_disagg(spec, &cluster, d, &system, &sim)?),
+        (Some(d), true) => Some(run_cluster_disagg(spec, &cluster, d, &system, &sim, obs)?),
         _ => None,
     };
     let tenancy = match (&cluster.tenants, cluster.serve) {
         (Some(t), true) => Some(run_cluster_tenancy(
-            spec, &cluster, t, &system, &estimate, &sim,
+            spec, &cluster, t, &system, &estimate, &sim, obs,
         )?),
         _ => None,
     };
@@ -345,6 +436,7 @@ fn run_cluster_serving(
     system: &elk_hw::SystemConfig,
     estimate: &elk_cluster::ClusterReport,
     sim: &elk_sim::SimOptions,
+    obs: &Obs,
 ) -> Result<Vec<elk_cluster::ClusterServingReport>, SpecError> {
     let model = spec.model.as_transformer()?;
     // Reuse the serving spec's validated batching/SLO conversion; the
@@ -366,6 +458,7 @@ fn run_cluster_serving(
             threads: cluster.threads,
         },
     )?;
+    engine.set_obs(obs.clone());
     let mut rows = Vec::new();
     for &design in &spec.compiler.design {
         for &policy in &cluster.router {
@@ -377,6 +470,7 @@ fn run_cluster_serving(
 
 /// The autoscaled half of `elk cluster`: one elastic-fleet replay per
 /// design, on `(tp, pp)` groups of the estimated plan.
+#[allow(clippy::too_many_arguments)]
 fn run_cluster_autoscale(
     spec: &ScenarioSpec,
     cluster: &ClusterSpec,
@@ -384,6 +478,7 @@ fn run_cluster_autoscale(
     system: &elk_hw::SystemConfig,
     estimate: &elk_cluster::ClusterReport,
     sim: &elk_sim::SimOptions,
+    obs: &Obs,
 ) -> Result<Vec<elk_cluster::AutoscaleReport>, SpecError> {
     let model = spec.model.as_transformer()?;
     let serve_cfg = spec
@@ -402,6 +497,7 @@ fn run_cluster_autoscale(
         },
         auto.to_config()?,
     )?;
+    engine.set_obs(obs.clone());
     let mut rows = Vec::new();
     for &design in &spec.compiler.design {
         rows.push(engine.run(design, &trace)?);
@@ -412,6 +508,7 @@ fn run_cluster_autoscale(
 /// The multi-tenant half of `elk cluster`: one admission-controlled
 /// replay per design × router policy, sharing one engine (and
 /// therefore one plan cache across every class model).
+#[allow(clippy::too_many_arguments)]
 fn run_cluster_tenancy(
     spec: &ScenarioSpec,
     cluster: &ClusterSpec,
@@ -419,6 +516,7 @@ fn run_cluster_tenancy(
     system: &elk_hw::SystemConfig,
     estimate: &elk_cluster::ClusterReport,
     sim: &elk_sim::SimOptions,
+    obs: &Obs,
 ) -> Result<Vec<elk_cluster::TenancyServingReport>, SpecError> {
     let model = spec.model.as_transformer()?;
     let serve_cfg = spec
@@ -437,6 +535,7 @@ fn run_cluster_tenancy(
         },
         tenants.to_config()?,
     )?;
+    engine.set_obs(obs.clone());
     let mut rows = Vec::new();
     for &design in &spec.compiler.design {
         for &policy in &cluster.router {
@@ -455,6 +554,7 @@ fn run_cluster_disagg(
     disagg: &crate::spec::DisaggSpec,
     system: &elk_hw::SystemConfig,
     sim: &elk_sim::SimOptions,
+    obs: &Obs,
 ) -> Result<Vec<elk_cluster::DisaggServingReport>, SpecError> {
     let model = spec.model.as_transformer()?;
     let (prefill, decode) = disagg.to_plans()?;
@@ -472,6 +572,7 @@ fn run_cluster_disagg(
             ..DisaggConfig::new(model, prefill, decode)
         },
     )?;
+    engine.set_obs(obs.clone());
     let mut rows = Vec::new();
     for &design in &spec.compiler.design {
         for &policy in &cluster.router {

@@ -249,6 +249,14 @@ const ROOT: Node = Node::Map(&[
         ]),
     ),
     (
+        "observe",
+        Node::Map(&[
+            ("enable", Node::Leaf),
+            ("timeline", Node::Leaf),
+            ("sample", Node::Leaf),
+        ]),
+    ),
+    (
         "cluster",
         Node::Map(&[
             (
@@ -362,6 +370,9 @@ mod tests {
             "serving.tenants.classes",
             "cluster.tenants.shed_policy",
             "cluster.tenants.defer_ms",
+            "observe.enable",
+            "observe.timeline",
+            "observe.sample",
             "compiler.design",
             "system",
         ] {
@@ -408,11 +419,12 @@ mod tests {
         };
         let keys: Vec<&str> = entries.iter().map(|(k, _)| *k).collect();
         for key in [
-            "name", "system", "model", "workload", "compiler", "sim", "serving", "cluster", "sweep",
+            "name", "system", "model", "workload", "compiler", "sim", "serving", "observe",
+            "cluster", "sweep",
         ] {
             assert!(keys.contains(&key), "schema lost the `{key}` section");
         }
-        assert_eq!(keys.len(), 9, "new root sections need schema entries");
+        assert_eq!(keys.len(), 10, "new root sections need schema entries");
         drop(spec);
     }
 }

@@ -41,6 +41,8 @@ pub struct ScenarioSpec {
     pub sim: SimSpec,
     /// Request-level serving configuration for `serve`.
     pub serving: ServingSpec,
+    /// Deterministic observability: timeline/metrics export knobs.
+    pub observe: ObserveSpec,
     /// Optional multi-chip parallelism section for `elk cluster`.
     pub cluster: Option<ClusterSpec>,
     /// Optional sweep grid for `elk sweep`.
@@ -82,6 +84,7 @@ impl Deserialize for ScenarioSpec {
             compiler: r.or_else("compiler", CompilerSpec::default)?,
             sim: r.or_else("sim", SimSpec::default)?,
             serving: r.or_else("serving", ServingSpec::default)?,
+            observe: r.or_else("observe", ObserveSpec::default)?,
             cluster: r.opt("cluster")?,
             sweep: r.opt("sweep")?,
         };
@@ -100,6 +103,7 @@ impl Serialize for ScenarioSpec {
             ("compiler".into(), self.compiler.to_value()),
             ("sim".into(), self.sim.to_value()),
             ("serving".into(), self.serving.to_value()),
+            ("observe".into(), self.observe.to_value()),
         ];
         if let Some(cluster) = &self.cluster {
             m.push(("cluster".into(), cluster.to_value()));
@@ -1454,6 +1458,67 @@ impl Serialize for TenancySpec {
         }
         m.push(("shed_policy".into(), self.shed_policy.to_value()));
         m.push(("defer_ms".into(), self.defer_ms.to_value()));
+        Value::Map(m)
+    }
+}
+
+// ---- observe ----
+
+/// Deterministic observability knobs for `elk-obs` recording: whether
+/// runs record at all, where the Chrome-trace timeline lands, and how
+/// many per-request lanes are sampled. Recording is purely additive —
+/// it never changes a report — and recorded streams are byte-identical
+/// at any thread count. The `--timeline <path>` CLI flag overrides
+/// `timeline` and implies `enable`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObserveSpec {
+    /// Record spans/counters/histograms during runs.
+    pub enable: bool,
+    /// Chrome-trace output path (relative to the working directory);
+    /// omit to derive `<out>/<name>.timeline.json` when enabled.
+    pub timeline: Option<String>,
+    /// Per-request lane sampling cap: the first `sample` requests of a
+    /// trace get individual timeline lanes (metrics always cover all).
+    pub sample: u64,
+}
+
+impl Default for ObserveSpec {
+    /// Recording off; 64 request lanes when switched on.
+    fn default() -> Self {
+        ObserveSpec {
+            enable: false,
+            timeline: None,
+            sample: 64,
+        }
+    }
+}
+
+impl Deserialize for ObserveSpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let d = ObserveSpec::default();
+        let mut r = MapReader::new("observe", v)?;
+        let spec = ObserveSpec {
+            enable: r.or("enable", d.enable)?,
+            timeline: r.opt("timeline")?,
+            sample: r.or("sample", d.sample)?,
+        };
+        r.finish()?;
+        match &spec.timeline {
+            Some(path) if path.trim().is_empty() => {
+                Err(Error::msg("observe.timeline: path must be non-empty"))
+            }
+            _ => Ok(spec),
+        }
+    }
+}
+
+impl Serialize for ObserveSpec {
+    fn to_value(&self) -> Value {
+        let mut m = vec![("enable".into(), self.enable.to_value())];
+        if let Some(timeline) = &self.timeline {
+            m.push(("timeline".into(), timeline.to_value()));
+        }
+        m.push(("sample".into(), self.sample.to_value()));
         Value::Map(m)
     }
 }

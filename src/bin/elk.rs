@@ -23,11 +23,20 @@
 //! hit/miss split legitimately shifts with the worker count
 //! (concurrent warming); everything else in a serve report is
 //! thread-count invariant.
+//!
+//! `simulate`, `serve`, and `cluster` can additionally export a
+//! deterministic sim-time timeline: `--timeline FILE` (or the
+//! scenario's `observe` section) attaches an `elk-obs` recorder and
+//! writes a Chrome-trace JSON (open in Perfetto / `chrome://tracing`)
+//! plus a flat `*.metrics.json` next to it. Timelines carry only
+//! simulated time, so they are byte-identical at any `--threads` count.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use elk::obs::{export, MemRecorder, Obs, Recorder};
 use elk::spec::{runner, ScenarioSpec, SpecError};
 use serde::{Serialize, Value};
 
@@ -55,7 +64,15 @@ commands:
 Reports are written to <out>/<name>.<command>.json (default: results/).
 --threads overrides the spec's worker-thread count (sweep: the fan-out
 width across grid points); results are byte-identical at any setting,
-except the serve report's cache hit/miss split (worker-count warming).";
+except the serve report's cache hit/miss split (worker-count warming).
+
+simulate, serve, and cluster take --timeline FILE: record the run with
+elk-obs and write a Chrome-trace timeline (Perfetto-loadable) there,
+plus flat metrics as *.metrics.json next to it. The flag overrides the
+scenario's observe.timeline and implies observe.enable; with observe
+enabled and no path, the timeline lands at <out>/<name>.timeline.json.
+Timelines carry simulated time only and are byte-identical at any
+--threads count.";
 
 /// A fatal CLI error: message plus exit code (2 = usage/parse, 1 = run).
 struct Fail {
@@ -134,6 +151,7 @@ struct ScenarioArgs {
     file: PathBuf,
     out: PathBuf,
     threads: Option<usize>,
+    timeline: Option<PathBuf>,
 }
 
 impl ScenarioArgs {
@@ -141,6 +159,7 @@ impl ScenarioArgs {
         // Same shared flag walk as elk-par's --threads and elk-bench's
         // --out, so the three surfaces cannot drift.
         let (outs, rest) = elk::par::extract_flag("--out", args.to_vec()).map_err(Fail::usage)?;
+        let (timelines, rest) = elk::par::extract_flag("--timeline", rest).map_err(Fail::usage)?;
         let (threads_values, rest) =
             elk::par::extract_flag("--threads", rest).map_err(Fail::usage)?;
         // Validate every occurrence; the last one wins.
@@ -171,8 +190,55 @@ impl ScenarioArgs {
                 .last()
                 .map_or_else(|| PathBuf::from("results"), PathBuf::from),
             threads,
+            timeline: timelines.last().map(PathBuf::from),
         })
     }
+}
+
+/// Resolves where a run's timeline goes, or `None` when the run should
+/// not record one. Precedence: the `--timeline` flag (which implies
+/// `observe.enable`), then the scenario's `observe.timeline` path, then
+/// — with `observe.enable` set but no path — the derived
+/// `<out>/<name>.timeline.json`.
+fn timeline_destination(
+    command: &str,
+    opts: &ScenarioArgs,
+    spec: &ScenarioSpec,
+) -> Result<Option<PathBuf>, Fail> {
+    let supported = matches!(command, "simulate" | "serve" | "cluster");
+    if let Some(path) = &opts.timeline {
+        if !supported {
+            return Err(Fail::usage(format!(
+                "`elk {command}` does not take --timeline (only simulate, \
+                 serve, and cluster record timelines)"
+            )));
+        }
+        return Ok(Some(path.clone()));
+    }
+    if !supported || !spec.observe.enable {
+        return Ok(None);
+    }
+    Ok(Some(spec.observe.timeline.as_ref().map_or_else(
+        || {
+            opts.out
+                .join(format!("{}.timeline.json", report_stem(&spec.name)))
+        },
+        PathBuf::from,
+    )))
+}
+
+/// `<x>.timeline.json` → `<x>.metrics.json` (plain `<x>.json` also
+/// swaps its extension); anything else gets `.metrics.json` appended.
+fn metrics_destination(timeline: &Path) -> PathBuf {
+    let name = timeline
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("timeline");
+    let stem = name
+        .strip_suffix(".timeline.json")
+        .or_else(|| name.strip_suffix(".json"))
+        .unwrap_or(name);
+    timeline.with_file_name(format!("{stem}.metrics.json"))
 }
 
 fn run_scenario(command: &str, opts: &ScenarioArgs) -> Result<(), Fail> {
@@ -203,6 +269,15 @@ fn run_scenario(command: &str, opts: &ScenarioArgs) -> Result<(), Fail> {
         }
     }
 
+    // Recording: when a timeline destination resolves, every observed
+    // runner below shares one in-memory recorder; the buffered stream
+    // is exported after the report lands.
+    let timeline_out = timeline_destination(command, opts, &spec)?;
+    let recorder = timeline_out.as_ref().map(|_| Arc::new(MemRecorder::new()));
+    let obs = recorder.as_ref().map_or_else(Obs::null, |rec| {
+        Obs::new(Arc::clone(rec) as Arc<dyn Recorder>, spec.observe.sample)
+    });
+
     let report: Value = match command {
         "compile" => {
             let r = runner::run_compile(&spec)?;
@@ -220,7 +295,7 @@ fn run_scenario(command: &str, opts: &ScenarioArgs) -> Result<(), Fail> {
             r.to_value()
         }
         "simulate" => {
-            let r = runner::run_simulate(&spec)?;
+            let r = runner::run_simulate_observed(&spec, &obs)?;
             for d in &r.designs {
                 let speedup = d
                     .speedup_vs_basic
@@ -251,7 +326,13 @@ fn run_scenario(command: &str, opts: &ScenarioArgs) -> Result<(), Fail> {
                     return Ok(());
                 }
             }
-            let r = runner::run_serve(&spec)?;
+            // A recorded serve timeline also carries the compile
+            // pipeline's lanes, so one file spans compile phases,
+            // kernel events, and request lanes end to end.
+            if obs.enabled() {
+                runner::run_compile_observed(&spec, &obs)?;
+            }
+            let r = runner::run_serve_observed(&spec, &obs)?;
             for d in &r.designs {
                 println!(
                     "{}: {}: {} reqs, ttft p99 {:.2} ms, tpot mean {:.2} ms, goodput {:.1} req/s",
@@ -266,6 +347,18 @@ fn run_scenario(command: &str, opts: &ScenarioArgs) -> Result<(), Fail> {
             for row in r.tenancy.iter().flatten() {
                 print_tenancy_row(&format!("{}: tenancy", spec.name), row);
             }
+            // Same disposition summary the cluster path prints: with no
+            // admission control every completed request was admitted.
+            let (admitted, rejected, deferred) = match &r.tenancy {
+                Some(rows) => rows.iter().fold((0, 0, 0), |(a, j, d), t| {
+                    (a + t.admitted, j + t.rejected, d + t.deferred)
+                }),
+                None => (r.designs.iter().map(|d| d.completed).sum(), 0, 0),
+            };
+            println!(
+                "{}: dispositions: {admitted} admitted / {rejected} rejected / {deferred} deferred",
+                spec.name,
+            );
             r.to_value()
         }
         "cluster" => {
@@ -282,7 +375,12 @@ fn run_scenario(command: &str, opts: &ScenarioArgs) -> Result<(), Fail> {
                     return Ok(());
                 }
             }
-            let r = runner::run_cluster(&spec)?;
+            // See the serve arm: compile lanes ride along in the
+            // recorded timeline.
+            if obs.enabled() {
+                runner::run_compile_observed(&spec, &obs)?;
+            }
+            let r = runner::run_cluster_observed(&spec, &obs)?;
             let e = &r.estimate;
             println!(
                 "{}: {} plan {} on {} chips ({} used), step {:.3} ms, bubble {:.1}%, {}",
@@ -384,7 +482,26 @@ fn run_scenario(command: &str, opts: &ScenarioArgs) -> Result<(), Fail> {
 
     let path = write_report(&opts.out, &spec.name, command, &report)?;
     println!("report: {}", path.display());
+
+    if let (Some(timeline_path), Some(rec)) = (timeline_out, recorder) {
+        let buf = rec.take_buf();
+        let metrics_path = metrics_destination(&timeline_path);
+        write_json(&timeline_path, &export::chrome_trace(&buf))?;
+        write_json(&metrics_path, &export::metrics(&buf))?;
+        println!("timeline: {}", timeline_path.display());
+        println!("metrics: {}", metrics_path.display());
+    }
     Ok(())
+}
+
+/// Writes a pretty-printed JSON value to `path`, creating parent
+/// directories as needed.
+fn write_json(path: &Path, value: &Value) -> Result<(), Fail> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(parent).map_err(|e| Fail::run(format!("{}: {e}", parent.display())))?;
+    }
+    let json = serde_json::to_string_pretty(value).expect("value serialization is infallible");
+    fs::write(path, json + "\n").map_err(|e| Fail::run(format!("{}: {e}", path.display())))
 }
 
 /// One console row per tenancy replay, plus an indented line per
@@ -535,8 +652,56 @@ fn validate(args: &[String]) -> Result<(), Fail> {
                 file.display()
             )));
         }
-        println!("{}: ok", file.display());
+        if let Some(events) = timeline_events(&parsed) {
+            check_timeline(file, events)?;
+            println!("{}: ok ({} trace event(s))", file.display(), events.len());
+        } else {
+            println!("{}: ok", file.display());
+        }
     }
     println!("{} file(s) round-trip clean", files.len());
+    Ok(())
+}
+
+/// The `traceEvents` array when `v` is a Chrome-trace timeline, else
+/// `None` (ordinary reports fall through to the round-trip check only).
+fn timeline_events(v: &Value) -> Option<&[Value]> {
+    let Value::Map(pairs) = v else { return None };
+    pairs
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .and_then(|(_, events)| match events {
+            Value::Seq(events) => Some(events.as_slice()),
+            _ => None,
+        })
+}
+
+/// Structural check over a timeline's `traceEvents`: every event is an
+/// object with string `ph` and `name`, and every non-metadata event
+/// (`ph` ≠ `"M"`) carries a numeric `ts`.
+fn check_timeline(file: &Path, events: &[Value]) -> Result<(), Fail> {
+    let field = |pairs: &[(String, Value)], key: &str| {
+        pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    };
+    for (i, ev) in events.iter().enumerate() {
+        let fail = |what: &str| Fail::run(format!("{}: traceEvents[{i}]: {what}", file.display()));
+        let Value::Map(pairs) = ev else {
+            return Err(fail("not an object"));
+        };
+        let Some(Value::Str(ph)) = field(pairs, "ph") else {
+            return Err(fail("missing string `ph`"));
+        };
+        if !matches!(field(pairs, "name"), Some(Value::Str(_))) {
+            return Err(fail("missing string `name`"));
+        }
+        if ph != "M"
+            && !matches!(
+                field(pairs, "ts"),
+                Some(Value::U64(_) | Value::I64(_) | Value::F64(_))
+            )
+        {
+            return Err(fail("missing numeric `ts`"));
+        }
+    }
     Ok(())
 }

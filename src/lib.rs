@@ -18,6 +18,7 @@
 //! | [`compiler`] | `elk-core` | scheduling, allocation, reordering, codegen |
 //! | [`sim`] | `elk-sim` | event-driven chip simulator |
 //! | [`sim_core`] | `elk-sim-core` | deterministic DES kernel: event queue, clock, seeded RNG, time-weighted stats |
+//! | [`obs`] | `elk-obs` | deterministic sim-time observability: spans, counters, histograms, Chrome-trace export |
 //! | [`baselines`] | `elk-baselines` | Basic / Static / Elk-Dyn / Elk-Full / Ideal |
 //! | [`serve`] | `elk-serve` | request-level serving simulator (traces, batching, SLOs, routers) |
 //! | [`trace`] | `elk-trace` | versioned trace files + production-shaped generators |
@@ -63,6 +64,7 @@ pub use elk_core as compiler;
 pub use elk_cost as cost;
 pub use elk_hw as hw;
 pub use elk_model as model;
+pub use elk_obs as obs;
 pub use elk_par as par;
 pub use elk_partition as partition;
 pub use elk_serve as serve;

@@ -277,6 +277,9 @@ fn router_scenario_serves_every_request_under_every_policy() {
         assert_eq!(row.completed, 8, "{}", row.policy);
         assert_eq!(row.per_group_requests.iter().sum::<usize>(), 8);
         assert_eq!(row.plan, ParallelismPlan::new(2, 1, 2));
+        // All 8 arrivals are scheduled up front, so the heap peaks at
+        // the full trace before the first dispatch drains it.
+        assert_eq!(row.peak_event_queue_len, 8, "{}", row.policy);
     }
 
     // Thread-count invariance holds for the serving rows too.

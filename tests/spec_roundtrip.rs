@@ -14,10 +14,10 @@ use elk::baselines::Design;
 use elk::model::Phase;
 use elk::serve::{ArrivalProcess, LengthDist, RouterPolicy};
 use elk::spec::spec::{
-    AutoscaleSpec, ChipSpec, ClusterSpec, CompilerSpec, DisaggSpec, HbmSpec, ModelSpec, PlanSpec,
-    ScenarioSpec, SeqBucketsSpec, ServingSpec, SimSpec, SloSpec, SweepAxis, SweepSpec, SystemSpec,
-    TenancySpec, TenantClassSpec, TopologySpec, TraceGenSpec, TraceSourceSpec, TraceSpec,
-    WorkloadSpec,
+    AutoscaleSpec, ChipSpec, ClusterSpec, CompilerSpec, DisaggSpec, HbmSpec, ModelSpec,
+    ObserveSpec, PlanSpec, ScenarioSpec, SeqBucketsSpec, ServingSpec, SimSpec, SloSpec, SweepAxis,
+    SweepSpec, SystemSpec, TenancySpec, TenantClassSpec, TopologySpec, TraceGenSpec,
+    TraceSourceSpec, TraceSpec, WorkloadSpec,
 };
 use elk::spec::{run_sweep, SweepCommand};
 use elk::trace::{LengthModel, RateShape};
@@ -418,16 +418,34 @@ fn arb_sweep() -> impl Strategy<Value = Option<SweepSpec>> {
         })
 }
 
+fn arb_observe() -> impl Strategy<Value = ObserveSpec> {
+    (any::<bool>(), 0usize..3, 1u64..=256).prop_map(|(enable, timeline, sample)| ObserveSpec {
+        enable,
+        timeline: match timeline {
+            0 => None,
+            1 => Some("out/timeline.json".to_string()),
+            _ => Some(format!("results/prop-{sample}.timeline.json")),
+        },
+        sample,
+    })
+}
+
 fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
     (
         (arb_system(), arb_model(), arb_workload()),
-        (arb_compiler(), arb_serving(), arb_cluster(), arb_sweep()),
+        (
+            arb_compiler(),
+            arb_serving(),
+            arb_observe(),
+            arb_cluster(),
+            arb_sweep(),
+        ),
         (0.0f64..0.5, 0u64..=1 << 40, 0usize..=64),
     )
         .prop_map(
             |(
                 (system, model, workload),
-                (compiler, serving, cluster, sweep),
+                (compiler, serving, observe, cluster, sweep),
                 (noise_sigma, noise_seed, trace_samples),
             )| ScenarioSpec {
                 name: format!("prop-{noise_seed}"),
@@ -441,6 +459,7 @@ fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
                     trace_samples,
                 },
                 serving,
+                observe,
                 cluster,
                 sweep,
             },

@@ -69,6 +69,7 @@ fn golden_replay_pins_serving_percentiles() {
     assert_eq!(d.tpot.p99.as_secs(), 0.0004295759388309569);
     assert_eq!(d.tpot.mean.as_secs(), 0.00016600104416672265);
     assert_eq!(d.sim_events, 159);
+    assert_eq!(d.peak_event_queue_len, 24);
 
     let cluster = runner::run_cluster(&spec).expect("cluster replay");
     let rows = cluster.serving.as_ref().expect("cluster.serve is on");
@@ -77,6 +78,7 @@ fn golden_replay_pins_serving_percentiles() {
     assert_eq!(row.ttft.p99.as_secs(), 0.00577555478165348);
     assert_eq!(row.tpot.p99.as_secs(), 0.0019366933630504402);
     assert_eq!(row.sim_events, 165);
+    assert_eq!(row.peak_event_queue_len, 24);
 }
 
 /// The replay is byte-identical at any worker-thread count: the
